@@ -1,0 +1,118 @@
+//! Minimal command-line argument parsing for the harness binaries.
+
+/// Common harness options.
+#[derive(Clone, Debug)]
+pub struct BenchArgs {
+    /// Fraction of the paper's data size to generate (default 0.01).
+    pub scale: f64,
+    /// RNG seed for data and workload generation.
+    pub seed: u64,
+    /// Repetitions per measurement; the first warms caches/stores and is
+    /// dropped from the average, mirroring the paper's run-6-keep-5 setup.
+    pub reps: usize,
+    /// `ordered` or `random` workload version.
+    pub order: String,
+    /// Remaining free-form flags (`--key value`).
+    pub extra: Vec<(String, String)>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: 0.01,
+            seed: 42,
+            reps: 2,
+            order: "ordered".to_owned(),
+            extra: Vec::new(),
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parse `--key value` pairs from `std::env::args`.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let Some(key) = flag.strip_prefix("--") else {
+                eprintln!("ignoring positional argument `{flag}`");
+                continue;
+            };
+            let Some(value) = it.next() else {
+                eprintln!("flag --{key} is missing a value");
+                break;
+            };
+            match key {
+                "scale" => out.scale = value.parse().unwrap_or(out.scale),
+                "seed" => out.seed = value.parse().unwrap_or(out.seed),
+                "reps" => out.reps = value.parse().unwrap_or(out.reps).max(1),
+                "order" => out.order = value,
+                _ => out.extra.push((key.to_owned(), value)),
+            }
+        }
+        out
+    }
+
+    /// Look up a free-form flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.extra.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Triples to generate for a dataset whose paper-scale size is
+    /// `paper_triples`.
+    pub fn triples(&self, paper_triples: usize) -> usize {
+        ((paper_triples as f64 * self.scale) as usize).max(2_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> BenchArgs {
+        BenchArgs::parse_from(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("");
+        assert_eq!(a.scale, 0.01);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.reps, 2);
+        assert_eq!(a.order, "ordered");
+    }
+
+    #[test]
+    fn parses_known_flags() {
+        let a = parse("--scale 0.1 --seed 7 --reps 5 --order random");
+        assert_eq!(a.scale, 0.1);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.reps, 5);
+        assert_eq!(a.order, "random");
+    }
+
+    #[test]
+    fn free_form_flags_and_lookup() {
+        let a = parse("--workload yago --foo bar");
+        assert_eq!(a.get("workload"), Some("yago"));
+        assert_eq!(a.get("foo"), Some("bar"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn triples_scaling_with_floor() {
+        let a = parse("--scale 0.01");
+        assert_eq!(a.triples(16_400_000), 164_000);
+        assert_eq!(a.triples(10), 2_000, "floor keeps datasets non-trivial");
+    }
+
+    #[test]
+    fn reps_minimum_one() {
+        assert_eq!(parse("--reps 0").reps, 1);
+    }
+}

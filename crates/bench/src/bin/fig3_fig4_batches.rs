@@ -1,0 +1,59 @@
+//! **Figures 3 & 4** — per-batch TTI of `RDB-only`, `RDB-views`, and
+//! `RDB-GDB` on all six workloads. `--order ordered` reproduces Figure 3,
+//! `--order random` Figure 4.
+//!
+//! Expected shape: `RDB-GDB` at or below `RDB-only` in every batch once
+//! warm, `RDB-views` sometimes *above* `RDB-only` (view lookup + join
+//! overhead), and `RDB-GDB` the most stable series.
+
+use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind, WorkloadKind};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let figure = if args.order == "random" { "Figure 4" } else { "Figure 3" };
+    println!(
+        "{figure}: per-batch simulated TTI (s, calibrated; wall-clock total alongside), {} workloads, scale {}\n",
+        args.order, args.scale
+    );
+
+    let variants =
+        [VariantKind::RdbOnly, VariantKind::RdbViews, VariantKind::RdbGdbDotil];
+
+    for kind in WorkloadKind::figure34_set() {
+        println!("== {} ({}) ==", kind.name(), args.order);
+        let results = run_variant_comparison(kind, &variants, &args);
+        let mut table = TablePrinter::new(vec![
+            "variant", "batch1", "batch2", "batch3", "batch4", "batch5", "total", "wall-total",
+        ]);
+        for r in &results {
+            let mut cells = vec![r.variant.to_string()];
+            for b in &r.sim_batch_tti_secs {
+                cells.push(format!("{b:.4}"));
+            }
+            while cells.len() < 6 {
+                cells.push("-".to_owned());
+            }
+            cells.push(format!("{:.4}", r.total_sim_tti_secs));
+            cells.push(format!("{:.4}", r.total_tti_secs));
+            table.row(cells);
+        }
+        table.print();
+        // Improvement summary like the paper's headline numbers.
+        let tti = |name: &str| {
+            results.iter().find(|r| r.variant == name).map(|r| r.total_sim_tti_secs)
+        };
+        if let (Some(only), Some(gdb)) = (tti("RDB-only"), tti("RDB-GDB")) {
+            println!(
+                "RDB-GDB vs RDB-only: {:+.2}% TTI",
+                (gdb - only) / only * 100.0
+            );
+        }
+        if let (Some(views), Some(gdb)) = (tti("RDB-views"), tti("RDB-GDB")) {
+            println!(
+                "RDB-GDB vs RDB-views: {:+.2}% TTI",
+                (gdb - views) / views * 100.0
+            );
+        }
+        println!();
+    }
+}

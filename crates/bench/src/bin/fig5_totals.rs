@@ -1,0 +1,49 @@
+//! **Figure 5** — total TTI per workload for the three store variants, on
+//! both the ordered and random workload versions.
+//!
+//! Expected shape: `RDB-GDB` lowest everywhere; ordered-vs-random makes
+//! little difference to `RDB-GDB` (the paper's point about DOTIL's
+//! adaptivity being insensitive to query order).
+
+use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind, WorkloadKind};
+
+fn main() {
+    let mut args = BenchArgs::parse();
+    println!("Figure 5: total simulated TTI (s) per workload and store variant, scale {}\n", args.scale);
+
+    let variants =
+        [VariantKind::RdbOnly, VariantKind::RdbViews, VariantKind::RdbGdbDotil];
+    // The paper's four panels: YAGO, WatDiv ordered, WatDiv random, Bio2RDF.
+    let panels: [(WorkloadKind, &str); 4] = [
+        (WorkloadKind::Yago, "ordered"),
+        (WorkloadKind::WatDivAll, "ordered"),
+        (WorkloadKind::WatDivAll, "random"),
+        (WorkloadKind::Bio2Rdf, "ordered"),
+    ];
+
+    let mut table = TablePrinter::new(vec![
+        "workload", "order", "RDB-only", "RDB-views", "RDB-GDB", "GDB vs only", "GDB vs views",
+    ]);
+    for (kind, order) in panels {
+        args.order = order.to_owned();
+        let results = run_variant_comparison(kind, &variants, &args);
+        let tti = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.variant == name)
+                .map(|r| r.total_sim_tti_secs)
+                .unwrap_or(f64::NAN)
+        };
+        let (only, views, gdb) = (tti("RDB-only"), tti("RDB-views"), tti("RDB-GDB"));
+        table.row(vec![
+            kind.name().to_string(),
+            order.to_string(),
+            format!("{only:.4}"),
+            format!("{views:.4}"),
+            format!("{gdb:.4}"),
+            format!("{:+.2}%", (gdb - only) / only * 100.0),
+            format!("{:+.2}%", (gdb - views) / views * 100.0),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,49 @@
+//! **Figure 6** — cold start of the graph store: the share of online cost
+//! served by the graph store per batch, starting from an empty `T_G`, on
+//! ordered and random YAGO workloads.
+//!
+//! Expected shape: near-zero share in the first batch or two, ramping up
+//! quickly once DOTIL has transferred the hot partitions — the paper's
+//! conclusion that the cold start has little overall impact.
+
+use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind, WorkloadKind};
+
+fn main() {
+    let mut args = BenchArgs::parse();
+    // Cold start is about the FIRST run; do not warm up.
+    args.reps = 1;
+    println!(
+        "Figure 6: graph-store share of online work per batch (cold start), scale {}\n",
+        args.scale
+    );
+
+    for order in ["ordered", "random"] {
+        args.order = order.to_owned();
+        let results =
+            run_variant_comparison(WorkloadKind::Yago, &[VariantKind::RdbGdbDotil], &args);
+        let r = &results[0];
+        println!("== {order} YAGO workload ==");
+        let mut table = TablePrinter::new(vec![
+            "batch",
+            "graph share of work",
+            "graph work",
+            "total work",
+            "graph routes",
+            "dual routes",
+            "relational routes",
+        ]);
+        for report in &r.reports {
+            table.row(vec![
+                (report.batch_index + 1).to_string(),
+                format!("{:.1}%", report.graph_work_share() * 100.0),
+                report.graph_work.to_string(),
+                report.total_work.to_string(),
+                report.routes.graph.to_string(),
+                report.routes.dual.to_string(),
+                report.routes.relational.to_string(),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! **Figure 8** — tuner comparison: DOTIL vs one-off mode vs LRU policy vs
+//! ideal mode, total TTI on the paper's four workload panels (YAGO,
+//! WatDiv ordered, WatDiv random, Bio2RDF).
+//!
+//! Expected shape: DOTIL clearly below one-off and LRU, close to ideal —
+//! and closer to ideal on *ordered* workloads than random ones (template
+//! mutations cluster, so recent history predicts the near future better).
+
+use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind, WorkloadKind};
+
+fn main() {
+    let mut args = BenchArgs::parse();
+    println!("Figure 8: total simulated TTI (s) per tuner, scale {}\n", args.scale);
+
+    let tuners = [
+        VariantKind::RdbGdbDotil,
+        VariantKind::RdbGdbOneOff,
+        VariantKind::RdbGdbLru,
+        VariantKind::RdbGdbIdeal,
+    ];
+    let panels: [(WorkloadKind, &str); 4] = [
+        (WorkloadKind::Yago, "ordered"),
+        (WorkloadKind::WatDivAll, "ordered"),
+        (WorkloadKind::WatDivAll, "random"),
+        (WorkloadKind::Bio2Rdf, "ordered"),
+    ];
+
+    let mut table = TablePrinter::new(vec![
+        "workload", "order", "DOTIL", "one-off", "LRU", "ideal", "DOTIL vs ideal",
+    ]);
+    for (kind, order) in panels {
+        args.order = order.to_owned();
+        let results = run_variant_comparison(kind, &tuners, &args);
+        let tti = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.variant == name)
+                .map(|r| r.total_sim_tti_secs)
+                .unwrap_or(f64::NAN)
+        };
+        let (dotil, oneoff, lru, ideal) =
+            (tti("RDB-GDB"), tti("one-off"), tti("LRU"), tti("ideal"));
+        table.row(vec![
+            kind.name().to_string(),
+            order.to_string(),
+            format!("{dotil:.4}"),
+            format!("{oneoff:.4}"),
+            format!("{lru:.4}"),
+            format!("{ideal:.4}"),
+            format!("{:+.2}%", (dotil - ideal) / ideal * 100.0),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,101 @@
+//! **Table 5** — DOTIL parameter sweep on half of the random YAGO
+//! workload: `r_BG`, `prob`, `α`, `γ`, `λ` each varied with the others at
+//! their Table-4 defaults; reports TTI and the summed Q-matrix (printed in
+//! the paper's `[Q00, Q01, Q10, Q11]` order — Q00 and Q11 stay 0 by
+//! construction, as in the paper).
+
+use kgdual_bench::setup::{build_dataset, build_workload};
+use kgdual_bench::{BenchArgs, SharedDotil, TablePrinter, WorkloadKind};
+use kgdual_core::batch::TuningSchedule;
+use kgdual_core::{DualStore, StoreVariant, WorkloadRunner};
+use kgdual_dotil::DotilConfig;
+use kgdual_sparql::Query;
+use kgdual_workloads::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Sweep {
+    name: &'static str,
+    values: Vec<f64>,
+    apply: fn(&mut DotilConfig, &mut f64, f64),
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!(
+        "Table 5: DOTIL parameter tuning on half of the random YAGO workload, scale {}\n",
+        args.scale
+    );
+
+    let dataset = build_dataset(WorkloadKind::Yago, &args);
+    let workload = build_workload(WorkloadKind::Yago, &args);
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5eed);
+    let randomized = workload.randomized(&mut rng);
+    // "Half of the random version of the YAGO workload."
+    let half: Vec<Query> = randomized[..randomized.len() / 2].to_vec();
+    let batches = Workload::batches(&half, 5);
+
+    let sweeps = [
+        Sweep {
+            name: "rBG",
+            values: vec![0.20, 0.25, 0.30, 0.35, 0.40],
+            apply: |_c, r, v| *r = v,
+        },
+        Sweep {
+            name: "prob",
+            values: vec![0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+            apply: |c, _r, v| c.prob = v,
+        },
+        Sweep {
+            name: "alpha",
+            values: vec![0.3, 0.4, 0.5, 0.6, 0.7],
+            apply: |c, _r, v| c.alpha = v,
+        },
+        Sweep {
+            name: "gamma",
+            values: vec![0.5, 0.6, 0.7, 0.8, 0.9],
+            apply: |c, _r, v| c.gamma = v,
+        },
+        Sweep {
+            name: "lambda",
+            values: vec![3.0, 3.5, 4.0, 4.5, 5.0],
+            apply: |c, _r, v| c.lambda = v,
+        },
+    ];
+
+    let mut table =
+        TablePrinter::new(vec!["parameter", "value", "TTI(s)", "Q-matrix [Q00,Q01,Q10,Q11]"]);
+    for sweep in &sweeps {
+        for &value in &sweep.values {
+            // Table 4 defaults, with one parameter overridden.
+            let mut cfg = DotilConfig::paper_defaults();
+            cfg.seed = args.seed;
+            let mut r_bg = 0.25f64;
+            (sweep.apply)(&mut cfg, &mut r_bg, value);
+
+            let budget = (dataset.len() as f64 * r_bg) as usize;
+            let shared = SharedDotil::new(cfg);
+            let mut variant = StoreVariant::rdb_gdb(
+                DualStore::from_dataset(dataset.clone(), budget),
+                Box::new(shared.clone()),
+            );
+            let runner = WorkloadRunner::new(TuningSchedule::AfterEachBatch);
+            let mut kept = Vec::new();
+            for rep in 0..args.reps {
+                let reports = runner.run(&mut variant, &batches).expect("run failed");
+                if rep > 0 || args.reps == 1 {
+                    kept.push(WorkloadRunner::total_tti(&reports).as_secs_f64());
+                }
+            }
+            let tti = kept.iter().sum::<f64>() / kept.len() as f64;
+            let q = shared.q_matrix_sum();
+            table.row(vec![
+                sweep.name.to_string(),
+                format!("{value}"),
+                format!("{tti:.4}"),
+                format!("[{:.1}, {:.4}, {:.4}, {:.1}]", q[0], q[1], q[2], q[3]),
+            ]);
+        }
+    }
+    table.print();
+}

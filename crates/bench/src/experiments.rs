@@ -1,0 +1,244 @@
+//! Experiment drivers shared across harness binaries.
+
+use crate::args::BenchArgs;
+use crate::setup::{build_batches, build_dataset, build_workload};
+use kgdual_core::batch::TuningSchedule;
+use kgdual_core::{BatchReport, DualStore, PhysicalTuner, StoreVariant, TuningOutcome, WorkloadRunner};
+use kgdual_dotil::{Dotil, DotilConfig, FrequencyTuner, IdealTuner, OneOffTuner};
+use kgdual_sparql::Query;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Workload selector.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// YAGO-like, 20 queries.
+    Yago,
+    /// WatDiv linear sub-workload, 35 queries.
+    WatDivL,
+    /// WatDiv star sub-workload, 25 queries.
+    WatDivS,
+    /// WatDiv snowflake sub-workload, 25 queries.
+    WatDivF,
+    /// WatDiv complex sub-workload, 15 queries.
+    WatDivC,
+    /// All WatDiv families, 100 queries.
+    WatDivAll,
+    /// Bio2RDF-like, 25 queries.
+    Bio2Rdf,
+}
+
+impl WorkloadKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Yago => "YAGO",
+            WorkloadKind::WatDivL => "WatDiv-L",
+            WorkloadKind::WatDivS => "WatDiv-S",
+            WorkloadKind::WatDivF => "WatDiv-F",
+            WorkloadKind::WatDivC => "WatDiv-C",
+            WorkloadKind::WatDivAll => "WatDiv",
+            WorkloadKind::Bio2Rdf => "Bio2RDF",
+        }
+    }
+
+    /// The six per-figure workloads of Figures 3 and 4.
+    pub fn figure34_set() -> [WorkloadKind; 6] {
+        [
+            WorkloadKind::Yago,
+            WorkloadKind::WatDivL,
+            WorkloadKind::WatDivS,
+            WorkloadKind::WatDivF,
+            WorkloadKind::WatDivC,
+            WorkloadKind::Bio2Rdf,
+        ]
+    }
+}
+
+/// Store-variant selector for comparisons.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum VariantKind {
+    /// Plain relational store.
+    RdbOnly,
+    /// Relational + materialized views.
+    RdbViews,
+    /// Dual store tuned by DOTIL.
+    RdbGdbDotil,
+    /// Dual store tuned once upfront.
+    RdbGdbOneOff,
+    /// Dual store tuned by partition frequency.
+    RdbGdbLru,
+    /// Dual store tuned by the next-batch oracle.
+    RdbGdbIdeal,
+}
+
+impl VariantKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VariantKind::RdbOnly => "RDB-only",
+            VariantKind::RdbViews => "RDB-views",
+            VariantKind::RdbGdbDotil => "RDB-GDB",
+            VariantKind::RdbGdbOneOff => "one-off",
+            VariantKind::RdbGdbLru => "LRU",
+            VariantKind::RdbGdbIdeal => "ideal",
+        }
+    }
+
+    /// The tuning schedule this variant needs.
+    pub fn schedule(self) -> TuningSchedule {
+        match self {
+            VariantKind::RdbGdbOneOff => TuningSchedule::OnceUpfrontWithAll,
+            VariantKind::RdbGdbIdeal => TuningSchedule::BeforeEachBatchWithUpcoming,
+            _ => TuningSchedule::AfterEachBatch,
+        }
+    }
+}
+
+/// A [`Dotil`] shared between the variant (which owns the tuner box) and
+/// the harness (which wants to read Q-matrices afterwards).
+#[derive(Clone)]
+pub struct SharedDotil(pub Arc<Mutex<Dotil>>);
+
+impl SharedDotil {
+    /// Wrap a configured DOTIL instance.
+    pub fn new(cfg: DotilConfig) -> Self {
+        SharedDotil(Arc::new(Mutex::new(Dotil::with_config(cfg))))
+    }
+
+    /// Cell-wise Q-matrix sum (Table 5's training-effect metric).
+    pub fn q_matrix_sum(&self) -> [f64; 4] {
+        self.0.lock().q_matrix_sum()
+    }
+}
+
+impl PhysicalTuner for SharedDotil {
+    fn name(&self) -> &str {
+        "dotil"
+    }
+
+    fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome {
+        self.0.lock().tune(dual, batch)
+    }
+}
+
+/// Build a fresh store variant over (a clone of) `dataset` with graph/view
+/// budget `budget` triples.
+pub fn build_variant(
+    kind: VariantKind,
+    dataset: kgdual_model::Dataset,
+    budget: usize,
+    dotil_cfg: DotilConfig,
+) -> StoreVariant {
+    let dual = DualStore::from_dataset(dataset, budget);
+    match kind {
+        VariantKind::RdbOnly => StoreVariant::rdb_only(dual),
+        VariantKind::RdbViews => StoreVariant::rdb_views(dual),
+        VariantKind::RdbGdbDotil => {
+            StoreVariant::rdb_gdb(dual, Box::new(Dotil::with_config(dotil_cfg)))
+        }
+        VariantKind::RdbGdbOneOff => StoreVariant::rdb_gdb(dual, Box::new(OneOffTuner::new())),
+        VariantKind::RdbGdbLru => StoreVariant::rdb_gdb(dual, Box::new(FrequencyTuner::new())),
+        VariantKind::RdbGdbIdeal => StoreVariant::rdb_gdb(dual, Box::new(IdealTuner::new())),
+    }
+}
+
+/// One variant's measured reports, averaged over the kept repetitions.
+#[derive(Clone, Debug)]
+pub struct VariantResult {
+    /// Variant name.
+    pub variant: &'static str,
+    /// Per-batch reports of the final kept repetition (TTI averaged over
+    /// kept repetitions is in `avg_batch_tti_secs`).
+    pub reports: Vec<BatchReport>,
+    /// Average per-batch wall TTI (seconds) over the kept repetitions.
+    pub avg_batch_tti_secs: Vec<f64>,
+    /// Per-batch simulated TTI (seconds), final repetition (deterministic).
+    pub sim_batch_tti_secs: Vec<f64>,
+    /// Average total wall TTI (seconds).
+    pub total_tti_secs: f64,
+    /// Total simulated TTI (seconds), final repetition.
+    pub total_sim_tti_secs: f64,
+    /// Total deterministic work units (final repetition).
+    pub total_work: u64,
+}
+
+/// Run `variants` over one workload, repeating `reps` times and keeping
+/// the average of all but the first repetition (the paper warms stores up
+/// with one run and averages the rest). Store/tuner state persists across
+/// repetitions, exactly like the paper's warm-up.
+pub fn run_variant_comparison(
+    kind: WorkloadKind,
+    variants: &[VariantKind],
+    args: &BenchArgs,
+) -> Vec<VariantResult> {
+    let dataset = build_dataset(kind, args);
+    let workload = build_workload(kind, args);
+    let batches = build_batches(&workload, &args.order, args.seed);
+    let budget = (dataset.len() as f64 * 0.25) as usize; // Table 4 default r_BG
+
+    let mut out = Vec::with_capacity(variants.len());
+    for &vk in variants {
+        let mut variant = build_variant(vk, dataset.clone(), budget, DotilConfig::default());
+        let runner = WorkloadRunner::new(vk.schedule());
+        let mut kept: Vec<Vec<f64>> = Vec::new();
+        let mut last_reports: Vec<BatchReport> = Vec::new();
+        for rep in 0..args.reps {
+            let reports = runner.run(&mut variant, &batches).expect("workload run failed");
+            if rep > 0 || args.reps == 1 {
+                kept.push(reports.iter().map(|r| r.tti.as_secs_f64()).collect());
+            }
+            last_reports = reports;
+        }
+        let n_batches = last_reports.len();
+        let avg_batch: Vec<f64> = (0..n_batches)
+            .map(|b| kept.iter().map(|r| r[b]).sum::<f64>() / kept.len() as f64)
+            .collect();
+        let sim_batch: Vec<f64> =
+            last_reports.iter().map(|r| r.sim_tti.as_secs_f64()).collect();
+        out.push(VariantResult {
+            variant: vk.name(),
+            total_tti_secs: avg_batch.iter().sum(),
+            total_sim_tti_secs: sim_batch.iter().sum(),
+            total_work: WorkloadRunner::total_work(&last_reports),
+            avg_batch_tti_secs: avg_batch,
+            sim_batch_tti_secs: sim_batch,
+            reports: last_reports,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_comparison_runs_end_to_end() {
+        let args = BenchArgs { scale: 0.0005, reps: 2, ..Default::default() };
+        let results = run_variant_comparison(
+            WorkloadKind::Yago,
+            &[VariantKind::RdbOnly, VariantKind::RdbGdbDotil],
+            &args,
+        );
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.reports.len(), 5, "five batches");
+            assert_eq!(r.avg_batch_tti_secs.len(), 5);
+            assert!(r.total_work > 0);
+            assert_eq!(r.reports.iter().map(|b| b.errors).sum::<usize>(), 0);
+        }
+        // Same result rows regardless of variant.
+        let rows: Vec<u64> = results
+            .iter()
+            .map(|r| r.reports.iter().map(|b| b.result_rows).sum::<u64>())
+            .collect();
+        assert_eq!(rows[0], rows[1], "variants must agree on results");
+    }
+
+    #[test]
+    fn shared_dotil_exposes_q_matrices() {
+        let shared = SharedDotil::new(DotilConfig::default());
+        assert_eq!(shared.q_matrix_sum(), [0.0; 4]);
+    }
+}

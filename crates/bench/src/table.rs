@@ -1,0 +1,107 @@
+//! Aligned plain-text table rendering for harness output.
+
+/// Collects rows and prints them with aligned columns.
+#[derive(Default, Debug)]
+pub struct TablePrinter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TablePrinter { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a duration as fractional seconds, paper-style.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Format a ratio as a percentage with sign.
+pub fn pct(x: f64) -> String {
+    format!("{:+.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TablePrinter::new(vec!["name", "tti"]);
+        t.row(vec!["RDB-only", "1.5"]);
+        t.row(vec!["RDB-GDB(dotil)", "0.9"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("RDB-only "));
+        // Columns align: 'tti' column starts at the same offset everywhere.
+        let off = lines[0].find("tti").unwrap();
+        assert_eq!(&lines[2][off..off + 3], "1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = TablePrinter::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(secs(Duration::from_millis(1234)), "1.2340");
+        assert_eq!(pct(0.4372), "+43.72%");
+        assert_eq!(pct(-0.05), "-5.00%");
+    }
+}

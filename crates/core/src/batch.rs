@@ -1,0 +1,310 @@
+//! Batch-oriented workload execution with TTI measurement.
+//!
+//! The paper's evaluation processes workloads in batches (one batch = 1/5
+//! of a workload) and measures **TTI** — "the total elapsed time from a
+//! batch of workload submission to completion" — with physical design
+//! tuning happening offline between batches (§4.2, §6.1).
+
+use crate::error::CoreError;
+use crate::processor::Route;
+use crate::tuner::TuningOutcome;
+use crate::variant::StoreVariant;
+use kgdual_sparql::Query;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// How tuning phases interleave with batches; this is what distinguishes
+/// the paper's tuner *modes* (§6.4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TuningSchedule {
+    /// Tune after each batch with that batch as history (DOTIL, LRU).
+    AfterEachBatch,
+    /// Tune before each batch with that batch's queries — the "ideal mode"
+    /// oracle that foresees the next batch.
+    BeforeEachBatchWithUpcoming,
+    /// Tune once before everything with the whole workload — "one-off
+    /// mode".
+    OnceUpfrontWithAll,
+    /// Never tune.
+    Never,
+}
+
+/// Per-route query counts in one batch.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteCounts {
+    /// Queries answered fully relationally.
+    pub relational: usize,
+    /// Queries answered fully in the graph store (Case 1).
+    pub graph: usize,
+    /// Queries spanning both stores (Case 2).
+    pub dual: usize,
+    /// Queries answered via materialized views.
+    pub view_assisted: usize,
+    /// Compile-time-empty queries.
+    pub empty: usize,
+}
+
+impl RouteCounts {
+    fn record(&mut self, route: Route) {
+        match route {
+            Route::Relational => self.relational += 1,
+            Route::Graph => self.graph += 1,
+            Route::Dual => self.dual += 1,
+            Route::ViewAssisted => self.view_assisted += 1,
+            Route::Empty => self.empty += 1,
+        }
+    }
+}
+
+/// Measurements for one batch.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Batch index (0-based).
+    pub batch_index: usize,
+    /// Queries processed.
+    pub queries: usize,
+    /// Wall-clock time-to-insight for the batch's online phase.
+    pub tti: Duration,
+    /// Calibrated simulated TTI (deterministic; the harness's primary
+    /// metric — see `QueryOutcome::simulated_latency`).
+    pub sim_tti: Duration,
+    /// Deterministic work units spent online (both stores).
+    pub total_work: u64,
+    /// Work units spent in the relational store.
+    pub rel_work: u64,
+    /// Work units spent in the graph store.
+    pub graph_work: u64,
+    /// Result rows produced.
+    pub result_rows: u64,
+    /// Routing breakdown.
+    pub routes: RouteCounts,
+    /// Outcome of the offline tuning phase attached to this batch.
+    pub tuning: TuningOutcome,
+    /// Queries that failed (should stay 0 in healthy runs).
+    pub errors: usize,
+}
+
+impl BatchReport {
+    /// Fraction of online work done by the graph store (Figure 6's
+    /// "cost proportion of graph store").
+    pub fn graph_work_share(&self) -> f64 {
+        if self.total_work == 0 {
+            0.0
+        } else {
+            self.graph_work as f64 / self.total_work as f64
+        }
+    }
+}
+
+/// Runs workloads batch by batch against a store variant.
+#[derive(Copy, Clone, Debug)]
+pub struct WorkloadRunner {
+    /// When tuning happens relative to batches.
+    pub schedule: TuningSchedule,
+}
+
+impl Default for WorkloadRunner {
+    fn default() -> Self {
+        WorkloadRunner { schedule: TuningSchedule::AfterEachBatch }
+    }
+}
+
+impl WorkloadRunner {
+    /// A runner with the given schedule.
+    pub fn new(schedule: TuningSchedule) -> Self {
+        WorkloadRunner { schedule }
+    }
+
+    /// Run all batches, returning one report per batch.
+    pub fn run(
+        &self,
+        variant: &mut StoreVariant,
+        batches: &[Vec<Query>],
+    ) -> Result<Vec<BatchReport>, CoreError> {
+        let mut reports = Vec::with_capacity(batches.len());
+
+        if self.schedule == TuningSchedule::OnceUpfrontWithAll {
+            let all: Vec<Query> = batches.iter().flatten().cloned().collect();
+            variant.offline_phase(&all);
+        }
+
+        for (i, batch) in batches.iter().enumerate() {
+            if self.schedule == TuningSchedule::BeforeEachBatchWithUpcoming {
+                variant.offline_phase(batch);
+            }
+
+            let mut report = BatchReport { batch_index: i, queries: batch.len(), ..Default::default() };
+            let t0 = Instant::now();
+            for query in batch {
+                match variant.process(query) {
+                    Ok(out) => {
+                        report.rel_work += out.rel_stats.work_units();
+                        report.graph_work += out.graph_stats.work_units();
+                        report.result_rows += out.results.len() as u64;
+                        report.sim_tti += out.simulated_latency();
+                        report.routes.record(out.route);
+                    }
+                    Err(_) => report.errors += 1,
+                }
+            }
+            report.tti = t0.elapsed();
+            report.total_work = report.rel_work + report.graph_work;
+
+            if self.schedule == TuningSchedule::AfterEachBatch {
+                report.tuning = variant.offline_phase(batch);
+            }
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Total TTI across reports (Figure 5's per-workload totals).
+    pub fn total_tti(reports: &[BatchReport]) -> Duration {
+        reports.iter().map(|r| r.tti).sum()
+    }
+
+    /// Total simulated TTI across reports.
+    pub fn total_sim_tti(reports: &[BatchReport]) -> Duration {
+        reports.iter().map(|r| r.sim_tti).sum()
+    }
+
+    /// Total online work units across reports.
+    pub fn total_work(reports: &[BatchReport]) -> u64 {
+        reports.iter().map(|r| r.total_work).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::DualStore;
+    use crate::tuner::{NoopTuner, PhysicalTuner};
+    use crate::variant::StoreVariant;
+    use kgdual_model::{DatasetBuilder, Term};
+    use kgdual_sparql::parse;
+
+    fn dataset() -> kgdual_model::Dataset {
+        let mut b = DatasetBuilder::new();
+        for i in 0..20 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                "y:bornIn",
+                &Term::iri(format!("y:c{}", i % 4)),
+            );
+            if i < 10 {
+                b.add_terms(
+                    &Term::iri(format!("y:p{i}")),
+                    "y:advisor",
+                    &Term::iri(format!("y:p{}", i + 10)),
+                );
+            }
+        }
+        b.build()
+    }
+
+    fn batches() -> Vec<Vec<Query>> {
+        let complex =
+            parse("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }")
+                .unwrap();
+        let simple = parse("SELECT ?p WHERE { ?p y:bornIn ?c }").unwrap();
+        vec![
+            vec![complex.clone(), simple.clone()],
+            vec![complex, simple],
+        ]
+    }
+
+    #[test]
+    fn runner_produces_one_report_per_batch() {
+        let mut v = StoreVariant::rdb_only(DualStore::from_dataset(dataset(), 10));
+        let reports = WorkloadRunner::default().run(&mut v, &batches()).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].queries, 2);
+        assert_eq!(reports[0].errors, 0);
+        assert!(reports[0].total_work > 0);
+        assert_eq!(reports[0].routes.relational, 2);
+        assert_eq!(reports[0].graph_work, 0);
+        assert!(WorkloadRunner::total_work(&reports) > 0);
+        let _ = WorkloadRunner::total_tti(&reports);
+    }
+
+    /// A tuner that migrates every partition it sees in the batch.
+    struct GreedyAll;
+    impl PhysicalTuner for GreedyAll {
+        fn name(&self) -> &str {
+            "greedy-all"
+        }
+        fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome {
+            let mut out = TuningOutcome::default();
+            for q in batch {
+                for pred in q.predicate_set() {
+                    if let Some(p) = dual.dict().pred_id(pred) {
+                        if !dual.graph().is_loaded(p) && dual.migrate_partition(p).is_ok() {
+                            out.migrated += 1;
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn after_batch_schedule_shifts_routes_to_graph() {
+        let mut v = StoreVariant::rdb_gdb(
+            DualStore::from_dataset(dataset(), 1000),
+            Box::new(GreedyAll),
+        );
+        let reports = WorkloadRunner::default().run(&mut v, &batches()).unwrap();
+        // Batch 0 runs cold (relational), tuner migrates, batch 1 hits graph.
+        assert_eq!(reports[0].routes.graph, 0);
+        assert!(reports[0].tuning.migrated > 0);
+        assert!(reports[1].routes.graph > 0);
+        assert!(reports[1].graph_work_share() > 0.0);
+    }
+
+    #[test]
+    fn ideal_schedule_tunes_before_first_batch() {
+        let mut v = StoreVariant::rdb_gdb(
+            DualStore::from_dataset(dataset(), 1000),
+            Box::new(GreedyAll),
+        );
+        let runner = WorkloadRunner::new(TuningSchedule::BeforeEachBatchWithUpcoming);
+        let reports = runner.run(&mut v, &batches()).unwrap();
+        assert!(reports[0].routes.graph > 0, "already tuned for batch 0");
+    }
+
+    #[test]
+    fn one_off_schedule_tunes_once_upfront() {
+        let mut v = StoreVariant::rdb_gdb(
+            DualStore::from_dataset(dataset(), 1000),
+            Box::new(GreedyAll),
+        );
+        let runner = WorkloadRunner::new(TuningSchedule::OnceUpfrontWithAll);
+        let reports = runner.run(&mut v, &batches()).unwrap();
+        assert!(reports[0].routes.graph > 0);
+        // No per-batch tuning recorded.
+        assert_eq!(reports[0].tuning.migrated, 0);
+    }
+
+    #[test]
+    fn never_schedule_stays_relational() {
+        let mut v = StoreVariant::rdb_gdb(
+            DualStore::from_dataset(dataset(), 1000),
+            Box::new(GreedyAll),
+        );
+        let runner = WorkloadRunner::new(TuningSchedule::Never);
+        let reports = runner.run(&mut v, &batches()).unwrap();
+        assert_eq!(reports[1].routes.graph, 0);
+    }
+
+    #[test]
+    fn noop_tuner_keeps_everything_relational() {
+        let mut v = StoreVariant::rdb_gdb(
+            DualStore::from_dataset(dataset(), 1000),
+            Box::new(NoopTuner),
+        );
+        let reports = WorkloadRunner::default().run(&mut v, &batches()).unwrap();
+        assert_eq!(reports[1].routes.graph, 0);
+        assert_eq!(reports[1].graph_work_share(), 0.0);
+    }
+}

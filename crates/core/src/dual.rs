@@ -1,0 +1,271 @@
+//! The dual-store manager: physical design `D = ⟨T_R, T_G⟩`.
+
+use crate::error::CoreError;
+use kgdual_graphstore::GraphStore;
+use kgdual_model::{Dataset, Dictionary, PredId, Term, Triple};
+use kgdual_relstore::{PlannerConfig, RelStore, ResourceGovernor, TempSpace};
+use std::sync::Arc;
+
+/// A snapshot of the current physical design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DualDesign {
+    /// Partitions resident in the graph store (`T_G`), with sizes.
+    pub graph_partitions: Vec<(PredId, usize)>,
+    /// Graph-store budget `B_G` in triples.
+    pub budget: usize,
+    /// Triples currently occupying the budget.
+    pub used: usize,
+    /// Total triples in the relational store (`T_R` is always complete).
+    pub total_triples: usize,
+}
+
+/// The dual store: a complete relational store, a budgeted graph-store
+/// accelerator, a shared dictionary, and the temp space for migrated
+/// intermediate results.
+#[derive(Debug)]
+pub struct DualStore {
+    dict: Dictionary,
+    rel: RelStore,
+    graph: GraphStore,
+    temp: TempSpace,
+    governor: Arc<ResourceGovernor>,
+    case2_guard: bool,
+}
+
+impl DualStore {
+    /// Build from a dataset with graph budget `B_G` given in triples.
+    pub fn from_dataset(ds: Dataset, budget: usize) -> Self {
+        Self::from_dataset_with(ds, budget, PlannerConfig::default(), ResourceGovernor::unlimited())
+    }
+
+    /// Build with an explicit budget as a *ratio* of the dataset size
+    /// (`r_{B_G}` in the paper's Table 4; default there is 25%).
+    pub fn from_dataset_ratio(ds: Dataset, ratio: f64) -> Self {
+        let budget = (ds.len() as f64 * ratio).floor() as usize;
+        Self::from_dataset(ds, budget)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn from_dataset_with(
+        ds: Dataset,
+        budget: usize,
+        planner: PlannerConfig,
+        governor: ResourceGovernor,
+    ) -> Self {
+        let (dict, parts) = ds.into_parts();
+        let mut rel = RelStore::with_config(planner);
+        rel.load_partition_set(&parts);
+        DualStore {
+            dict,
+            rel,
+            graph: GraphStore::new(budget),
+            temp: TempSpace::new(),
+            governor: Arc::new(governor),
+            case2_guard: true,
+        }
+    }
+
+    /// Whether the Case-2 blowup guard is active (DESIGN.md D6; on by
+    /// default).
+    pub fn case2_guard(&self) -> bool {
+        self.case2_guard
+    }
+
+    /// Toggle the Case-2 blowup guard (ablation).
+    pub fn set_case2_guard(&mut self, on: bool) {
+        self.case2_guard = on;
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The relational store.
+    pub fn rel(&self) -> &RelStore {
+        &self.rel
+    }
+
+    /// The graph store.
+    pub fn graph(&self) -> &GraphStore {
+        &self.graph
+    }
+
+    /// The shared resource governor.
+    pub fn governor(&self) -> Arc<ResourceGovernor> {
+        Arc::clone(&self.governor)
+    }
+
+    /// Replace the governor (used by the resource-limit experiments).
+    pub fn set_governor(&mut self, governor: ResourceGovernor) {
+        self.governor = Arc::new(governor);
+    }
+
+    /// The temporary table space.
+    pub fn temp(&self) -> &TempSpace {
+        &self.temp
+    }
+
+    /// Mutable temp space (the query processor stages results here).
+    pub(crate) fn temp_mut(&mut self) -> &mut TempSpace {
+        &mut self.temp
+    }
+
+    /// Current physical design.
+    pub fn design(&self) -> DualDesign {
+        let mut parts: Vec<(PredId, usize)> = self.graph.resident_partitions().collect();
+        parts.sort_by_key(|&(p, _)| p);
+        DualDesign {
+            graph_partitions: parts,
+            budget: self.graph.budget(),
+            used: self.graph.used(),
+            total_triples: self.rel.total_triples(),
+        }
+    }
+
+    /// Migrate one partition from the relational store into the graph
+    /// store (the tuner's `migrate(T_set, relStore, graphStore)`; the
+    /// relational copy is kept, per §4.2.1).
+    pub fn migrate_partition(&mut self, pred: PredId) -> Result<(), CoreError> {
+        let Some(table) = self.rel.table(pred) else {
+            return Err(CoreError::UnknownPartition(pred));
+        };
+        if table.is_empty() {
+            return Err(CoreError::UnknownPartition(pred));
+        }
+        let pairs = table.scan().to_vec();
+        self.graph.load_partition(pred, &pairs)?;
+        Ok(())
+    }
+
+    /// Evict one partition from the graph store; returns its size.
+    pub fn evict_partition(&mut self, pred: PredId) -> usize {
+        self.graph.evict_partition(pred)
+    }
+
+    /// Insert a statement given as terms; the relational store always takes
+    /// it, and a graph-resident partition is kept in sync.
+    pub fn insert_terms(&mut self, s: &Term, p: &str, o: &Term) -> Result<Triple, CoreError> {
+        let s = self.dict.encode_node(s).map_err(|_| CoreError::UnknownPartition(PredId(0)))?;
+        let p = self.dict.encode_pred(p).map_err(|_| CoreError::UnknownPartition(PredId(0)))?;
+        let o = self.dict.encode_node(o).map_err(|_| CoreError::UnknownPartition(PredId(0)))?;
+        let t = Triple::new(s, p, o);
+        self.insert(t)?;
+        Ok(t)
+    }
+
+    /// Insert an encoded triple into `T_R` (and the graph mirror if
+    /// resident).
+    pub fn insert(&mut self, t: Triple) -> Result<(), CoreError> {
+        self.rel.insert(t);
+        self.graph.insert_edge(t)?;
+        Ok(())
+    }
+
+    /// Delete every copy of a triple from both stores; returns the number
+    /// of relational rows removed.
+    pub fn delete(&mut self, t: Triple) -> usize {
+        let removed = self.rel.delete(t);
+        self.graph.delete_edge(t);
+        removed
+    }
+
+    /// Mutable dictionary access (loading additional data).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_model::DatasetBuilder;
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        for i in 0..10 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                "y:wasBornIn",
+                &Term::iri(format!("y:c{}", i % 3)),
+            );
+        }
+        for i in 0..5 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                "y:hasAcademicAdvisor",
+                &Term::iri(format!("y:p{}", i + 5)),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn from_dataset_loads_relational_side() {
+        let dual = DualStore::from_dataset(dataset(), 100);
+        assert_eq!(dual.rel().total_triples(), 15);
+        assert_eq!(dual.graph().used(), 0, "graph store starts cold");
+        let d = dual.design();
+        assert_eq!(d.total_triples, 15);
+        assert_eq!(d.budget, 100);
+        assert!(d.graph_partitions.is_empty());
+    }
+
+    #[test]
+    fn ratio_budget() {
+        let dual = DualStore::from_dataset_ratio(dataset(), 0.25);
+        assert_eq!(dual.graph().budget(), 3); // floor(15 * 0.25)
+    }
+
+    #[test]
+    fn migrate_and_evict_roundtrip() {
+        let mut dual = DualStore::from_dataset(dataset(), 100);
+        let born = dual.dict().pred_id("y:wasBornIn").unwrap();
+        dual.migrate_partition(born).unwrap();
+        assert!(dual.graph().is_loaded(born));
+        assert_eq!(dual.graph().used(), 10);
+        assert_eq!(dual.design().graph_partitions, vec![(born, 10)]);
+        assert_eq!(dual.evict_partition(born), 10);
+        assert_eq!(dual.graph().used(), 0);
+    }
+
+    #[test]
+    fn migrate_unknown_partition_errors() {
+        let mut dual = DualStore::from_dataset(dataset(), 100);
+        assert!(matches!(
+            dual.migrate_partition(PredId(999)),
+            Err(CoreError::UnknownPartition(_))
+        ));
+    }
+
+    #[test]
+    fn migrate_over_budget_errors() {
+        let mut dual = DualStore::from_dataset(dataset(), 5);
+        let born = dual.dict().pred_id("y:wasBornIn").unwrap();
+        assert!(matches!(
+            dual.migrate_partition(born),
+            Err(CoreError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn inserts_propagate_to_resident_partitions() {
+        let mut dual = DualStore::from_dataset(dataset(), 100);
+        let born = dual.dict().pred_id("y:wasBornIn").unwrap();
+        dual.migrate_partition(born).unwrap();
+        let t = dual
+            .insert_terms(&Term::iri("y:new"), "y:wasBornIn", &Term::iri("y:c0"))
+            .unwrap();
+        assert_eq!(dual.rel().partition_len(born), 11);
+        assert_eq!(dual.graph().partition_len(born), 11);
+        // Non-resident predicate: only relational.
+        dual.insert_terms(&Term::iri("y:new"), "y:livesIn", &Term::iri("y:c0")).unwrap();
+        let lives = dual.dict().pred_id("y:livesIn").unwrap();
+        assert_eq!(dual.rel().partition_len(lives), 1);
+        assert_eq!(dual.graph().partition_len(lives), 0);
+        // Delete propagates too.
+        assert_eq!(dual.delete(t), 1);
+        assert_eq!(dual.rel().partition_len(born), 10);
+        assert_eq!(dual.graph().partition_len(born), 10);
+    }
+}

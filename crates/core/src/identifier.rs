@@ -1,0 +1,172 @@
+//! The complex subquery identifier (§3.1 of the paper).
+//!
+//! "A complex subquery is a set of subqueries whose subject variable and
+//! object variable both occur more than once in the query." The identifier
+//! scans a query once, counts variable occurrences, and extracts the
+//! qualifying patterns together with the *output variables* that join them
+//! to the remainder. Complexity is `O(n)` in the number of subqueries,
+//! matching the paper.
+
+use kgdual_sparql::{var_occurrences, Query, TermPattern, TriplePattern, Var};
+
+/// The identified complex subquery of a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComplexSubquery {
+    /// Indexes into the original query's pattern list.
+    pub pattern_indexes: Vec<usize>,
+    /// The qualifying patterns (clones, in original order).
+    pub patterns: Vec<TriplePattern>,
+    /// Variables shared with the remainder of the query — the subquery's
+    /// output ("the variable which joins it and the remaining part").
+    /// Empty when the complex subquery covers the whole query.
+    pub output_vars: Vec<Var>,
+}
+
+impl ComplexSubquery {
+    /// True if the complex subquery is the entire query.
+    pub fn covers_whole_query(&self, query: &Query) -> bool {
+        self.pattern_indexes.len() == query.patterns.len()
+    }
+
+    /// The remainder pattern indexes (the query minus the subquery).
+    pub fn remainder_indexes(&self, query: &Query) -> Vec<usize> {
+        (0..query.patterns.len())
+            .filter(|i| !self.pattern_indexes.contains(i))
+            .collect()
+    }
+}
+
+/// Identify the complex subquery of `query`, if any.
+///
+/// A pattern qualifies when **both** endpoints are variables that occur
+/// more than once in the whole query and its predicate is bound (patterns
+/// with variable predicates cannot be mapped to triple partitions, so the
+/// tuner could never make them graph-resident). Following the paper's §1
+/// framing that complex patterns "contain more than one predicate", a
+/// single qualifying pattern is not reported as a complex subquery.
+pub fn identify(query: &Query) -> Option<ComplexSubquery> {
+    let counts = var_occurrences(&query.patterns);
+    let occurs_many = |tp: &TermPattern| -> bool {
+        match tp {
+            TermPattern::Var(v) => counts.get(v).copied().unwrap_or(0) > 1,
+            TermPattern::Term(_) => false,
+        }
+    };
+
+    let mut indexes = Vec::new();
+    for (i, pat) in query.patterns.iter().enumerate() {
+        if pat.p.as_iri().is_some() && occurs_many(&pat.s) && occurs_many(&pat.o) {
+            indexes.push(i);
+        }
+    }
+    if indexes.len() < 2 {
+        return None;
+    }
+
+    let patterns: Vec<TriplePattern> =
+        indexes.iter().map(|&i| query.patterns[i].clone()).collect();
+    let remainder: Vec<TriplePattern> = (0..query.patterns.len())
+        .filter(|i| !indexes.contains(i))
+        .map(|i| query.patterns[i].clone())
+        .collect();
+    let output_vars = kgdual_sparql::join_vars(&patterns, &remainder);
+
+    Some(ComplexSubquery { pattern_indexes: indexes, patterns, output_vars })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_sparql::parse;
+
+    #[test]
+    fn paper_example_1_identifies_q3_to_q7() {
+        let q = parse(
+            "SELECT ?GivenName ?FamilyName WHERE{
+                ?p y:hasGivenName ?GivenName.
+                ?p y:hasFamilyName ?FamilyName.
+                ?p y:wasBornIn ?city.
+                ?p y:hasAcademicAdvisor ?a.
+                ?a y:wasBornIn ?city.
+                ?p y:isMarriedTo ?p2.
+                ?p2 y:wasBornIn ?city.}",
+        )
+        .unwrap();
+        let qc = identify(&q).expect("complex subquery exists");
+        assert_eq!(qc.pattern_indexes, vec![2, 3, 4, 5, 6]);
+        // Output variable joining qc with {q1, q2} is ?p, as in the paper.
+        assert_eq!(qc.output_vars, vec![Var::new("p")]);
+        assert!(!qc.covers_whole_query(&q));
+        assert_eq!(qc.remainder_indexes(&q), vec![0, 1]);
+    }
+
+    #[test]
+    fn star_query_with_single_use_vars_is_not_complex() {
+        let q = parse(
+            "SELECT ?g ?f WHERE { ?p y:hasGivenName ?g . ?p y:hasFamilyName ?f }",
+        )
+        .unwrap();
+        // ?p occurs twice but ?g and ?f occur once: no pattern qualifies.
+        assert!(identify(&q).is_none());
+    }
+
+    #[test]
+    fn whole_query_complex() {
+        let q = parse(
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c }",
+        )
+        .unwrap();
+        let qc = identify(&q).unwrap();
+        assert!(qc.covers_whole_query(&q));
+        assert!(qc.output_vars.is_empty());
+        assert!(qc.remainder_indexes(&q).is_empty());
+    }
+
+    #[test]
+    fn single_qualifying_pattern_is_not_complex() {
+        // ?x-?y cycle of length 1: both vars occur twice, but only one
+        // pattern qualifies (the other has a constant endpoint).
+        let q = parse("SELECT ?x WHERE { ?x y:knows ?y . ?y y:knows ?x }").unwrap();
+        assert!(identify(&q).is_some(), "two qualifying patterns");
+        let q2 = parse("SELECT ?x WHERE { ?x y:knows ?x . ?x y:bornIn y:Ulm }").unwrap();
+        // Pattern 1 has a constant object, pattern 0 is a self-loop with
+        // ?x occurring 4 times: only one pattern qualifies.
+        assert!(identify(&q2).is_none());
+    }
+
+    #[test]
+    fn constant_endpoints_never_qualify() {
+        let q = parse(
+            "SELECT ?p WHERE { ?p y:bornIn y:Ulm . ?p y:advisor ?a . ?a y:bornIn y:Ulm }",
+        )
+        .unwrap();
+        // ?p and ?a occur twice each, but the two bornIn patterns have a
+        // constant object, so only y:advisor qualifies — not complex.
+        assert!(identify(&q).is_none());
+    }
+
+    #[test]
+    fn variable_predicates_never_qualify() {
+        let q = parse(
+            "SELECT ?p WHERE { ?p ?rel ?a . ?a ?rel2 ?p . ?p y:knows ?a }",
+        )
+        .unwrap();
+        let qc = identify(&q);
+        // Only the y:knows pattern has a bound predicate; alone it cannot
+        // form a complex subquery.
+        assert!(qc.is_none());
+    }
+
+    #[test]
+    fn output_vars_multiple() {
+        let q = parse(
+            "SELECT ?g ?h WHERE {
+                ?p y:worksAt ?u . ?a y:worksAt ?u . ?p y:knows ?a .
+                ?p y:name ?g . ?a y:name ?h }",
+        )
+        .unwrap();
+        let qc = identify(&q).unwrap();
+        assert_eq!(qc.pattern_indexes, vec![0, 1, 2]);
+        assert_eq!(qc.output_vars, vec![Var::new("a"), Var::new("p")]);
+    }
+}

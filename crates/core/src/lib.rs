@@ -1,0 +1,41 @@
+//! # kgdual-core
+//!
+//! The paper's primary contribution: the **dual-store structure** for
+//! knowledge graphs (§3). A relational store holds the entire graph; a
+//! budget-constrained native graph store holds the share of triple
+//! partitions worth accelerating; three components glue them together:
+//!
+//! * [`identifier`] — the *complex subquery identifier* (§3.1): marks the
+//!   subqueries whose subject and object variables both occur more than
+//!   once in the query.
+//! * [`processor`] — the *query processor* (§5, Algorithm 3): routes a
+//!   query to one store or spans both, migrating intermediate results
+//!   through the temporary relational table space.
+//! * [`dual`] — the dual-store manager: physical design `D = ⟨T_R, T_G⟩`,
+//!   partition migration/eviction, and update propagation.
+//!
+//! The *dual-store tuner* (§4) lives in the `kgdual-dotil` crate and plugs
+//! in through the [`tuner::PhysicalTuner`] trait; [`batch`] runs workloads
+//! batch by batch, measuring time-to-insight (TTI) and invoking the tuner
+//! in the offline phase between batches, exactly as §4.2 prescribes.
+//! [`variant`] packages the paper's three store variants (`RDB-only`,
+//! `RDB-views`, `RDB-GDB`) behind one interface for the evaluation
+//! harness.
+
+pub mod batch;
+pub mod dual;
+pub mod error;
+pub mod identifier;
+pub mod processor;
+pub mod results;
+pub mod tuner;
+pub mod variant;
+
+pub use batch::{BatchReport, WorkloadRunner};
+pub use dual::{DualDesign, DualStore};
+pub use error::CoreError;
+pub use identifier::{identify, ComplexSubquery};
+pub use processor::{QueryOutcome, Route};
+pub use results::ResultSet;
+pub use tuner::{NoopTuner, PhysicalTuner, TuningOutcome};
+pub use variant::StoreVariant;

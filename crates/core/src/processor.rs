@@ -1,0 +1,501 @@
+//! The query processor (§5, Algorithm 3).
+//!
+//! Given a query and its complex subquery (if any), route execution:
+//!
+//! * **Case 1** — the graph store covers *all* predicates of the query:
+//!   run the whole query by traversal.
+//! * **Case 2** — the graph store covers the complex subquery's
+//!   predicates: run the subquery by traversal, migrate its intermediate
+//!   results into the temporary relational table space, and finish the
+//!   remainder in the relational store.
+//! * **Case 3** — otherwise: run everything in the relational store.
+//!
+//! The same module implements the `RDB-views` variant's routing: the
+//! complex subquery is answered from a materialized view when one matches,
+//! with the remainder joined relationally.
+
+use crate::dual::DualStore;
+use crate::error::CoreError;
+use crate::identifier::{identify, ComplexSubquery};
+use kgdual_relstore::{Bindings, ExecContext, ExecStats, ViewCatalog};
+use kgdual_sparql::{compile, Compiled, EncodedQuery, PredSlot, Query, Var, VarId};
+use std::time::{Duration, Instant};
+
+/// Which path a query took through the dual store.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Whole query in the relational store (Case 3 / no complex subquery).
+    Relational,
+    /// Whole query in the graph store (Case 1).
+    Graph,
+    /// Complex subquery in the graph store, remainder relational (Case 2).
+    Dual,
+    /// Complex subquery answered from a materialized view (`RDB-views`).
+    ViewAssisted,
+    /// Result was provably empty at compile time.
+    Empty,
+}
+
+/// Everything measured about one query execution.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Final result rows.
+    pub results: Bindings,
+    /// Names of the projected variables, aligned with result columns.
+    pub vars: Vec<Var>,
+    /// Variables that bind *predicates* (their values decode via the
+    /// predicate dictionary, not the node dictionary).
+    pub pred_vars: Vec<Var>,
+    /// The route taken.
+    pub route: Route,
+    /// Wall-clock latency of the online phase.
+    pub elapsed: Duration,
+    /// Work performed in the relational store.
+    pub rel_stats: ExecStats,
+    /// Work performed in the graph store.
+    pub graph_stats: ExecStats,
+    /// Whether a complex subquery was identified.
+    pub had_complex_subquery: bool,
+}
+
+impl QueryOutcome {
+    /// Deterministic total cost surrogate across both stores.
+    pub fn total_work(&self) -> u64 {
+        self.rel_stats.work_units() + self.graph_stats.work_units()
+    }
+
+    /// Calibrated simulated latency (see
+    /// [`kgdual_relstore::exec::context::REL_NANOS_PER_WORK_UNIT`]):
+    /// relational work is charged at the disk-based-RDBMS rate, graph work
+    /// at the native-store rate. Deterministic, so it is the primary TTI
+    /// metric of the reproduction harness.
+    pub fn simulated_latency(&self) -> Duration {
+        use kgdual_relstore::exec::context::{
+            GRAPH_NANOS_PER_WORK_UNIT, REL_NANOS_PER_WORK_UNIT,
+        };
+        self.rel_stats.simulated(REL_NANOS_PER_WORK_UNIT)
+            + self.graph_stats.simulated(GRAPH_NANOS_PER_WORK_UNIT)
+    }
+}
+
+/// Predicate-variable names of a compiled query.
+fn pred_vars(eq: &EncodedQuery) -> Vec<Var> {
+    let mut ids: Vec<VarId> = Vec::new();
+    for p in &eq.patterns {
+        if let PredSlot::Var(v) = p.p {
+            if !ids.contains(&v) {
+                ids.push(v);
+            }
+        }
+    }
+    ids.into_iter().map(|v| eq.vars[v as usize].clone()).collect()
+}
+
+fn empty_outcome(query: &Query, elapsed: Duration) -> QueryOutcome {
+    QueryOutcome {
+        results: Bindings::new(vec![]),
+        vars: query.projected_vars(),
+        pred_vars: vec![],
+        route: Route::Empty,
+        elapsed,
+        rel_stats: ExecStats::default(),
+        graph_stats: ExecStats::default(),
+        had_complex_subquery: false,
+    }
+}
+
+/// Build the encoded subquery for the complex part: it projects every
+/// subquery variable that the remainder or the final projection needs.
+fn complex_subquery_encoded(eq: &EncodedQuery, qc: &ComplexSubquery, query: &Query) -> EncodedQuery {
+    let qc_var_ids: Vec<VarId> = {
+        let mut ids = Vec::new();
+        for &i in &qc.pattern_indexes {
+            for v in eq.patterns[i].vars() {
+                if !ids.contains(&v) {
+                    ids.push(v);
+                }
+            }
+        }
+        ids
+    };
+    let remainder_idx = qc.remainder_indexes(query);
+    let mut needed: Vec<VarId> = Vec::new();
+    for &i in &remainder_idx {
+        for v in eq.patterns[i].vars() {
+            if qc_var_ids.contains(&v) && !needed.contains(&v) {
+                needed.push(v);
+            }
+        }
+    }
+    for &v in &eq.projection {
+        if qc_var_ids.contains(&v) && !needed.contains(&v) {
+            needed.push(v);
+        }
+    }
+    // Keep at least one column so emptiness is observable.
+    if needed.is_empty() {
+        if let Some(&first) = qc_var_ids.first() {
+            needed.push(first);
+        }
+    }
+    eq.subquery(&qc.pattern_indexes, needed)
+}
+
+/// Process `query` on the dual store (the `RDB-GDB` variant's online path).
+pub fn process(dual: &mut DualStore, query: &Query) -> Result<QueryOutcome, CoreError> {
+    let t0 = Instant::now();
+    let qc = identify(query);
+    let eq = match compile(query, dual.dict())? {
+        Compiled::Query(eq) => eq,
+        Compiled::EmptyResult => return Ok(empty_outcome(query, t0.elapsed())),
+    };
+    let pv = pred_vars(&eq);
+    let governor = dual.governor();
+
+    let Some(qc) = qc else {
+        // No complex subquery: relational (Algorithm 3, lines 1-2).
+        let mut ctx = ExecContext::with_governor(governor);
+        let results = dual.rel().execute(&eq, &mut ctx)?;
+        return Ok(QueryOutcome {
+            results,
+            vars: query.projected_vars(),
+            pred_vars: pv,
+            route: Route::Relational,
+            elapsed: t0.elapsed(),
+            rel_stats: ctx.stats,
+            graph_stats: ExecStats::default(),
+            had_complex_subquery: false,
+        });
+    };
+
+    let all_preds = eq.predicate_set();
+    let qc_eq = complex_subquery_encoded(&eq, &qc, query);
+    let qc_preds = qc_eq.predicate_set();
+
+    // Case 1: the graph store covers the whole query (variable predicates
+    // can never be covered — the graph holds only a share of the data).
+    if !eq.has_var_pred() && dual.graph().covers(&all_preds) {
+        let mut ctx = ExecContext::with_governor(governor);
+        let results = dual.graph().execute(&eq, &mut ctx)?;
+        return Ok(QueryOutcome {
+            results,
+            vars: query.projected_vars(),
+            pred_vars: pv,
+            route: Route::Graph,
+            elapsed: t0.elapsed(),
+            rel_stats: ExecStats::default(),
+            graph_stats: ctx.stats,
+            had_complex_subquery: true,
+        });
+    }
+
+    // Case 2: the graph store covers the complex subquery. Guard against
+    // intermediate-result blowup first (an extension over the paper's
+    // purely rule-based router, DESIGN.md D6): running the subquery in
+    // isolation forfeits selective constants in the remainder, so when the
+    // subquery's estimated cardinality dwarfs the full query's, the
+    // relational plan is the better one.
+    let case2_safe = || {
+        if !dual.case2_guard() {
+            return true;
+        }
+        let mut stats_of = |p| dual.rel().stats(p);
+        let total = dual.rel().total_triples();
+        let qc_rows = kgdual_relstore::planner::estimate_result_rows(&qc_eq, &mut stats_of, total);
+        let full_rows = kgdual_relstore::planner::estimate_result_rows(&eq, &mut stats_of, total);
+        qc_rows <= 4.0 * full_rows.max(256.0)
+    };
+    if dual.graph().covers(&qc_preds) && case2_safe() {
+        let mut gctx = ExecContext::with_governor(Clone::clone(&governor));
+        let intermediate = dual.graph().execute(&qc_eq, &mut gctx)?;
+        // Migrate into the temporary relational table space (§3.3).
+        let handle = dual.temp_mut().store(intermediate);
+        let seed = dual
+            .temp()
+            .get(handle)
+            .expect("just staged")
+            .clone();
+        let remainder = eq.subquery(&qc.remainder_indexes(query), eq.projection.clone());
+        let remainder = EncodedQuery { distinct: eq.distinct, limit: eq.limit, ..remainder };
+        let mut rctx = ExecContext::with_governor(governor);
+        let results = dual.rel().execute_with_seed(&remainder, &seed, &mut rctx);
+        // Discard temporaries regardless of success.
+        dual.temp_mut().discard(handle);
+        let results = results?;
+        return Ok(QueryOutcome {
+            results,
+            vars: query.projected_vars(),
+            pred_vars: pv,
+            route: Route::Dual,
+            elapsed: t0.elapsed(),
+            rel_stats: rctx.stats,
+            graph_stats: gctx.stats,
+            had_complex_subquery: true,
+        });
+    }
+
+    // Case 3: relational only.
+    let mut ctx = ExecContext::with_governor(governor);
+    let results = dual.rel().execute(&eq, &mut ctx)?;
+    Ok(QueryOutcome {
+        results,
+        vars: query.projected_vars(),
+        pred_vars: pv,
+        route: Route::Relational,
+        elapsed: t0.elapsed(),
+        rel_stats: ctx.stats,
+        graph_stats: ExecStats::default(),
+        had_complex_subquery: true,
+    })
+}
+
+/// Process `query` with the relational store only (the `RDB-only`
+/// baseline).
+pub fn process_relational(dual: &DualStore, query: &Query) -> Result<QueryOutcome, CoreError> {
+    let t0 = Instant::now();
+    let had_complex = identify(query).is_some();
+    let eq = match compile(query, dual.dict())? {
+        Compiled::Query(eq) => eq,
+        Compiled::EmptyResult => return Ok(empty_outcome(query, t0.elapsed())),
+    };
+    let pv = pred_vars(&eq);
+    let mut ctx = ExecContext::with_governor(dual.governor());
+    let results = dual.rel().execute(&eq, &mut ctx)?;
+    Ok(QueryOutcome {
+        results,
+        vars: query.projected_vars(),
+        pred_vars: pv,
+        route: Route::Relational,
+        elapsed: t0.elapsed(),
+        rel_stats: ctx.stats,
+        graph_stats: ExecStats::default(),
+        had_complex_subquery: had_complex,
+    })
+}
+
+/// Process `query` with view-assisted rewriting (the `RDB-views`
+/// baseline): if the complex subquery matches a materialized view, answer
+/// it from the view and join the remainder relationally.
+pub fn process_with_views(
+    dual: &DualStore,
+    views: &ViewCatalog,
+    query: &Query,
+) -> Result<QueryOutcome, CoreError> {
+    let t0 = Instant::now();
+    let qc = identify(query);
+    let eq = match compile(query, dual.dict())? {
+        Compiled::Query(eq) => eq,
+        Compiled::EmptyResult => return Ok(empty_outcome(query, t0.elapsed())),
+    };
+    let pv = pred_vars(&eq);
+
+    if let Some(qc) = &qc {
+        let mut vctx = ExecContext::with_governor(dual.governor());
+        if let Some((covered, view_vars, rows)) =
+            views.answer(&qc.patterns, dual.dict(), &mut vctx)?
+        {
+            // Rebadge view columns into this query's variable ids.
+            let ids: Option<Vec<VarId>> = view_vars
+                .iter()
+                .map(|v| eq.vars.iter().position(|x| x == v).map(|i| i as VarId))
+                .collect();
+            if let Some(ids) = ids {
+                let seed = rows.renamed(ids);
+                // The fragment covers two of the complex subquery's
+                // patterns; everything else still runs relationally,
+                // joined against the fragment rows.
+                let covered_q: Vec<usize> =
+                    covered.iter().map(|&k| qc.pattern_indexes[k]).collect();
+                let rest: Vec<usize> = (0..eq.patterns.len())
+                    .filter(|i| !covered_q.contains(i))
+                    .collect();
+                let remainder = eq.subquery(&rest, eq.projection.clone());
+                let remainder =
+                    EncodedQuery { distinct: eq.distinct, limit: eq.limit, ..remainder };
+                let mut rctx = ExecContext::with_governor(dual.governor());
+                let results = dual.rel().execute_with_seed(&remainder, &seed, &mut rctx)?;
+                vctx.stats.merge(&rctx.stats);
+                return Ok(QueryOutcome {
+                    results,
+                    vars: query.projected_vars(),
+                    pred_vars: pv,
+                    route: Route::ViewAssisted,
+                    elapsed: t0.elapsed(),
+                    rel_stats: vctx.stats,
+                    graph_stats: ExecStats::default(),
+                    had_complex_subquery: true,
+                });
+            }
+        }
+    }
+
+    let mut ctx = ExecContext::with_governor(dual.governor());
+    let results = dual.rel().execute(&eq, &mut ctx)?;
+    Ok(QueryOutcome {
+        results,
+        vars: query.projected_vars(),
+        pred_vars: pv,
+        route: Route::Relational,
+        elapsed: t0.elapsed(),
+        rel_stats: ctx.stats,
+        graph_stats: ExecStats::default(),
+        had_complex_subquery: qc.is_some(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_model::{DatasetBuilder, Term};
+    use kgdual_sparql::parse;
+
+    const ADVISOR_QUERY: &str = "SELECT ?p WHERE { ?p y:wasBornIn ?city . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city }";
+
+    const FULL_QUERY: &str = "SELECT ?g WHERE { ?p y:hasGivenName ?g . ?p y:wasBornIn ?city . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city }";
+
+    fn dual() -> DualStore {
+        let mut b = DatasetBuilder::new();
+        let add = |b: &mut DatasetBuilder, s: &str, p: &str, o: &str| {
+            b.add_terms(&Term::iri(s), p, &Term::iri(o));
+        };
+        add(&mut b, "y:Einstein", "y:wasBornIn", "y:Ulm");
+        add(&mut b, "y:Weber", "y:wasBornIn", "y:Ulm");
+        add(&mut b, "y:Einstein", "y:hasAcademicAdvisor", "y:Weber");
+        add(&mut b, "y:Feynman", "y:wasBornIn", "y:NYC");
+        add(&mut b, "y:Wheeler", "y:wasBornIn", "y:Jacksonville");
+        add(&mut b, "y:Feynman", "y:hasAcademicAdvisor", "y:Wheeler");
+        add(&mut b, "y:Einstein", "y:hasGivenName", "y:Albert");
+        add(&mut b, "y:Feynman", "y:hasGivenName", "y:Richard");
+        DualStore::from_dataset(b.build(), 1000)
+    }
+
+    fn einstein(dual: &DualStore) -> kgdual_model::NodeId {
+        dual.dict().node_id(&Term::iri("y:Einstein")).unwrap()
+    }
+
+    #[test]
+    fn case3_cold_graph_routes_relational() {
+        let mut d = dual();
+        let q = parse(ADVISOR_QUERY).unwrap();
+        let out = process(&mut d, &q).unwrap();
+        assert_eq!(out.route, Route::Relational);
+        assert!(out.had_complex_subquery);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results.row(0)[0], einstein(&d));
+        assert!(out.graph_stats.work_units() == 0);
+    }
+
+    #[test]
+    fn case1_full_coverage_routes_graph() {
+        let mut d = dual();
+        for pred in ["y:wasBornIn", "y:hasAcademicAdvisor"] {
+            let p = d.dict().pred_id(pred).unwrap();
+            d.migrate_partition(p).unwrap();
+        }
+        let q = parse(ADVISOR_QUERY).unwrap();
+        let out = process(&mut d, &q).unwrap();
+        assert_eq!(out.route, Route::Graph);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results.row(0)[0], einstein(&d));
+        assert!(out.rel_stats.work_units() == 0);
+        assert!(out.graph_stats.work_units() > 0);
+    }
+
+    #[test]
+    fn case2_partial_coverage_spans_both_stores() {
+        let mut d = dual();
+        // Cover the complex subquery's predicates but NOT hasGivenName.
+        for pred in ["y:wasBornIn", "y:hasAcademicAdvisor"] {
+            let p = d.dict().pred_id(pred).unwrap();
+            d.migrate_partition(p).unwrap();
+        }
+        let q = parse(FULL_QUERY).unwrap();
+        let out = process(&mut d, &q).unwrap();
+        assert_eq!(out.route, Route::Dual);
+        assert_eq!(out.results.len(), 1);
+        let albert = d.dict().node_id(&Term::iri("y:Albert")).unwrap();
+        assert_eq!(out.results.row(0)[0], albert);
+        assert!(out.graph_stats.work_units() > 0, "subquery ran on graph");
+        assert!(out.rel_stats.work_units() > 0, "remainder ran relationally");
+        assert!(d.temp().is_empty(), "temporaries discarded after the query");
+    }
+
+    #[test]
+    fn routes_agree_on_results() {
+        // The same query must produce identical rows via all three cases.
+        let q = parse(FULL_QUERY).unwrap();
+        let mut cold = dual();
+        let r3 = process(&mut cold, &q).unwrap();
+
+        let mut partial = dual();
+        for pred in ["y:wasBornIn", "y:hasAcademicAdvisor"] {
+            let p = partial.dict().pred_id(pred).unwrap();
+            partial.migrate_partition(p).unwrap();
+        }
+        let r2 = process(&mut partial, &q).unwrap();
+
+        let mut full = dual();
+        for pred in ["y:wasBornIn", "y:hasAcademicAdvisor", "y:hasGivenName"] {
+            let p = full.dict().pred_id(pred).unwrap();
+            full.migrate_partition(p).unwrap();
+        }
+        let r1 = process(&mut full, &q).unwrap();
+        assert_eq!(r1.route, Route::Graph);
+        assert_eq!(r2.route, Route::Dual);
+        assert_eq!(r3.route, Route::Relational);
+
+        let mut rows1 = r1.results.clone();
+        let mut rows2 = r2.results.clone();
+        let mut rows3 = r3.results.clone();
+        rows1.sort_rows();
+        rows2.sort_rows();
+        rows3.sort_rows();
+        assert_eq!(rows1, rows2);
+        assert_eq!(rows2, rows3);
+    }
+
+    #[test]
+    fn simple_query_never_touches_graph() {
+        let mut d = dual();
+        let p = d.dict().pred_id("y:wasBornIn").unwrap();
+        d.migrate_partition(p).unwrap();
+        let q = parse("SELECT ?p WHERE { ?p y:hasGivenName ?g }").unwrap();
+        let out = process(&mut d, &q).unwrap();
+        assert_eq!(out.route, Route::Relational);
+        assert!(!out.had_complex_subquery);
+    }
+
+    #[test]
+    fn unknown_constant_is_empty_route() {
+        let mut d = dual();
+        let q = parse("SELECT ?p WHERE { ?p y:wasBornIn y:Atlantis }").unwrap();
+        let out = process(&mut d, &q).unwrap();
+        assert_eq!(out.route, Route::Empty);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn views_route_answers_complex_subquery() {
+        let d = dual();
+        let mut views = ViewCatalog::new(100_000);
+        let q = parse(FULL_QUERY).unwrap();
+        let qc = identify(&q).unwrap();
+        views.observe(&qc.patterns);
+        views.rebuild(d.rel(), d.dict());
+        let out = process_with_views(&d, &views, &q).unwrap();
+        assert_eq!(out.route, Route::ViewAssisted);
+        assert_eq!(out.results.len(), 1);
+        let albert = d.dict().node_id(&Term::iri("y:Albert")).unwrap();
+        assert_eq!(out.results.row(0)[0], albert);
+    }
+
+    #[test]
+    fn views_route_falls_back_without_matching_view() {
+        let d = dual();
+        let views = ViewCatalog::new(100_000);
+        let q = parse(FULL_QUERY).unwrap();
+        let out = process_with_views(&d, &views, &q).unwrap();
+        assert_eq!(out.route, Route::Relational);
+        assert_eq!(out.results.len(), 1);
+    }
+}

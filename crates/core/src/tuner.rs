@@ -1,0 +1,79 @@
+//! The tuning interface between the dual store and physical design tuners.
+//!
+//! §3.2: "The dual-store tuner is invoked periodically to decide which
+//! triple partitions to transfer from the relational store to the graph
+//! store." The concrete reinforcement-learning tuner (DOTIL) lives in
+//! `kgdual-dotil`; baselines live there too. This trait is what the batch
+//! runner calls in the offline phase between batches.
+
+use crate::dual::DualStore;
+use kgdual_sparql::Query;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one offline tuning phase.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TuningOutcome {
+    /// Partitions migrated into the graph store.
+    pub migrated: usize,
+    /// Partitions evicted.
+    pub evicted: usize,
+    /// Triples moved in (bulk import volume).
+    pub triples_in: u64,
+    /// Triples moved out.
+    pub triples_out: u64,
+    /// Offline work units spent (training + migration), excluded from TTI
+    /// per the paper's offline-tuning model.
+    pub offline_work: u64,
+}
+
+/// A physical design tuner invoked between batches.
+pub trait PhysicalTuner {
+    /// Human-readable name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Offline phase: observe the most recent batch (the marked complex
+    /// queries are inside `batch`) and adjust `T_G`.
+    fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome;
+
+    /// Optional warm-up with historical queries (the paper warms DOTIL up
+    /// to soften the Q-learning cold start). Default: one tuning pass.
+    fn warm_up(&mut self, dual: &mut DualStore, history: &[Query]) -> TuningOutcome {
+        self.tune(dual, history)
+    }
+}
+
+/// A tuner that never changes the design (the `RDB-only` behaviour).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NoopTuner;
+
+impl PhysicalTuner for NoopTuner {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn tune(&mut self, _dual: &mut DualStore, _batch: &[Query]) -> TuningOutcome {
+        TuningOutcome::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_model::DatasetBuilder;
+    use kgdual_model::Term;
+
+    #[test]
+    fn noop_tuner_changes_nothing() {
+        let mut b = DatasetBuilder::new();
+        b.add_terms(&Term::iri("a"), "p", &Term::iri("b"));
+        let mut dual = DualStore::from_dataset(b.build(), 10);
+        let mut t = NoopTuner;
+        let out = t.tune(&mut dual, &[]);
+        assert_eq!(out, TuningOutcome::default());
+        assert_eq!(dual.graph().used(), 0);
+        assert_eq!(t.name(), "noop");
+        // Default warm_up delegates to tune.
+        let out = t.warm_up(&mut dual, &[]);
+        assert_eq!(out.migrated, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The paper's three store variants behind one interface (§6.2).
+//!
+//! * `RDB-only` — everything relational.
+//! * `RDB-views` — relational plus a frequency-based materialized-view
+//!   catalog rebuilt in each offline phase.
+//! * `RDB-GDB` — the dual store, tuned by a pluggable [`PhysicalTuner`]
+//!   (DOTIL in the paper; baselines in `kgdual-dotil`).
+
+use crate::dual::DualStore;
+use crate::error::CoreError;
+use crate::identifier::identify;
+use crate::processor::{self, QueryOutcome};
+use crate::tuner::{PhysicalTuner, TuningOutcome};
+use kgdual_relstore::ViewCatalog;
+use kgdual_sparql::Query;
+
+/// One of the paper's store variants, ready to process queries.
+pub enum StoreVariant {
+    /// Plain relational store.
+    RdbOnly {
+        /// The underlying store pair (graph side unused).
+        dual: DualStore,
+    },
+    /// Relational store with materialized views.
+    RdbViews {
+        /// The underlying store pair (graph side unused).
+        dual: DualStore,
+        /// View catalog sharing the graph store's budget.
+        views: ViewCatalog,
+    },
+    /// The dual-store structure with a physical design tuner.
+    RdbGdb {
+        /// The dual store.
+        dual: DualStore,
+        /// The tuner invoked in offline phases.
+        tuner: Box<dyn PhysicalTuner + Send>,
+    },
+}
+
+impl StoreVariant {
+    /// Construct `RDB-only`.
+    pub fn rdb_only(dual: DualStore) -> Self {
+        StoreVariant::RdbOnly { dual }
+    }
+
+    /// Construct `RDB-views`; the catalog budget equals the dual store's
+    /// graph budget, matching the paper's fair-comparison setup.
+    pub fn rdb_views(dual: DualStore) -> Self {
+        let budget = dual.graph().budget();
+        StoreVariant::RdbViews { dual, views: ViewCatalog::new(budget) }
+    }
+
+    /// Construct `RDB-GDB` with the given tuner.
+    pub fn rdb_gdb(dual: DualStore, tuner: Box<dyn PhysicalTuner + Send>) -> Self {
+        StoreVariant::RdbGdb { dual, tuner }
+    }
+
+    /// Variant name as used in the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            StoreVariant::RdbOnly { .. } => "RDB-only".to_owned(),
+            StoreVariant::RdbViews { .. } => "RDB-views".to_owned(),
+            StoreVariant::RdbGdb { tuner, .. } => format!("RDB-GDB({})", tuner.name()),
+        }
+    }
+
+    /// The underlying dual store.
+    pub fn dual(&self) -> &DualStore {
+        match self {
+            StoreVariant::RdbOnly { dual }
+            | StoreVariant::RdbViews { dual, .. }
+            | StoreVariant::RdbGdb { dual, .. } => dual,
+        }
+    }
+
+    /// Mutable access to the underlying dual store.
+    pub fn dual_mut(&mut self) -> &mut DualStore {
+        match self {
+            StoreVariant::RdbOnly { dual }
+            | StoreVariant::RdbViews { dual, .. }
+            | StoreVariant::RdbGdb { dual, .. } => dual,
+        }
+    }
+
+    /// Process one query online.
+    pub fn process(&mut self, query: &Query) -> Result<QueryOutcome, CoreError> {
+        match self {
+            StoreVariant::RdbOnly { dual } => processor::process_relational(dual, query),
+            StoreVariant::RdbViews { dual, views } => {
+                // The identifier feeds the view advisor during the online
+                // phase (mirroring how it feeds the dual-store tuner).
+                if let Some(qc) = identify(query) {
+                    views.observe(&qc.patterns);
+                }
+                processor::process_with_views(dual, views, query)
+            }
+            StoreVariant::RdbGdb { dual, .. } => processor::process(dual, query),
+        }
+    }
+
+    /// Offline phase after (or before, for oracle schedules) a batch.
+    pub fn offline_phase(&mut self, batch: &[Query]) -> TuningOutcome {
+        match self {
+            StoreVariant::RdbOnly { .. } => TuningOutcome::default(),
+            StoreVariant::RdbViews { dual, views } => {
+                let report = views.rebuild(dual.rel(), dual.dict());
+                TuningOutcome {
+                    migrated: report.built,
+                    evicted: 0,
+                    triples_in: report.units_used as u64,
+                    triples_out: 0,
+                    offline_work: report.units_used as u64,
+                }
+            }
+            StoreVariant::RdbGdb { dual, tuner } => tuner.tune(dual, batch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::Route;
+    use crate::tuner::NoopTuner;
+    use kgdual_model::{DatasetBuilder, Term};
+    use kgdual_sparql::parse;
+
+    fn dataset() -> kgdual_model::Dataset {
+        let mut b = DatasetBuilder::new();
+        b.add_terms(&Term::iri("y:E"), "y:bornIn", &Term::iri("y:Ulm"));
+        b.add_terms(&Term::iri("y:W"), "y:bornIn", &Term::iri("y:Ulm"));
+        b.add_terms(&Term::iri("y:E"), "y:advisor", &Term::iri("y:W"));
+        b.build()
+    }
+
+    const Q: &str = "SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }";
+
+    #[test]
+    fn names() {
+        assert_eq!(StoreVariant::rdb_only(DualStore::from_dataset(dataset(), 10)).name(), "RDB-only");
+        assert_eq!(
+            StoreVariant::rdb_views(DualStore::from_dataset(dataset(), 10)).name(),
+            "RDB-views"
+        );
+        assert_eq!(
+            StoreVariant::rdb_gdb(DualStore::from_dataset(dataset(), 10), Box::new(NoopTuner))
+                .name(),
+            "RDB-GDB(noop)"
+        );
+    }
+
+    #[test]
+    fn all_variants_agree_on_results() {
+        let q = parse(Q).unwrap();
+        let mut only = StoreVariant::rdb_only(DualStore::from_dataset(dataset(), 10));
+        let mut views = StoreVariant::rdb_views(DualStore::from_dataset(dataset(), 10));
+        let mut gdb = StoreVariant::rdb_gdb(
+            DualStore::from_dataset(dataset(), 10),
+            Box::new(NoopTuner),
+        );
+        let a = only.process(&q).unwrap();
+        let b = views.process(&q).unwrap();
+        let c = gdb.process(&q).unwrap();
+        assert_eq!(a.results.len(), 1);
+        assert_eq!(a.results, b.results);
+        assert_eq!(b.results, c.results);
+    }
+
+    #[test]
+    fn views_variant_uses_views_after_offline_phase() {
+        let q = parse(Q).unwrap();
+        let mut v = StoreVariant::rdb_views(DualStore::from_dataset(dataset(), 1000));
+        // Batch 1: observed but unanswered by views.
+        let out1 = v.process(&q).unwrap();
+        assert_eq!(out1.route, Route::Relational);
+        let tuning = v.offline_phase(std::slice::from_ref(&q));
+        assert_eq!(tuning.migrated, 3, "three pair fragments built");
+        // Batch 2: answered from the view.
+        let out2 = v.process(&q).unwrap();
+        assert_eq!(out2.route, Route::ViewAssisted);
+        assert_eq!(out1.results, out2.results);
+    }
+}

@@ -1,0 +1,71 @@
+//! DOTIL hyperparameters (the paper's Table 4 / Table 5).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the DOTIL tuner. Defaults are the paper's *tuned* values
+/// (§6.3.1): `α = 0.5`, `γ = 0.7`, `λ = 4.5`, `prob = 0.9`. The budget
+/// ratio `r_{B_G}` is a property of the [`DualStore`](kgdual_core::DualStore)
+/// rather than the tuner.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DotilConfig {
+    /// Q-learning learning rate `α`.
+    pub alpha: f64,
+    /// Q-learning discount factor `γ`.
+    pub gamma: f64,
+    /// Counterfactual cutoff `λ`: the relational run is stopped once its
+    /// cost reaches `λ · c1`.
+    pub lambda: f64,
+    /// Initial transfer probability used when `Q00 = Q01 = 0` (cold
+    /// start); the paper recommends ≥ 50% and tunes it to 90%.
+    pub prob: f64,
+    /// Converts work units into reward units. Work units are raw operator
+    /// counts; scaling keeps Q-values in a readable range (the paper's
+    /// Table 5 prints values in single/double digits).
+    pub reward_scale: f64,
+    /// RNG seed for the cold-start coin flip (reproducibility).
+    pub seed: u64,
+}
+
+impl Default for DotilConfig {
+    fn default() -> Self {
+        DotilConfig {
+            alpha: 0.5,
+            gamma: 0.7,
+            lambda: 4.5,
+            prob: 0.9,
+            reward_scale: 1e-4,
+            seed: 0x000D_0711,
+        }
+    }
+}
+
+impl DotilConfig {
+    /// The paper's Table 4 *default* (pre-tuning) values: `α = 0.5`,
+    /// `γ = 0.5`, `λ = 3.5`, `prob = 0.5`.
+    pub fn paper_defaults() -> Self {
+        DotilConfig { gamma: 0.5, lambda: 3.5, prob: 0.5, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_defaults_match_paper_section_6_3_1() {
+        let c = DotilConfig::default();
+        assert_eq!(c.alpha, 0.5);
+        assert_eq!(c.gamma, 0.7);
+        assert_eq!(c.lambda, 4.5);
+        assert_eq!(c.prob, 0.9);
+    }
+
+    #[test]
+    fn paper_defaults_match_table_4() {
+        let c = DotilConfig::paper_defaults();
+        assert_eq!(c.alpha, 0.5);
+        assert_eq!(c.gamma, 0.5);
+        assert_eq!(c.lambda, 3.5);
+        assert_eq!(c.prob, 0.5);
+    }
+}

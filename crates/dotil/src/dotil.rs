@@ -1,0 +1,452 @@
+//! DOTIL — Algorithm 1 of the paper.
+
+use crate::config::DotilConfig;
+use crate::counterfactual;
+use crate::qmatrix::QMatrix;
+use kgdual_core::{identify, DualStore, PhysicalTuner, TuningOutcome};
+use kgdual_model::fx::FxHashMap;
+use kgdual_model::PredId;
+use kgdual_sparql::{compile, Compiled, EncodedQuery, Query, Selection, TriplePattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `(partition, state, action)` triples updated together, with a repeat
+/// count replaying the update for identical batch copies.
+type RoleGroup<'a> = (&'a [(PredId, usize, usize)], usize);
+
+/// The reinforcement-learning dual-store tuner.
+///
+/// Holds one [`QMatrix`] per partition (state-space decomposition) and, in
+/// each offline phase, walks the batch's complex subqueries deciding
+/// keep/transfer/evict per Algorithm 1, with rewards measured through the
+/// counterfactual runner.
+///
+/// One deliberate economy over the paper's pseudocode: Algorithm 1 calls
+/// `LearningProc` separately for the transferred set and the kept set,
+/// which would execute the same subquery twice; we measure the cost pair
+/// once and apply both updates from it — the same rewards at half the
+/// training cost.
+pub struct Dotil {
+    cfg: DotilConfig,
+    q: FxHashMap<PredId, QMatrix>,
+    rng: StdRng,
+    trainings: u64,
+}
+
+impl Dotil {
+    /// A tuner with the paper's tuned hyperparameters.
+    pub fn new() -> Self {
+        Self::with_config(DotilConfig::default())
+    }
+
+    /// A tuner with explicit hyperparameters (parameter-sweep experiments).
+    pub fn with_config(cfg: DotilConfig) -> Self {
+        Dotil {
+            q: FxHashMap::default(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            trainings: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DotilConfig {
+        &self.cfg
+    }
+
+    /// This partition's Q-matrix (zero if never trained).
+    pub fn q_matrix(&self, pred: PredId) -> QMatrix {
+        self.q.get(&pred).copied().unwrap_or_default()
+    }
+
+    /// Cell-wise sum of all Q-matrices — the paper's Table 5 "Q-matrix"
+    /// training-effect metric.
+    pub fn q_matrix_sum(&self) -> [f64; 4] {
+        let mut sum = [0.0f64; 4];
+        for m in self.q.values() {
+            for (acc, v) in sum.iter_mut().zip(m.cells()) {
+                *acc += v;
+            }
+        }
+        sum
+    }
+
+    /// Number of `LearningProc` invocations so far.
+    pub fn trainings(&self) -> u64 {
+        self.trainings
+    }
+
+    /// Compile a complex subquery's patterns into an executable query
+    /// projecting all of its variables, plus the per-partition reward
+    /// proportions `δ(P_i)`.
+    fn prepare(
+        dual: &DualStore,
+        patterns: &[TriplePattern],
+    ) -> Option<(EncodedQuery, Vec<(PredId, f64)>)> {
+        let query = Query {
+            select: Selection::Star,
+            distinct: false,
+            patterns: patterns.to_vec(),
+            limit: None,
+        };
+        let eq = match compile(&query, dual.dict()).ok()? {
+            Compiled::Query(eq) => eq,
+            Compiled::EmptyResult => return None,
+        };
+        // δ(P_i): the share of subquery patterns using predicate P_i
+        // (Example 1: wasBornIn 3/5, advisor 1/5, marriedTo 1/5).
+        let mut counts: Vec<(PredId, usize)> = Vec::new();
+        let mut total = 0usize;
+        for pat in &eq.patterns {
+            if let Some(p) = pat.p.as_const() {
+                total += 1;
+                match counts.iter_mut().find(|(q, _)| *q == p) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((p, 1)),
+                }
+            }
+        }
+        if total == 0 {
+            return None;
+        }
+        let props = counts
+            .into_iter()
+            .map(|(p, c)| (p, c as f64 / total as f64))
+            .collect();
+        Some((eq, props))
+    }
+
+    /// Measure the cost pair once and update partition matrices for each
+    /// `(roles, repeats)` group. Repeats replay the update for the
+    /// additional identical subqueries of the batch (the paper's Algorithm
+    /// 1 would re-measure each copy; the costs are identical, so replaying
+    /// the Q-update preserves the learning dynamics at a fraction of the
+    /// training cost).
+    fn learn(
+        &mut self,
+        dual: &DualStore,
+        qc: &EncodedQuery,
+        proportions: &[(PredId, f64)],
+        groups: &[RoleGroup<'_>],
+        outcome: &mut TuningOutcome,
+    ) {
+        let Ok(pair) = counterfactual::measure(dual, qc, self.cfg.lambda) else {
+            return;
+        };
+        outcome.offline_work += pair.c1 + pair.c2;
+        let improvement = pair.improvement() as f64 * self.cfg.reward_scale;
+        for &(roles, repeats) in groups {
+            for _ in 0..repeats {
+                for &(pred, state, action) in roles {
+                    let delta = proportions
+                        .iter()
+                        .find(|(p, _)| *p == pred)
+                        .map_or(0.0, |(_, d)| *d);
+                    let reward = improvement * delta;
+                    self.q.entry(pred).or_default().update(
+                        state,
+                        action,
+                        reward,
+                        self.cfg.alpha,
+                        self.cfg.gamma,
+                    );
+                    self.trainings += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Default for Dotil {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhysicalTuner for Dotil {
+    fn name(&self) -> &str {
+        "dotil"
+    }
+
+    fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome {
+        let mut outcome = TuningOutcome::default();
+
+        // Group the batch by complex-subquery shape: a template and its
+        // isomorphic mutations train the same Q-matrices on the same
+        // partitions, so Algorithm 1's per-copy pass is replayed as one
+        // measured pass plus multiplicity-weighted Q-updates. This keeps
+        // the paper's learning dynamics (copies after the first hit the
+        // covered branch and build keep-equity) without re-measuring — and
+        // without the per-copy migrations that thrash the design when a
+        // batch's combined footprint brushes the budget.
+        let mut shapes: Vec<(String, &Query, usize)> = Vec::new();
+        for query in batch {
+            let Some(qc) = identify(query) else { continue };
+            let key = kgdual_sparql::canonical_key(&qc.patterns);
+            match shapes.iter_mut().find(|(k, _, _)| *k == key) {
+                Some((_, _, count)) => *count += 1,
+                None => shapes.push((key, query, 1)),
+            }
+        }
+
+        for (_, query, count) in shapes {
+            let Some(qc) = identify(query) else { continue };
+            let Some((qc_eq, proportions)) = Self::prepare(dual, &qc.patterns) else {
+                continue;
+            };
+            let tc = qc_eq.predicate_set();
+
+            // Lines 5-7: everything already resident — reward keeping,
+            // once per copy in the batch.
+            if dual.graph().covers(&tc) {
+                let roles: Vec<(PredId, usize, usize)> =
+                    tc.iter().map(|&p| (p, 1, 0)).collect();
+                self.learn(dual, &qc_eq, &proportions, &[(&roles, count)], &mut outcome);
+                continue;
+            }
+
+            // Lines 9-11: T_set = partitions of T_c missing from T_G.
+            let tset: Vec<PredId> =
+                tc.iter().copied().filter(|&p| !dual.graph().is_loaded(p)).collect();
+
+            // Lines 12-17: compare summed Q-values; cold-start coin flip.
+            let q00: f64 = tset.iter().map(|&p| self.q_matrix(p).get(0, 0)).sum();
+            let q01: f64 = tset.iter().map(|&p| self.q_matrix(p).get(0, 1)).sum();
+            let transfer = if q00 == 0.0 && q01 == 0.0 {
+                self.rng.gen_bool(self.cfg.prob.clamp(0.0, 1.0))
+            } else {
+                q01 > q00
+            };
+            if !transfer {
+                continue;
+            }
+
+            // Size check; skip subqueries that could never fit.
+            let needed: usize = tset.iter().map(|&p| dual.rel().partition_len(p)).sum();
+            if needed == 0 || needed > dual.graph().budget() {
+                continue;
+            }
+
+            // Lines 18-27: evict by descending Q(1,1) − Q(1,0) until T_set
+            // fits. Partitions of the current subquery are exempt (evicting
+            // what we are about to rely on would thrash), and nothing is
+            // evicted unless freeing enough space is actually possible.
+            if needed > dual.graph().available() {
+                let mut candidates: Vec<(PredId, usize, f64)> = dual
+                    .graph()
+                    .resident_partitions()
+                    .filter(|(p, _)| !tc.contains(p))
+                    .map(|(p, sz)| (p, sz, self.q_matrix(p).eviction_key()))
+                    .collect();
+                let freeable: usize = candidates.iter().map(|&(_, sz, _)| sz).sum();
+                if dual.graph().available() + freeable < needed {
+                    continue;
+                }
+                candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+                for (p, sz, _) in candidates {
+                    if needed <= dual.graph().available() {
+                        break;
+                    }
+                    dual.evict_partition(p);
+                    outcome.evicted += 1;
+                    outcome.triples_out += sz as u64;
+                }
+            }
+
+            // Lines 28-29: migrate T_set.
+            let mut migrated_ok = true;
+            let mut done: Vec<PredId> = Vec::with_capacity(tset.len());
+            for &p in &tset {
+                let sz = dual.rel().partition_len(p);
+                match dual.migrate_partition(p) {
+                    Ok(()) => {
+                        outcome.migrated += 1;
+                        outcome.triples_in += sz as u64;
+                        done.push(p);
+                    }
+                    Err(_) => {
+                        migrated_ok = false;
+                        break;
+                    }
+                }
+            }
+            if !migrated_ok {
+                // Roll back partial migration to keep the design coherent.
+                for p in done {
+                    dual.evict_partition(p);
+                    outcome.migrated -= 1;
+                }
+                continue;
+            }
+            outcome.offline_work +=
+                needed as u64 * kgdual_graphstore::store::BULK_IMPORT_COST_PER_TRIPLE;
+
+            // Lines 30-31: one measurement, both role updates. The first
+            // copy pays the transfer action; the remaining `count - 1`
+            // copies of this shape would now find T_c covered and earn the
+            // keep reward for every partition — the keep-equity that
+            // protects freshly useful partitions from immediate eviction.
+            let mut transfer_roles: Vec<(PredId, usize, usize)> =
+                tset.iter().map(|&p| (p, 0, 1)).collect();
+            for &p in &tc {
+                if !tset.contains(&p) {
+                    transfer_roles.push((p, 1, 0));
+                }
+            }
+            let keep_roles: Vec<(PredId, usize, usize)> =
+                tc.iter().map(|&p| (p, 1, 0)).collect();
+            self.learn(
+                dual,
+                &qc_eq,
+                &proportions,
+                &[(&transfer_roles, 1), (&keep_roles, count - 1)],
+                &mut outcome,
+            );
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_model::{DatasetBuilder, Term};
+    use kgdual_sparql::parse;
+
+    /// Graph with a hot advisor-city motif plus an unrelated bulky
+    /// partition for eviction pressure.
+    fn dual(budget: usize) -> DualStore {
+        let mut b = DatasetBuilder::new();
+        for i in 0..300 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                "y:bornIn",
+                &Term::iri(format!("y:c{}", i % 20)),
+            );
+        }
+        for i in 0..80 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                "y:advisor",
+                &Term::iri(format!("y:p{}", i + 100)),
+            );
+        }
+        for i in 0..150 {
+            b.add_terms(
+                &Term::iri(format!("y:x{i}")),
+                "y:likes",
+                &Term::iri(format!("y:y{i}")),
+            );
+        }
+        DualStore::from_dataset(b.build(), budget)
+    }
+
+    fn complex_query() -> Query {
+        parse("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }").unwrap()
+    }
+
+    #[test]
+    fn cold_start_transfers_with_high_prob() {
+        let mut d = dual(1000);
+        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let out = tuner.tune(&mut d, &[complex_query()]);
+        assert_eq!(out.migrated, 2, "bornIn + advisor transferred");
+        assert!(d.graph().is_loaded(d.dict().pred_id("y:bornIn").unwrap()));
+        assert!(d.graph().is_loaded(d.dict().pred_id("y:advisor").unwrap()));
+        assert!(out.offline_work > 0);
+        assert!(tuner.trainings() > 0);
+    }
+
+    #[test]
+    fn cold_start_with_zero_prob_never_transfers() {
+        let mut d = dual(1000);
+        let mut tuner = Dotil::with_config(DotilConfig { prob: 0.0, ..Default::default() });
+        let out = tuner.tune(&mut d, &[complex_query()]);
+        assert_eq!(out.migrated, 0);
+        assert_eq!(d.graph().used(), 0);
+    }
+
+    #[test]
+    fn q_values_grow_with_positive_rewards() {
+        let mut d = dual(1000);
+        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let batch: Vec<Query> = (0..4).map(|_| complex_query()).collect();
+        tuner.tune(&mut d, &batch);
+        let born = d.dict().pred_id("y:bornIn").unwrap();
+        let advisor = d.dict().pred_id("y:advisor").unwrap();
+        // After transfer the partitions keep earning keep-in-graph reward.
+        assert!(tuner.q_matrix(born).get(0, 1) > 0.0, "transfer reward recorded");
+        assert!(tuner.q_matrix(born).get(1, 0) > 0.0, "keep reward recorded");
+        assert!(tuner.q_matrix(advisor).get(1, 0) > 0.0);
+        let sum = tuner.q_matrix_sum();
+        assert_eq!(sum[0], 0.0, "Q(0,0) stays 0, as in Table 5");
+        assert_eq!(sum[3], 0.0, "Q(1,1) stays 0, as in Table 5");
+        assert!(sum[1] > 0.0 && sum[2] > 0.0);
+    }
+
+    #[test]
+    fn eviction_frees_space_for_better_partitions() {
+        // Budget fits likes(150) plus advisor(80) but not bornIn(300).
+        // Preload the unrelated 'likes' partition, then present a workload
+        // that needs bornIn+advisor (380 > available 350-150=... with
+        // budget 400: available = 250 < 380, eviction of likes required).
+        let mut d = dual(400);
+        let likes = d.dict().pred_id("y:likes").unwrap();
+        d.migrate_partition(likes).unwrap();
+        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let out = tuner.tune(&mut d, &[complex_query()]);
+        assert!(out.evicted >= 1, "likes must be evicted");
+        assert!(!d.graph().is_loaded(likes));
+        assert_eq!(out.migrated, 2);
+        assert!(d.graph().covers(&[
+            d.dict().pred_id("y:bornIn").unwrap(),
+            d.dict().pred_id("y:advisor").unwrap()
+        ]));
+    }
+
+    #[test]
+    fn oversized_subqueries_are_skipped() {
+        let mut d = dual(100); // bornIn alone is 300 triples
+        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let out = tuner.tune(&mut d, &[complex_query()]);
+        assert_eq!(out.migrated, 0);
+        assert_eq!(d.graph().used(), 0);
+    }
+
+    #[test]
+    fn resident_subquery_earns_keep_reward_only() {
+        let mut d = dual(1000);
+        for pred in ["y:bornIn", "y:advisor"] {
+            let p = d.dict().pred_id(pred).unwrap();
+            d.migrate_partition(p).unwrap();
+        }
+        let mut tuner = Dotil::new();
+        let out = tuner.tune(&mut d, &[complex_query()]);
+        assert_eq!(out.migrated, 0);
+        assert_eq!(out.evicted, 0);
+        let born = d.dict().pred_id("y:bornIn").unwrap();
+        assert!(tuner.q_matrix(born).get(1, 0) > 0.0);
+        assert_eq!(tuner.q_matrix(born).get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn simple_queries_are_ignored() {
+        let mut d = dual(1000);
+        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let q = parse("SELECT ?p WHERE { ?p y:bornIn ?c }").unwrap();
+        let out = tuner.tune(&mut d, &[q]);
+        assert_eq!(out.migrated, 0);
+        assert_eq!(tuner.trainings(), 0);
+    }
+
+    #[test]
+    fn training_is_reproducible_across_seeds() {
+        let run = || {
+            let mut d = dual(1000);
+            let mut t = Dotil::with_config(DotilConfig::default());
+            t.tune(&mut d, &[complex_query(), complex_query()]);
+            t.q_matrix_sum()
+        };
+        assert_eq!(run(), run());
+    }
+}

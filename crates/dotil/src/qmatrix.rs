@@ -1,0 +1,127 @@
+//! Per-partition 2×2 Q-matrices (the state-space decomposition of §4.2.1).
+//!
+//! For each partition `T_i`: state 0 = resident in the relational store
+//! only, state 1 = mirrored in the graph store; action 0 = keep, action
+//! 1 = move (transfer when out, evict when in). `R(0,0)` and `R(1,1)` are
+//! pinned to 0 by the paper, so only `Q[0][1]` (transfer) and `Q[1][0]`
+//! (keep-in-graph) ever receive updates — exactly the two cells the
+//! paper's Table 5 prints as non-zero.
+
+use serde::{Deserialize, Serialize};
+
+/// A single partition's Q-matrix.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QMatrix {
+    q: [[f64; 2]; 2],
+}
+
+impl QMatrix {
+    /// The zero matrix (the paper's initial state).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read `Q[state][action]`.
+    #[inline]
+    pub fn get(&self, state: usize, action: usize) -> f64 {
+        self.q[state][action]
+    }
+
+    /// The Q-learning update (the paper's Equation 4):
+    /// `Q(s,a) ← (1−α)·Q(s,a) + α·(r + γ·max_a' Q(s',a'))`,
+    /// where `s'` is the state reached by taking `a` in `s`.
+    pub fn update(&mut self, state: usize, action: usize, reward: f64, alpha: f64, gamma: f64) {
+        let next_state = Self::next_state(state, action);
+        let future = self.q[next_state][0].max(self.q[next_state][1]);
+        let learned = alpha * (reward + gamma * future);
+        self.q[state][action] = (1.0 - alpha) * self.q[state][action] + learned;
+    }
+
+    /// Transition function of the per-partition MDP: action 1 toggles the
+    /// residency state, action 0 keeps it.
+    #[inline]
+    pub fn next_state(state: usize, action: usize) -> usize {
+        if action == 1 {
+            1 - state
+        } else {
+            state
+        }
+    }
+
+    /// The four cells in the paper's print order
+    /// `[Q(0,0), Q(0,1), Q(1,0), Q(1,1)]`.
+    pub fn cells(&self) -> [f64; 4] {
+        [self.q[0][0], self.q[0][1], self.q[1][0], self.q[1][1]]
+    }
+
+    /// Eviction sort key (Algorithm 1, line 21): `Q(1,1) − Q(1,0)`,
+    /// descending — partitions whose keep-value is lowest go first.
+    pub fn eviction_key(&self) -> f64 {
+        self.q[1][1] - self.q[1][0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let m = QMatrix::new();
+        assert_eq!(m.cells(), [0.0; 4]);
+        assert_eq!(m.eviction_key(), 0.0);
+    }
+
+    #[test]
+    fn transition_function() {
+        assert_eq!(QMatrix::next_state(0, 0), 0);
+        assert_eq!(QMatrix::next_state(0, 1), 1);
+        assert_eq!(QMatrix::next_state(1, 0), 1);
+        assert_eq!(QMatrix::next_state(1, 1), 0);
+    }
+
+    #[test]
+    fn update_matches_equation_4() {
+        let mut m = QMatrix::new();
+        // First transfer reward: Q(0,1) = (1-α)·0 + α·(r + γ·max(Q[1][*]))
+        m.update(0, 1, 10.0, 0.5, 0.7);
+        assert!((m.get(0, 1) - 5.0).abs() < 1e-12);
+        // Keep-in-graph after that: future = max(Q[1][*]) = 0 still.
+        m.update(1, 0, 4.0, 0.5, 0.7);
+        assert!((m.get(1, 0) - 2.0).abs() < 1e-12);
+        // Second transfer: future now sees Q[1][0] = 2.0.
+        m.update(0, 1, 10.0, 0.5, 0.7);
+        let expected = 0.5 * 5.0 + 0.5 * (10.0 + 0.7 * 2.0);
+        assert!((m.get(0, 1) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_two_cells_ever_move() {
+        let mut m = QMatrix::new();
+        for _ in 0..10 {
+            m.update(0, 1, 3.0, 0.5, 0.7);
+            m.update(1, 0, 1.0, 0.5, 0.7);
+        }
+        let c = m.cells();
+        assert_eq!(c[0], 0.0, "Q(0,0) pinned");
+        assert_eq!(c[3], 0.0, "Q(1,1) pinned");
+        assert!(c[1] > 0.0);
+        assert!(c[2] > 0.0);
+    }
+
+    #[test]
+    fn eviction_key_orders_low_keep_value_first() {
+        let mut hot = QMatrix::new();
+        hot.update(1, 0, 100.0, 0.5, 0.7);
+        let cold = QMatrix::new();
+        // Descending order by key: cold (0.0) before hot (negative).
+        assert!(cold.eviction_key() > hot.eviction_key());
+    }
+
+    #[test]
+    fn negative_rewards_push_q_down() {
+        let mut m = QMatrix::new();
+        m.update(0, 1, -5.0, 0.5, 0.7);
+        assert!(m.get(0, 1) < 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # kgdual-graphstore
+//!
+//! The native graph-store substrate of the dual-store structure — the
+//! stand-in for the paper's Neo4j deployment.
+//!
+//! Three properties of Neo4j carry the paper's argument, and all three are
+//! reproduced here:
+//!
+//! 1. **Index-free adjacency** ([`adjacency`]): every node holds its own
+//!    out/in edge lists, so traversal cost is proportional to the traversal
+//!    range (candidate edges × degrees), not to the total graph size.
+//!    Complex queries are answered by a backtracking matcher
+//!    ([`matcher`]) that extends one binding at a time through adjacency
+//!    lookups — no intermediate-result materialization.
+//! 2. **A hard storage budget** (`B_G`): [`store::GraphStore`] refuses to
+//!    load a partition that would exceed its configured triple budget,
+//!    mirroring the storage constraints the paper cites for native graph
+//!    databases.
+//! 3. **Costly imports**: bulk-loading a partition and single-edge updates
+//!    are charged a per-triple import cost, reflecting Neo4j's cumbersome
+//!    importing process. The dual store performs migrations in the offline
+//!    tuning phase precisely because of this.
+
+pub mod adjacency;
+pub mod matcher;
+pub mod store;
+
+pub use adjacency::AdjacencyIndex;
+pub use store::{GraphExecError, GraphStore, GraphStoreError, ImportStats};

@@ -1,0 +1,506 @@
+//! The graph store: budgeted partition residency + query execution.
+
+use crate::adjacency::AdjacencyIndex;
+use crate::matcher;
+use kgdual_model::fx::FxHashMap;
+use kgdual_model::{NodeId, PredId, Triple};
+use kgdual_relstore::{Bindings, ExecContext, ExecError};
+use kgdual_sparql::EncodedQuery;
+use serde::{Deserialize, Serialize};
+
+/// Work-unit cost to import one triple during a bulk partition load.
+/// Deliberately high relative to a relational append (cost 1): Neo4j-style
+/// stores pay for node/relationship materialization and index maintenance.
+pub const BULK_IMPORT_COST_PER_TRIPLE: u64 = 8;
+/// Work-unit cost of a single online edge insert/delete (dominated by the
+/// sorted-adjacency maintenance; worse than bulk).
+pub const SINGLE_UPDATE_COST: u64 = 24;
+
+/// Cumulative import/update effort spent by this store (the "cumbersome
+/// importing process" the paper cites; reported by migration experiments).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportStats {
+    /// Triples bulk-imported.
+    pub triples_imported: u64,
+    /// Triples evicted.
+    pub triples_evicted: u64,
+    /// Single-edge online updates.
+    pub single_updates: u64,
+    /// Total work units charged for imports/updates.
+    pub work_units: u64,
+}
+
+/// Errors from storage management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphStoreError {
+    /// Loading the partition would exceed the budget `B_G`.
+    BudgetExceeded {
+        /// Partition that was being loaded.
+        pred: PredId,
+        /// Triples the partition holds.
+        needed: usize,
+        /// Budget headroom left.
+        available: usize,
+    },
+    /// The partition is already resident (loads are whole-partition).
+    AlreadyLoaded(PredId),
+}
+
+impl std::fmt::Display for GraphStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphStoreError::BudgetExceeded { pred, needed, available } => write!(
+                f,
+                "loading partition {pred} needs {needed} triples but only {available} fit in B_G"
+            ),
+            GraphStoreError::AlreadyLoaded(pred) => {
+                write!(f, "partition {pred} is already loaded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphStoreError {}
+
+/// Errors from query execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphExecError {
+    /// Cooperative cancellation fired.
+    Cancelled {
+        /// Work units done before cancellation.
+        partial_work: u64,
+    },
+    /// The query references a partition that is not resident. The query
+    /// processor checks coverage before routing; this is the safety net.
+    MissingPartition(PredId),
+}
+
+impl From<ExecError> for GraphExecError {
+    fn from(e: ExecError) -> Self {
+        match e {
+            ExecError::Cancelled { partial_work } => GraphExecError::Cancelled { partial_work },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphExecError::Cancelled { partial_work } => {
+                write!(f, "graph execution cancelled after {partial_work} work units")
+            }
+            GraphExecError::MissingPartition(p) => {
+                write!(f, "partition {p} is not resident in the graph store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphExecError {}
+
+/// The native graph store: holds a budget-constrained subset of the
+/// knowledge graph's triple partitions (`T_G` in the paper) and answers
+/// complex subqueries over them by traversal.
+#[derive(Debug, Default)]
+pub struct GraphStore {
+    index: AdjacencyIndex,
+    budget: usize,
+    resident: FxHashMap<PredId, usize>,
+    import_stats: ImportStats,
+}
+
+impl GraphStore {
+    /// An empty store with triple budget `B_G`.
+    pub fn new(budget: usize) -> Self {
+        GraphStore { budget, ..Self::default() }
+    }
+
+    /// The configured budget in triples.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Triples currently resident.
+    pub fn used(&self) -> usize {
+        self.index.edge_count()
+    }
+
+    /// Budget headroom in triples.
+    pub fn available(&self) -> usize {
+        self.budget.saturating_sub(self.used())
+    }
+
+    /// Residency check for one partition.
+    pub fn is_loaded(&self, pred: PredId) -> bool {
+        self.resident.contains_key(&pred)
+    }
+
+    /// Residency check for a predicate set (`T_c ⊆ T_G` in Algorithm 1).
+    pub fn covers(&self, preds: &[PredId]) -> bool {
+        preds.iter().all(|p| self.is_loaded(*p))
+    }
+
+    /// Resident partitions and their sizes.
+    pub fn resident_partitions(&self) -> impl Iterator<Item = (PredId, usize)> + '_ {
+        self.resident.iter().map(|(&p, &n)| (p, n))
+    }
+
+    /// Size of one resident partition (0 if absent).
+    pub fn partition_len(&self, pred: PredId) -> usize {
+        self.resident.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// Import/update effort spent so far.
+    pub fn import_stats(&self) -> ImportStats {
+        self.import_stats
+    }
+
+    /// Bulk-load a whole partition (the tuner's `migrate` operation),
+    /// enforcing the budget.
+    pub fn load_partition(
+        &mut self,
+        pred: PredId,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<(), GraphStoreError> {
+        if self.is_loaded(pred) {
+            return Err(GraphStoreError::AlreadyLoaded(pred));
+        }
+        if pairs.len() > self.available() {
+            return Err(GraphStoreError::BudgetExceeded {
+                pred,
+                needed: pairs.len(),
+                available: self.available(),
+            });
+        }
+        self.index.insert_partition(pred, pairs);
+        self.resident.insert(pred, pairs.len());
+        self.import_stats.triples_imported += pairs.len() as u64;
+        self.import_stats.work_units += pairs.len() as u64 * BULK_IMPORT_COST_PER_TRIPLE;
+        Ok(())
+    }
+
+    /// Evict a partition (the tuner's `evict` operation); returns its size.
+    pub fn evict_partition(&mut self, pred: PredId) -> usize {
+        let removed = self.index.remove_partition(pred);
+        self.resident.remove(&pred);
+        self.import_stats.triples_evicted += removed as u64;
+        removed
+    }
+
+    /// Online single-edge insert, only meaningful for partitions that are
+    /// resident (update propagation keeps mirrored partitions fresh).
+    /// Returns `false` if the partition is not resident.
+    pub fn insert_edge(&mut self, t: Triple) -> Result<bool, GraphStoreError> {
+        if !self.is_loaded(t.p) {
+            return Ok(false);
+        }
+        if self.available() == 0 {
+            return Err(GraphStoreError::BudgetExceeded {
+                pred: t.p,
+                needed: 1,
+                available: 0,
+            });
+        }
+        self.index.insert_edge(t.s, t.p, t.o);
+        *self.resident.get_mut(&t.p).expect("resident") += 1;
+        self.import_stats.single_updates += 1;
+        self.import_stats.work_units += SINGLE_UPDATE_COST;
+        Ok(true)
+    }
+
+    /// Online single-edge delete; returns removed count (0 when the
+    /// partition is not resident).
+    pub fn delete_edge(&mut self, t: Triple) -> usize {
+        if !self.is_loaded(t.p) {
+            return 0;
+        }
+        let removed = self.index.remove_edge(t.s, t.p, t.o);
+        if removed > 0 {
+            *self.resident.get_mut(&t.p).expect("resident") -= removed;
+            self.import_stats.single_updates += 1;
+            self.import_stats.work_units += SINGLE_UPDATE_COST;
+        }
+        removed
+    }
+
+    /// The underlying adjacency index (read-only).
+    pub fn index(&self) -> &AdjacencyIndex {
+        &self.index
+    }
+
+    /// Execute a compiled query by traversal.
+    ///
+    /// Every bound predicate must be resident; otherwise the result would
+    /// silently miss data, so a [`GraphExecError::MissingPartition`] is
+    /// returned instead.
+    pub fn execute(
+        &self,
+        q: &EncodedQuery,
+        ctx: &mut ExecContext,
+    ) -> Result<Bindings, GraphExecError> {
+        for p in q.predicate_set() {
+            if !self.is_loaded(p) {
+                return Err(GraphExecError::MissingPartition(p));
+            }
+        }
+        matcher::execute(&self.index, q, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_model::{Dictionary, Term};
+    use kgdual_sparql::{compile, parse, Compiled};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn p(i: u32) -> PredId {
+        PredId(i)
+    }
+
+    /// Same academic mini-graph as the relstore tests.
+    fn academic() -> (GraphStore, Dictionary) {
+        let mut dict = Dictionary::new();
+        let mut triples: Vec<Triple> = Vec::new();
+        let add = |dict: &mut Dictionary, triples: &mut Vec<Triple>, s: &str, pr: &str, o: &str| {
+            let s = dict.encode_node(&Term::iri(s)).unwrap();
+            let pr = dict.encode_pred(pr).unwrap();
+            let o = dict.encode_node(&Term::iri(o)).unwrap();
+            triples.push(Triple::new(s, pr, o));
+        };
+        add(&mut dict, &mut triples, "y:Einstein", "y:wasBornIn", "y:Ulm");
+        add(&mut dict, &mut triples, "y:Weber", "y:wasBornIn", "y:Ulm");
+        add(&mut dict, &mut triples, "y:Einstein", "y:hasAcademicAdvisor", "y:Weber");
+        add(&mut dict, &mut triples, "y:Feynman", "y:wasBornIn", "y:NYC");
+        add(&mut dict, &mut triples, "y:Wheeler", "y:wasBornIn", "y:Jacksonville");
+        add(&mut dict, &mut triples, "y:Feynman", "y:hasAcademicAdvisor", "y:Wheeler");
+
+        let mut store = GraphStore::new(1000);
+        // Group by predicate and load as partitions.
+        let mut by_pred: FxHashMap<PredId, Vec<(NodeId, NodeId)>> = FxHashMap::default();
+        for t in &triples {
+            by_pred.entry(t.p).or_default().push((t.s, t.o));
+        }
+        for (pred, pairs) in by_pred {
+            store.load_partition(pred, &pairs).unwrap();
+        }
+        (store, dict)
+    }
+
+    fn run(store: &GraphStore, dict: &Dictionary, src: &str) -> Bindings {
+        let q = parse(src).unwrap();
+        let Compiled::Query(eq) = compile(&q, dict).unwrap() else {
+            return Bindings::new(vec![]);
+        };
+        let mut ctx = ExecContext::new();
+        store.execute(&eq, &mut ctx).unwrap()
+    }
+
+    #[test]
+    fn budget_enforced_on_load() {
+        let mut store = GraphStore::new(2);
+        let err = store
+            .load_partition(p(0), &[(n(1), n(2)), (n(3), n(4)), (n(5), n(6))])
+            .unwrap_err();
+        assert!(matches!(err, GraphStoreError::BudgetExceeded { needed: 3, available: 2, .. }));
+        assert_eq!(store.used(), 0);
+        store.load_partition(p(0), &[(n(1), n(2))]).unwrap();
+        assert_eq!(store.available(), 1);
+    }
+
+    #[test]
+    fn double_load_rejected() {
+        let mut store = GraphStore::new(10);
+        store.load_partition(p(0), &[(n(1), n(2))]).unwrap();
+        assert!(matches!(
+            store.load_partition(p(0), &[(n(3), n(4))]),
+            Err(GraphStoreError::AlreadyLoaded(_))
+        ));
+    }
+
+    #[test]
+    fn evict_frees_budget() {
+        let mut store = GraphStore::new(2);
+        store.load_partition(p(0), &[(n(1), n(2)), (n(3), n(4))]).unwrap();
+        assert_eq!(store.available(), 0);
+        assert_eq!(store.evict_partition(p(0)), 2);
+        assert_eq!(store.available(), 2);
+        assert!(!store.is_loaded(p(0)));
+        assert_eq!(store.import_stats().triples_evicted, 2);
+    }
+
+    #[test]
+    fn import_stats_accumulate() {
+        let mut store = GraphStore::new(100);
+        store.load_partition(p(0), &[(n(1), n(2)), (n(3), n(4))]).unwrap();
+        let st = store.import_stats();
+        assert_eq!(st.triples_imported, 2);
+        assert_eq!(st.work_units, 2 * BULK_IMPORT_COST_PER_TRIPLE);
+        store.insert_edge(Triple::new(n(5), p(0), n(6))).unwrap();
+        assert_eq!(store.import_stats().single_updates, 1);
+        assert!(store.import_stats().work_units > st.work_units);
+    }
+
+    #[test]
+    fn online_updates_only_touch_resident_partitions() {
+        let mut store = GraphStore::new(100);
+        store.load_partition(p(0), &[(n(1), n(2))]).unwrap();
+        // Non-resident partition: no-op, reported as false/0.
+        assert!(!store.insert_edge(Triple::new(n(1), p(9), n(2))).unwrap());
+        assert_eq!(store.delete_edge(Triple::new(n(1), p(9), n(2))), 0);
+        // Resident partition: applied.
+        assert!(store.insert_edge(Triple::new(n(7), p(0), n(8))).unwrap());
+        assert_eq!(store.partition_len(p(0)), 2);
+        assert_eq!(store.delete_edge(Triple::new(n(7), p(0), n(8))), 1);
+        assert_eq!(store.partition_len(p(0)), 1);
+    }
+
+    #[test]
+    fn covers_checks_residency() {
+        let mut store = GraphStore::new(100);
+        store.load_partition(p(0), &[(n(1), n(2))]).unwrap();
+        store.load_partition(p(1), &[(n(1), n(2))]).unwrap();
+        assert!(store.covers(&[p(0), p(1)]));
+        assert!(!store.covers(&[p(0), p(2)]));
+        assert!(store.covers(&[]));
+    }
+
+    #[test]
+    fn paper_complex_query_by_traversal() {
+        let (store, dict) = academic();
+        let res = run(
+            &store,
+            &dict,
+            "SELECT ?p WHERE { ?p y:wasBornIn ?city . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city }",
+        );
+        assert_eq!(res.len(), 1);
+        let einstein = dict.node_id(&Term::iri("y:Einstein")).unwrap();
+        assert_eq!(res.row(0)[0], einstein);
+    }
+
+    #[test]
+    fn matches_equal_relstore_semantics_on_simple_patterns() {
+        let (store, dict) = academic();
+        assert_eq!(run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn ?c }").len(), 4);
+        assert_eq!(run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn y:Ulm }").len(), 2);
+        assert_eq!(
+            run(&store, &dict, "SELECT ?p ?a WHERE { ?p y:hasAcademicAdvisor ?a }").len(),
+            2
+        );
+    }
+
+    #[test]
+    fn distinct_and_limit_by_traversal() {
+        let (store, dict) = academic();
+        let res = run(&store, &dict, "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c }");
+        assert_eq!(res.len(), 3);
+        let res2 = run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn ?c } LIMIT 2");
+        assert_eq!(res2.len(), 2);
+    }
+
+    #[test]
+    fn variable_predicate_over_resident_partitions() {
+        let (store, dict) = academic();
+        let res = run(&store, &dict, "SELECT ?s WHERE { ?s ?pr y:Ulm }");
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn missing_partition_is_an_error_not_empty() {
+        let (store, mut dict) = academic();
+        dict.encode_pred("y:neverLoaded").unwrap();
+        let q = parse("SELECT ?s WHERE { ?s y:neverLoaded ?o }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        let mut ctx = ExecContext::new();
+        assert!(matches!(
+            store.execute(&eq, &mut ctx),
+            Err(GraphExecError::MissingPartition(_))
+        ));
+    }
+
+    #[test]
+    fn cancellation_propagates() {
+        let (store, dict) = academic();
+        let q = parse("SELECT ?p WHERE { ?p y:wasBornIn ?c }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        let mut ctx = ExecContext::new();
+        ctx.cancel.cancel();
+        assert!(matches!(
+            store.execute(&eq, &mut ctx),
+            Err(GraphExecError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_traversal() {
+        let mut store = GraphStore::new(10);
+        store.load_partition(p(0), &[(n(1), n(1)), (n(2), n(3))]).unwrap();
+        let mut dict = Dictionary::new();
+        // Rebuild ids to match: n(1) = first node interned, etc.
+        let a = dict.encode_node(&Term::iri("a")).unwrap(); // n0
+        let _ = a;
+        let q = EncodedQuery {
+            vars: vec![kgdual_sparql::Var::new("x")],
+            patterns: vec![kgdual_sparql::EncPattern {
+                s: kgdual_sparql::Slot::Var(0),
+                p: kgdual_sparql::PredSlot::Const(p(0)),
+                o: kgdual_sparql::Slot::Var(0),
+            }],
+            projection: vec![0],
+            distinct: false,
+            limit: None,
+        };
+        let mut ctx = ExecContext::new();
+        let res = store.execute(&q, &mut ctx).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.row(0)[0], n(1));
+    }
+
+    #[test]
+    fn traversal_work_scales_with_range_not_graph_size() {
+        // Two stores: one with a large unrelated partition, one without.
+        // The same bound query must do (nearly) the same work on both —
+        // the index-free-adjacency property.
+        let build = |extra: usize| {
+            let mut store = GraphStore::new(1_000_000);
+            store
+                .load_partition(p(0), &[(n(1), n(2)), (n(3), n(4))])
+                .unwrap();
+            if extra > 0 {
+                let big: Vec<(NodeId, NodeId)> =
+                    (0..extra as u32).map(|i| (n(1000 + i), n(2000 + i))).collect();
+                store.load_partition(p(1), &big).unwrap();
+            }
+            store
+        };
+        let q = EncodedQuery {
+            vars: vec![kgdual_sparql::Var::new("o")],
+            patterns: vec![kgdual_sparql::EncPattern {
+                s: kgdual_sparql::Slot::Const(n(1)),
+                p: kgdual_sparql::PredSlot::Const(p(0)),
+                o: kgdual_sparql::Slot::Var(0),
+            }],
+            projection: vec![0],
+            distinct: false,
+            limit: None,
+        };
+        let small = build(0);
+        let huge = build(50_000);
+        let mut ctx_small = ExecContext::new();
+        let mut ctx_huge = ExecContext::new();
+        small.execute(&q, &mut ctx_small).unwrap();
+        huge.execute(&q, &mut ctx_huge).unwrap();
+        assert_eq!(
+            ctx_small.stats.work_units(),
+            ctx_huge.stats.work_units(),
+            "bound traversal work must not depend on total graph size"
+        );
+    }
+}

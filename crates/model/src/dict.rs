@@ -1,0 +1,183 @@
+//! Two-way dictionary encoding of terms.
+//!
+//! Subjects/objects and predicates live in separate id spaces:
+//! predicates are the unit of partitioning (a [`PredId`] *is* a partition
+//! key), while nodes are the values flowing through joins and adjacency
+//! lists. Ids are dense and allocated in first-seen order, so they double as
+//! vector indexes everywhere downstream.
+
+use crate::error::ModelError;
+use crate::fx::FxHashMap;
+use crate::ids::{NodeId, PredId};
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+
+/// Two-way interning of [`Term`]s.
+///
+/// Encoding is `&mut self`; lookups are `&self`. Stores that need shared
+/// mutation wrap the dictionary in a lock at their level — the hot query
+/// path only ever reads.
+#[derive(Default, Debug, Clone, Serialize, Deserialize)]
+pub struct Dictionary {
+    node_by_key: FxHashMap<String, NodeId>,
+    nodes: Vec<Term>,
+    pred_by_name: FxHashMap<String, PredId>,
+    preds: Vec<String>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a subject/object term, returning its id (allocating one for a
+    /// first-seen term).
+    pub fn encode_node(&mut self, term: &Term) -> Result<NodeId, ModelError> {
+        let key = term.dict_key();
+        if let Some(&id) = self.node_by_key.get(key.as_ref()) {
+            return Ok(id);
+        }
+        let raw = u32::try_from(self.nodes.len()).map_err(|_| ModelError::DictionaryFull)?;
+        if raw == u32::MAX {
+            return Err(ModelError::DictionaryFull);
+        }
+        let id = NodeId(raw);
+        self.node_by_key.insert(key.into_owned(), id);
+        self.nodes.push(term.clone());
+        Ok(id)
+    }
+
+    /// Intern a predicate IRI, returning its id.
+    pub fn encode_pred(&mut self, iri: &str) -> Result<PredId, ModelError> {
+        if let Some(&id) = self.pred_by_name.get(iri) {
+            return Ok(id);
+        }
+        let raw = u32::try_from(self.preds.len()).map_err(|_| ModelError::DictionaryFull)?;
+        if raw == u32::MAX {
+            return Err(ModelError::DictionaryFull);
+        }
+        let id = PredId(raw);
+        self.pred_by_name.insert(iri.to_owned(), id);
+        self.preds.push(iri.to_owned());
+        Ok(id)
+    }
+
+    /// Look up an already-interned node term without allocating an id.
+    pub fn node_id(&self, term: &Term) -> Option<NodeId> {
+        self.node_by_key.get(term.dict_key().as_ref()).copied()
+    }
+
+    /// Look up an already-interned predicate.
+    pub fn pred_id(&self, iri: &str) -> Option<PredId> {
+        self.pred_by_name.get(iri).copied()
+    }
+
+    /// Decode a node id back to its term.
+    pub fn node(&self, id: NodeId) -> Result<&Term, ModelError> {
+        self.nodes.get(id.index()).ok_or(ModelError::UnknownNodeId(id.0))
+    }
+
+    /// Decode a predicate id back to its IRI.
+    pub fn pred(&self, id: PredId) -> Result<&str, ModelError> {
+        self.preds
+            .get(id.index())
+            .map(String::as_str)
+            .ok_or(ModelError::UnknownPredId(id.0))
+    }
+
+    /// Number of interned nodes (the paper's `#-S∪O` column in Table 3).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of interned predicates (the paper's `#-P` column in Table 3).
+    pub fn pred_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Iterate over all predicate ids in allocation order.
+    pub fn pred_ids(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.preds.len() as u32).map(PredId)
+    }
+
+    /// Iterate over `(PredId, IRI)` pairs.
+    pub fn preds(&self) -> impl Iterator<Item = (PredId, &str)> + '_ {
+        self.preds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (PredId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a1 = d.encode_node(&Term::iri("y:Einstein")).unwrap();
+        let a2 = d.encode_node(&Term::iri("y:Einstein")).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(d.node_count(), 1);
+        let p1 = d.encode_pred("y:wasBornIn").unwrap();
+        let p2 = d.encode_pred("y:wasBornIn").unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(d.pred_count(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_first_seen() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode_node(&Term::iri("a")).unwrap(), NodeId(0));
+        assert_eq!(d.encode_node(&Term::iri("b")).unwrap(), NodeId(1));
+        assert_eq!(d.encode_pred("p").unwrap(), PredId(0));
+        assert_eq!(d.encode_pred("q").unwrap(), PredId(1));
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let t = Term::lang_lit("Ulm", "de");
+        let id = d.encode_node(&t).unwrap();
+        assert_eq!(d.node(id).unwrap(), &t);
+        let p = d.encode_pred("y:hasName").unwrap();
+        assert_eq!(d.pred(p).unwrap(), "y:hasName");
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.node_id(&Term::iri("missing")), None);
+        assert_eq!(d.pred_id("missing"), None);
+        let id = d.encode_node(&Term::iri("present")).unwrap();
+        assert_eq!(d.node_id(&Term::iri("present")), Some(id));
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let d = Dictionary::new();
+        assert!(matches!(d.node(NodeId(0)), Err(ModelError::UnknownNodeId(0))));
+        assert!(matches!(d.pred(PredId(5)), Err(ModelError::UnknownPredId(5))));
+    }
+
+    #[test]
+    fn literal_and_iri_do_not_alias() {
+        let mut d = Dictionary::new();
+        let i = d.encode_node(&Term::iri("x")).unwrap();
+        let l = d.encode_node(&Term::lit("x")).unwrap();
+        assert_ne!(i, l);
+        assert_eq!(d.node_count(), 2);
+    }
+
+    #[test]
+    fn pred_iteration() {
+        let mut d = Dictionary::new();
+        d.encode_pred("a").unwrap();
+        d.encode_pred("b").unwrap();
+        let all: Vec<_> = d.preds().collect();
+        assert_eq!(all, vec![(PredId(0), "a"), (PredId(1), "b")]);
+        assert_eq!(d.pred_ids().count(), 2);
+    }
+}

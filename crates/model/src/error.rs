@@ -1,0 +1,48 @@
+//! Error type for model-level operations.
+
+use std::fmt;
+
+/// Errors raised by dictionary encoding and dataset assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A term was looked up that has never been interned.
+    UnknownTerm(String),
+    /// A node id outside the dictionary's range was dereferenced.
+    UnknownNodeId(u32),
+    /// A predicate id outside the dictionary's range was dereferenced.
+    UnknownPredId(u32),
+    /// The dictionary is full (more than `u32::MAX` entries).
+    DictionaryFull,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownTerm(t) => write!(f, "unknown term: {t}"),
+            ModelError::UnknownNodeId(id) => write!(f, "unknown node id: n{id}"),
+            ModelError::UnknownPredId(id) => write!(f, "unknown predicate id: p{id}"),
+            ModelError::DictionaryFull => write!(f, "dictionary full: u32 id space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ModelError::UnknownTerm("y:x".into()).to_string(),
+            "unknown term: y:x"
+        );
+        assert_eq!(ModelError::UnknownNodeId(9).to_string(), "unknown node id: n9");
+        assert_eq!(
+            ModelError::UnknownPredId(3).to_string(),
+            "unknown predicate id: p3"
+        );
+        assert!(ModelError::DictionaryFull.to_string().contains("u32"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Triple partitions — the unit of physical design.
+//!
+//! §3.2 of the paper: "triple partition refers to a set of triples whose
+//! predicates are identical in a knowledge graph". The dual-store tuner
+//! moves whole partitions between stores, and the graph-store budget `B_G`
+//! is expressed in triples.
+
+use crate::ids::{NodeId, PredId};
+use crate::triple::Triple;
+use serde::{Deserialize, Serialize};
+
+/// All `(subject, object)` pairs of one predicate.
+#[derive(Default, Debug, Clone, Serialize, Deserialize)]
+pub struct TriplePartition {
+    pred: PredId,
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl TriplePartition {
+    /// Create an empty partition for `pred`.
+    pub fn new(pred: PredId) -> Self {
+        TriplePartition { pred, pairs: Vec::new() }
+    }
+
+    /// The predicate this partition belongs to.
+    #[inline]
+    pub fn pred(&self) -> PredId {
+        self.pred
+    }
+
+    /// Append one `(s, o)` pair.
+    #[inline]
+    pub fn push(&mut self, s: NodeId, o: NodeId) {
+        self.pairs.push((s, o));
+    }
+
+    /// Remove every occurrence of `(s, o)`; returns how many were removed.
+    pub fn remove(&mut self, s: NodeId, o: NodeId) -> usize {
+        let before = self.pairs.len();
+        self.pairs.retain(|&(ps, po)| !(ps == s && po == o));
+        before - self.pairs.len()
+    }
+
+    /// Number of triples in this partition — the "size" used against `B_G`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the partition holds no triples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The `(s, o)` pairs in insertion order.
+    #[inline]
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Iterate the partition as full triples.
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        let p = self.pred;
+        self.pairs.iter().map(move |&(s, o)| Triple::new(s, p, o))
+    }
+}
+
+/// A set of partitions indexed densely by predicate id, with total-size
+/// bookkeeping. Used for both `T_R` (everything) and `T_G` (the accelerated
+/// share).
+#[derive(Default, Debug, Clone, Serialize, Deserialize)]
+pub struct PartitionSet {
+    parts: Vec<TriplePartition>,
+    total: usize,
+}
+
+impl PartitionSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get the partition for `pred`, if it has ever been touched.
+    pub fn get(&self, pred: PredId) -> Option<&TriplePartition> {
+        self.parts.get(pred.index()).filter(|p| !p.is_empty() || p.pred() == pred)
+    }
+
+    /// Mutable access, growing the dense vector on demand.
+    pub fn get_mut(&mut self, pred: PredId) -> &mut TriplePartition {
+        let idx = pred.index();
+        while self.parts.len() <= idx {
+            let next = PredId(self.parts.len() as u32);
+            self.parts.push(TriplePartition::new(next));
+        }
+        &mut self.parts[idx]
+    }
+
+    /// Append a triple to its partition.
+    pub fn insert(&mut self, t: Triple) {
+        self.get_mut(t.p).push(t.s, t.o);
+        self.total += 1;
+    }
+
+    /// Remove every copy of a triple; returns how many were removed.
+    pub fn remove(&mut self, t: Triple) -> usize {
+        let Some(part) = self.parts.get_mut(t.p.index()) else {
+            return 0;
+        };
+        let removed = part.remove(t.s, t.o);
+        self.total -= removed;
+        removed
+    }
+
+    /// Size (in triples) of one partition; 0 for untouched predicates.
+    pub fn partition_len(&self, pred: PredId) -> usize {
+        self.parts.get(pred.index()).map_or(0, TriplePartition::len)
+    }
+
+    /// Total number of triples across all partitions.
+    #[inline]
+    pub fn total_triples(&self) -> usize {
+        self.total
+    }
+
+    /// Iterate non-empty partitions.
+    pub fn iter(&self) -> impl Iterator<Item = &TriplePartition> + '_ {
+        self.parts.iter().filter(|p| !p.is_empty())
+    }
+
+    /// Predicates with at least one triple.
+    pub fn preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.iter().map(TriplePartition::pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(NodeId(s), PredId(p), NodeId(o))
+    }
+
+    #[test]
+    fn partition_push_and_iterate() {
+        let mut part = TriplePartition::new(PredId(2));
+        part.push(NodeId(0), NodeId(1));
+        part.push(NodeId(3), NodeId(4));
+        assert_eq!(part.len(), 2);
+        assert_eq!(part.pred(), PredId(2));
+        let ts: Vec<_> = part.triples().collect();
+        assert_eq!(ts, vec![t(0, 2, 1), t(3, 2, 4)]);
+    }
+
+    #[test]
+    fn partition_remove() {
+        let mut part = TriplePartition::new(PredId(0));
+        part.push(NodeId(1), NodeId(2));
+        part.push(NodeId(1), NodeId(2));
+        part.push(NodeId(1), NodeId(3));
+        assert_eq!(part.remove(NodeId(1), NodeId(2)), 2);
+        assert_eq!(part.len(), 1);
+        assert_eq!(part.remove(NodeId(9), NodeId(9)), 0);
+    }
+
+    #[test]
+    fn set_insert_tracks_totals() {
+        let mut set = PartitionSet::new();
+        set.insert(t(0, 0, 1));
+        set.insert(t(1, 0, 2));
+        set.insert(t(0, 3, 1));
+        assert_eq!(set.total_triples(), 3);
+        assert_eq!(set.partition_len(PredId(0)), 2);
+        assert_eq!(set.partition_len(PredId(3)), 1);
+        assert_eq!(set.partition_len(PredId(1)), 0);
+        assert_eq!(set.preds().collect::<Vec<_>>(), vec![PredId(0), PredId(3)]);
+    }
+
+    #[test]
+    fn set_remove_tracks_totals() {
+        let mut set = PartitionSet::new();
+        set.insert(t(0, 0, 1));
+        set.insert(t(0, 0, 1));
+        assert_eq!(set.remove(t(0, 0, 1)), 2);
+        assert_eq!(set.total_triples(), 0);
+        assert_eq!(set.remove(t(5, 5, 5)), 0);
+    }
+
+    #[test]
+    fn dense_growth_allocates_intermediate_preds() {
+        let mut set = PartitionSet::new();
+        set.insert(t(0, 5, 1));
+        // Predicates 0..4 exist but are empty; only 5 is non-empty.
+        assert_eq!(set.iter().count(), 1);
+        assert_eq!(set.partition_len(PredId(4)), 0);
+    }
+}

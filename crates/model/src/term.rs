@@ -1,0 +1,192 @@
+//! RDF terms: IRIs, literals, and blank nodes.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::fmt;
+
+/// An RDF term as it appears at the API boundary. Inside the stores, terms
+/// are always dictionary-encoded ids; `Term` is for loading data and
+/// rendering results.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Term {
+    /// An IRI such as `y:wasBornIn` or `<http://example.org/x>`.
+    /// Stored in already-resolved (absolute or prefixed) form.
+    Iri(String),
+    /// A literal value with optional language tag or datatype IRI.
+    Literal {
+        /// The lexical form, e.g. `"Einstein"`.
+        lexical: String,
+        /// Language tag (`@en`), mutually exclusive with `datatype` in RDF.
+        lang: Option<String>,
+        /// Datatype IRI (`^^xsd:integer`).
+        datatype: Option<String>,
+    },
+    /// A blank node with a local label, e.g. `_:b0`.
+    Blank(String),
+}
+
+impl Term {
+    /// Convenience constructor for an IRI term.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Convenience constructor for a plain literal.
+    pub fn lit(s: impl Into<String>) -> Self {
+        Term::Literal { lexical: s.into(), lang: None, datatype: None }
+    }
+
+    /// Convenience constructor for a typed literal.
+    pub fn typed_lit(s: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Term::Literal { lexical: s.into(), lang: None, datatype: Some(datatype.into()) }
+    }
+
+    /// Convenience constructor for a language-tagged literal.
+    pub fn lang_lit(s: impl Into<String>, lang: impl Into<String>) -> Self {
+        Term::Literal { lexical: s.into(), lang: Some(lang.into()), datatype: None }
+    }
+
+    /// Convenience constructor for a blank node.
+    pub fn blank(s: impl Into<String>) -> Self {
+        Term::Blank(s.into())
+    }
+
+    /// True if this term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True if this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal { .. })
+    }
+
+    /// True if this term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// The lexical payload of the term: IRI text, literal lexical form, or
+    /// blank-node label.
+    pub fn lexical(&self) -> &str {
+        match self {
+            Term::Iri(s) => s,
+            Term::Literal { lexical, .. } => lexical,
+            Term::Blank(s) => s,
+        }
+    }
+
+    /// A canonical single-string key used by the dictionary. IRIs, literals
+    /// and blank nodes are kept in disjoint key spaces by a one-byte tag so
+    /// `<x>` and `"x"` never alias.
+    pub(crate) fn dict_key(&self) -> Cow<'_, str> {
+        match self {
+            Term::Iri(s) => {
+                let mut k = String::with_capacity(s.len() + 1);
+                k.push('I');
+                k.push_str(s);
+                Cow::Owned(k)
+            }
+            Term::Blank(s) => {
+                let mut k = String::with_capacity(s.len() + 1);
+                k.push('B');
+                k.push_str(s);
+                Cow::Owned(k)
+            }
+            Term::Literal { lexical, lang, datatype } => {
+                let mut k = String::with_capacity(lexical.len() + 8);
+                k.push('L');
+                k.push_str(lexical);
+                if let Some(l) = lang {
+                    k.push('@');
+                    k.push_str(l);
+                }
+                if let Some(d) = datatype {
+                    k.push('^');
+                    k.push_str(d);
+                }
+                Cow::Owned(k)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => {
+                // Prefixed names print bare; absolute IRIs get angle brackets.
+                if s.contains("://") {
+                    write!(f, "<{s}>")
+                } else {
+                    write!(f, "{s}")
+                }
+            }
+            Term::Literal { lexical, lang, datatype } => {
+                write!(f, "\"{lexical}\"")?;
+                if let Some(l) = lang {
+                    write!(f, "@{l}")?;
+                }
+                if let Some(d) = datatype {
+                    write!(f, "^^{d}")?;
+                }
+                Ok(())
+            }
+            Term::Blank(s) => write!(f, "_:{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_kinds() {
+        assert!(Term::iri("y:wasBornIn").is_iri());
+        assert!(Term::lit("Einstein").is_literal());
+        assert!(Term::blank("b0").is_blank());
+        assert!(!Term::lit("x").is_iri());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("y:bornIn").to_string(), "y:bornIn");
+        assert_eq!(Term::iri("http://x.org/a").to_string(), "<http://x.org/a>");
+        assert_eq!(Term::lit("a b").to_string(), "\"a b\"");
+        assert_eq!(Term::lang_lit("chat", "fr").to_string(), "\"chat\"@fr");
+        assert_eq!(
+            Term::typed_lit("3", "xsd:integer").to_string(),
+            "\"3\"^^xsd:integer"
+        );
+        assert_eq!(Term::blank("b1").to_string(), "_:b1");
+    }
+
+    #[test]
+    fn dict_keys_disjoint() {
+        // The same payload in different term kinds must never collide.
+        let iri = Term::iri("x");
+        let lit = Term::lit("x");
+        let blank = Term::blank("x");
+        assert_ne!(iri.dict_key(), lit.dict_key());
+        assert_ne!(iri.dict_key(), blank.dict_key());
+        assert_ne!(lit.dict_key(), blank.dict_key());
+    }
+
+    #[test]
+    fn dict_keys_distinguish_lang_and_datatype() {
+        let plain = Term::lit("x");
+        let lang = Term::lang_lit("x", "en");
+        let typed = Term::typed_lit("x", "xsd:string");
+        assert_ne!(plain.dict_key(), lang.dict_key());
+        assert_ne!(plain.dict_key(), typed.dict_key());
+        assert_ne!(lang.dict_key(), typed.dict_key());
+    }
+
+    #[test]
+    fn lexical_payload() {
+        assert_eq!(Term::iri("y:a").lexical(), "y:a");
+        assert_eq!(Term::lit("v").lexical(), "v");
+        assert_eq!(Term::blank("b").lexical(), "b");
+    }
+}

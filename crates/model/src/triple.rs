@@ -1,0 +1,78 @@
+//! Dictionary-encoded triples.
+
+use crate::ids::{NodeId, PredId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One encoded edge of the knowledge graph: `(subject, predicate, object)`.
+///
+/// 12 bytes, `Copy`, and ordered `(p, s, o)` so that sorting a triple slice
+/// groups it by partition for free.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject node.
+    pub s: NodeId,
+    /// Predicate (partition key).
+    pub p: PredId,
+    /// Object node.
+    pub o: NodeId,
+}
+
+impl Triple {
+    /// Construct a triple.
+    #[inline]
+    pub fn new(s: NodeId, p: PredId, o: NodeId) -> Self {
+        Triple { s, p, o }
+    }
+
+    /// The `(subject, object)` payload stored in a partition table.
+    #[inline]
+    pub fn so(&self) -> (NodeId, NodeId) {
+        (self.s, self.o)
+    }
+}
+
+impl PartialOrd for Triple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Triple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.p, self.s, self.o).cmp(&(other.p, other.s, other.o))
+    }
+}
+
+impl fmt::Debug for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} {})", self.s, self.p, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_groups_by_predicate() {
+        let a = Triple::new(NodeId(9), PredId(0), NodeId(1));
+        let b = Triple::new(NodeId(0), PredId(1), NodeId(0));
+        let c = Triple::new(NodeId(1), PredId(0), NodeId(5));
+        let mut v = vec![b, a, c];
+        v.sort();
+        assert_eq!(v, vec![c, a, b]);
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let t = Triple::new(NodeId(1), PredId(2), NodeId(3));
+        assert_eq!(t.so(), (NodeId(1), NodeId(3)));
+        assert_eq!(format!("{t:?}"), "(n1 p2 n3)");
+    }
+
+    #[test]
+    fn triple_is_twelve_bytes() {
+        assert_eq!(std::mem::size_of::<Triple>(), 12);
+    }
+}

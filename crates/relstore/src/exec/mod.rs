@@ -1,0 +1,9 @@
+//! Execution primitives shared by the relational and graph stores.
+
+pub mod bindings;
+pub mod context;
+pub mod governor;
+
+pub use bindings::Bindings;
+pub use context::{CancelToken, ExecContext, ExecError, ExecStats};
+pub use governor::{GovernorSample, ResourceGovernor, ResourceKind};

@@ -1,0 +1,42 @@
+//! # kgdual-relstore
+//!
+//! The relational-store substrate of the dual-store structure — the stand-in
+//! for the paper's MySQL deployment.
+//!
+//! Layout follows the paper's partitioning model: one two-column
+//! `(subject, object)` table per predicate (vertical partitioning), which
+//! makes the *triple partition* the natural unit both of storage and of the
+//! tuner's physical design.
+//!
+//! The executor reproduces the relational behaviour the paper's argument
+//! rests on: multi-pattern (complex) queries are answered by full partition
+//! scans feeding hash joins, so latency grows with the size of the scanned
+//! partitions; low-selectivity bound patterns use sorted permutation
+//! indexes, mirroring a real RDBMS optimizer's index-vs-scan cliff.
+//!
+//! This crate also hosts the execution primitives shared with the graph
+//! store ([`exec`]): columnar bindings, execution statistics, cooperative
+//! cancellation (used by DOTIL's counterfactual thread), and the
+//! [`exec::ResourceGovernor`] that emulates constrained spare IO/CPU for
+//! the paper's Table 6 / Figure 7 experiments.
+//!
+//! Finally, [`views`] implements the `RDB-views` baseline: a
+//! frequency-based materialized-view advisor over generalized complex
+//! subqueries, with exact-match rewriting.
+
+pub mod exec;
+pub mod planner;
+pub mod store;
+pub mod table;
+pub mod temp;
+pub mod views;
+
+pub use exec::{
+    Bindings, CancelToken, ExecContext, ExecError, ExecStats, GovernorSample, ResourceGovernor,
+    ResourceKind,
+};
+pub use planner::PlannerConfig;
+pub use store::RelStore;
+pub use table::{PredTable, TableStats};
+pub use temp::TempSpace;
+pub use views::{MatView, ViewCatalog};

@@ -1,0 +1,827 @@
+//! The relational store: vertically-partitioned storage plus a BGP
+//! executor (greedy join order, hash joins, optional index nested loops).
+
+use crate::exec::{Bindings, ExecContext, ExecError};
+use crate::planner::{self, PlannerConfig};
+use crate::table::{PredTable, TableStats};
+use kgdual_model::fx::FxHashMap;
+use kgdual_model::{NodeId, PartitionSet, PredId, Triple};
+use kgdual_sparql::{EncPattern, EncodedQuery, PredSlot, Slot, VarId};
+
+/// The relational store: one [`PredTable`] per predicate.
+///
+/// Stores the *entire* knowledge graph in the dual-store design and is the
+/// only store that accepts updates directly (the paper keeps `T_R` complete
+/// regardless of what is mirrored into the graph store).
+#[derive(Debug, Default)]
+pub struct RelStore {
+    tables: Vec<PredTable>,
+    total_rows: usize,
+    cfg: PlannerConfig,
+}
+
+impl RelStore {
+    /// An empty store with default planner settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty store with explicit planner settings (ablations).
+    pub fn with_config(cfg: PlannerConfig) -> Self {
+        RelStore { cfg, ..Self::default() }
+    }
+
+    /// The planner configuration in use.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// Bulk-load every partition of `parts` (appends to existing tables).
+    pub fn load_partition_set(&mut self, parts: &PartitionSet) {
+        for part in parts.iter() {
+            self.table_mut(part.pred()).insert_batch(part.pairs());
+            self.total_rows += part.len();
+        }
+    }
+
+    /// Bulk-load one partition's pairs.
+    pub fn load_partition(&mut self, pred: PredId, pairs: &[(NodeId, NodeId)]) {
+        self.table_mut(pred).insert_batch(pairs);
+        self.total_rows += pairs.len();
+    }
+
+    /// Insert a single triple (cheap append — the relational store's
+    /// headline strength in the paper).
+    pub fn insert(&mut self, t: Triple) {
+        self.table_mut(t.p).insert(t.s, t.o);
+        self.total_rows += 1;
+    }
+
+    /// Delete every copy of a triple; returns how many rows were removed.
+    pub fn delete(&mut self, t: Triple) -> usize {
+        let Some(table) = self.tables.get_mut(t.p.index()) else {
+            return 0;
+        };
+        let removed = table.delete(t.s, t.o);
+        self.total_rows -= removed;
+        removed
+    }
+
+    /// The table for `pred`, if it exists.
+    pub fn table(&self, pred: PredId) -> Option<&PredTable> {
+        self.tables.get(pred.index())
+    }
+
+    fn table_mut(&mut self, pred: PredId) -> &mut PredTable {
+        while self.tables.len() <= pred.index() {
+            self.tables.push(PredTable::new());
+        }
+        &mut self.tables[pred.index()]
+    }
+
+    /// Rows in one partition (0 if absent).
+    pub fn partition_len(&self, pred: PredId) -> usize {
+        self.table(pred).map_or(0, PredTable::len)
+    }
+
+    /// Total rows across all partitions.
+    pub fn total_triples(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Predicates with at least one row.
+    pub fn preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .map(|(i, _)| PredId(i as u32))
+    }
+
+    /// Statistics for a partition.
+    pub fn stats(&self, pred: PredId) -> Option<TableStats> {
+        self.table(pred).map(PredTable::stats)
+    }
+
+    /// Execute a compiled query.
+    pub fn execute(&self, q: &EncodedQuery, ctx: &mut ExecContext) -> Result<Bindings, ExecError> {
+        self.eval_bgp(q, None, ctx)
+    }
+
+    /// Execute a compiled query starting from seed bindings (the paper's
+    /// Case 2: intermediate results migrated from the graph store live in
+    /// the temporary table space and are joined with the remaining
+    /// patterns here).
+    pub fn execute_with_seed(
+        &self,
+        q: &EncodedQuery,
+        seed: &Bindings,
+        ctx: &mut ExecContext,
+    ) -> Result<Bindings, ExecError> {
+        self.eval_bgp(q, Some(seed), ctx)
+    }
+
+    fn eval_bgp(
+        &self,
+        q: &EncodedQuery,
+        seed: Option<&Bindings>,
+        ctx: &mut ExecContext,
+    ) -> Result<Bindings, ExecError> {
+        let empty_result = |q: &EncodedQuery| Bindings::new(q.projection.clone());
+        if let Some(s) = seed {
+            if s.is_empty() {
+                return Ok(empty_result(q));
+            }
+        }
+
+        let seed_vars: Vec<VarId> = seed.map(|s| s.vars().to_vec()).unwrap_or_default();
+        let mut stats_of = |p: PredId| self.stats(p);
+        let order = planner::order_patterns(q, &seed_vars, &mut stats_of, self.total_rows);
+
+        let mut acc: Option<Bindings> = seed.cloned();
+        for &idx in &order {
+            let pat = &q.patterns[idx];
+            ctx.stats.tables_touched += 1;
+
+            // Fully-ground pattern: a pure existence filter.
+            if pat.vars().next().is_none() {
+                if !self.ground_pattern_holds(pat, ctx)? {
+                    return Ok(empty_result(q));
+                }
+                continue;
+            }
+
+            let next = match &acc {
+                None => self.materialize_pattern(pat, ctx)?,
+                Some(a) => {
+                    if self.should_inl(a, pat) {
+                        self.inl_extend(a, pat, ctx)?
+                    } else {
+                        let delta = self.materialize_pattern(pat, ctx)?;
+                        hash_join(a, &delta, ctx)?
+                    }
+                }
+            };
+            if next.is_empty() {
+                return Ok(empty_result(q));
+            }
+            acc = Some(next);
+        }
+
+        let Some(acc) = acc else {
+            // Only ground patterns (all passed): the unit relation, which
+            // projects to nothing representable — report empty.
+            return Ok(empty_result(q));
+        };
+        let mut out = acc.project(&q.projection);
+        if q.distinct {
+            out.dedup_rows();
+        }
+        if let Some(limit) = q.limit {
+            out.truncate(limit);
+        }
+        ctx.stats.rows_output += out.len() as u64;
+        Ok(out)
+    }
+
+    /// Check a pattern with no variables (`const pred const`).
+    fn ground_pattern_holds(
+        &self,
+        pat: &EncPattern,
+        ctx: &mut ExecContext,
+    ) -> Result<bool, ExecError> {
+        let (Slot::Const(s), PredSlot::Const(p), Slot::Const(o)) = (pat.s, pat.p, pat.o) else {
+            unreachable!("ground_pattern_holds called on a pattern with variables");
+        };
+        let Some(table) = self.table(p) else {
+            return Ok(false);
+        };
+        let rows = table.lookup_s(s);
+        ctx.charge_probe(rows.len() as u64 + 1)?;
+        Ok(rows.iter().any(|&(_, ro)| ro == o))
+    }
+
+    /// Decide index-nested-loop vs hash join for extending `acc` by `pat`.
+    fn should_inl(&self, acc: &Bindings, pat: &EncPattern) -> bool {
+        if self.cfg.force_scans {
+            return false;
+        }
+        let PredSlot::Const(p) = pat.p else {
+            return false;
+        };
+        let Some(table) = self.table(p) else {
+            return false;
+        };
+        // Need at least one endpoint variable already bound (a real join),
+        // and the probe side must be small relative to the table.
+        let s_joined = pat.s.as_var().is_some_and(|v| acc.col_of(v).is_some());
+        let o_joined = pat.o.as_var().is_some_and(|v| acc.col_of(v).is_some());
+        if !s_joined && !o_joined {
+            return false;
+        }
+        (acc.len() as f64) <= self.cfg.inl_probe_ratio * table.len() as f64
+    }
+
+    /// Produce the binding table of a single pattern from base tables.
+    fn materialize_pattern(
+        &self,
+        pat: &EncPattern,
+        ctx: &mut ExecContext,
+    ) -> Result<Bindings, ExecError> {
+        // Deduplicated schema (handles `?x p ?x` self-loops).
+        let mut schema: Vec<VarId> = Vec::with_capacity(3);
+        for v in pat.vars() {
+            if !schema.contains(&v) {
+                schema.push(v);
+            }
+        }
+        let mut out = Bindings::new(schema.clone());
+        let self_loop = match (pat.s, pat.o) {
+            (Slot::Var(a), Slot::Var(b)) => a == b,
+            _ => false,
+        };
+
+        let emit = |s: NodeId, pred: PredId, o: NodeId, out: &mut Bindings| {
+            // Slot filters for constants.
+            if let Slot::Const(cs) = pat.s {
+                if cs != s {
+                    return false;
+                }
+            }
+            if let Slot::Const(co) = pat.o {
+                if co != o {
+                    return false;
+                }
+            }
+            if self_loop && s != o {
+                return false;
+            }
+            let mut row: [NodeId; 3] = [NodeId(0); 3];
+            let mut w = 0usize;
+            let push = |var: VarId, val: NodeId, row: &mut [NodeId; 3], w: &mut usize| {
+                if schema[..*w].contains(&var) {
+                    return;
+                }
+                row[*w] = val;
+                *w += 1;
+            };
+            if let Slot::Var(v) = pat.s {
+                push(v, s, &mut row, &mut w);
+            }
+            if let PredSlot::Var(v) = pat.p {
+                // Predicate bindings are carried as raw ids in node space.
+                push(v, NodeId(pred.0), &mut row, &mut w);
+            }
+            if let Slot::Var(v) = pat.o {
+                push(v, o, &mut row, &mut w);
+            }
+            out.push_row(&row[..w]);
+            true
+        };
+
+        match pat.p {
+            PredSlot::Const(p) => {
+                let Some(table) = self.table(p) else {
+                    return Ok(out);
+                };
+                let st = table.stats();
+                let threshold = self.cfg.index_selectivity_threshold;
+                let use_s_index = !self.cfg.force_scans
+                    && matches!(pat.s, Slot::Const(_))
+                    && st.rows_per_subject() <= threshold * st.rows.max(1) as f64;
+                let use_o_index = !self.cfg.force_scans
+                    && matches!(pat.o, Slot::Const(_))
+                    && st.rows_per_object() <= threshold * st.rows.max(1) as f64;
+
+                if let (Slot::Const(cs), true) = (pat.s, use_s_index) {
+                    let rows = table.lookup_s(cs);
+                    ctx.charge_probe(rows.len() as u64 + 1)?;
+                    for (s, o) in rows {
+                        emit(s, p, o, &mut out);
+                    }
+                } else if let (Slot::Const(co), true) = (pat.o, use_o_index) {
+                    let rows = table.lookup_o(co);
+                    ctx.charge_probe(rows.len() as u64 + 1)?;
+                    for (o, s) in rows {
+                        emit(s, p, o, &mut out);
+                    }
+                } else {
+                    // Full scan — the path complex queries take, and the
+                    // reason relational latency grows with data size.
+                    scan_chunked(table.scan(), ctx, |&(s, o)| {
+                        emit(s, p, o, &mut out);
+                    })?;
+                }
+            }
+            PredSlot::Var(_) => {
+                // Union over every partition.
+                for (i, table) in self.tables.iter().enumerate() {
+                    if table.is_empty() {
+                        continue;
+                    }
+                    let p = PredId(i as u32);
+                    ctx.stats.tables_touched += 1;
+                    scan_chunked(table.scan(), ctx, |&(s, o)| {
+                        emit(s, p, o, &mut out);
+                    })?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Index-nested-loop extension of `acc` by one bound pattern.
+    fn inl_extend(
+        &self,
+        acc: &Bindings,
+        pat: &EncPattern,
+        ctx: &mut ExecContext,
+    ) -> Result<Bindings, ExecError> {
+        let PredSlot::Const(p) = pat.p else {
+            unreachable!("inl_extend requires a bound predicate");
+        };
+        let Some(table) = self.table(p) else {
+            let mut schema = acc.vars().to_vec();
+            for v in pat.vars() {
+                if !schema.contains(&v) {
+                    schema.push(v);
+                }
+            }
+            return Ok(Bindings::new(schema));
+        };
+
+        // Where does each endpoint come from?
+        #[derive(Copy, Clone)]
+        enum Src {
+            Const(NodeId),
+            AccCol(usize),
+            New, // unbound variable: becomes a new output column
+        }
+        let classify = |slot: Slot| match slot {
+            Slot::Const(c) => Src::Const(c),
+            Slot::Var(v) => match acc.col_of(v) {
+                Some(c) => Src::AccCol(c),
+                None => Src::New,
+            },
+        };
+        let s_src = classify(pat.s);
+        let o_src = classify(pat.o);
+
+        let mut schema = acc.vars().to_vec();
+        let mut new_vars = 0usize;
+        if let (Slot::Var(v), Src::New) = (pat.s, s_src) {
+            schema.push(v);
+            new_vars += 1;
+        }
+        if let (Slot::Var(v), Src::New) = (pat.o, o_src) {
+            // `?x p ?x` with x unbound cannot reach INL (no join var), so a
+            // duplicate push is impossible here.
+            schema.push(v);
+            new_vars += 1;
+        }
+        let mut out = Bindings::with_capacity(schema, acc.len());
+
+        let s_index = table.s_index();
+        let o_index = table.o_index();
+        let mut row_buf: Vec<NodeId> = Vec::with_capacity(acc.width() + new_vars);
+
+        for row in acc.rows() {
+            ctx.charge_probe(1)?;
+            let s_val = match s_src {
+                Src::Const(c) => Some(c),
+                Src::AccCol(c) => Some(row[c]),
+                Src::New => None,
+            };
+            let o_val = match o_src {
+                Src::Const(c) => Some(c),
+                Src::AccCol(c) => Some(row[c]),
+                Src::New => None,
+            };
+            let matches: &[(NodeId, NodeId)] = match (s_val, o_val) {
+                (Some(s), _) => range_of(&s_index, s),
+                (None, Some(o)) => range_of(&o_index, o),
+                (None, None) => unreachable!("INL requires a bound endpoint"),
+            };
+            ctx.charge_probe(matches.len() as u64)?;
+            for &(k, v) in matches {
+                // `s_index` yields (s, o); `o_index` yields (o, s).
+                let (ms, mo) = if s_val.is_some() { (k, v) } else { (v, k) };
+                if let Some(s) = s_val {
+                    if ms != s {
+                        continue;
+                    }
+                }
+                if let Some(o) = o_val {
+                    if mo != o {
+                        continue;
+                    }
+                }
+                row_buf.clear();
+                row_buf.extend_from_slice(row);
+                if matches!((pat.s, s_src), (Slot::Var(_), Src::New)) {
+                    row_buf.push(ms);
+                }
+                if matches!((pat.o, o_src), (Slot::Var(_), Src::New)) {
+                    row_buf.push(mo);
+                }
+                ctx.charge_join(1)?;
+                out.push_row(&row_buf);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Scan a slice in cancellation-polling chunks, charging IO per row.
+fn scan_chunked<T>(
+    rows: &[T],
+    ctx: &mut ExecContext,
+    mut f: impl FnMut(&T),
+) -> Result<(), ExecError> {
+    const CHUNK: usize = 4096;
+    for chunk in rows.chunks(CHUNK) {
+        ctx.charge_scan(chunk.len() as u64)?;
+        for item in chunk {
+            f(item);
+        }
+    }
+    Ok(())
+}
+
+/// Slice of a key-sorted pair vector whose `.0` equals `key`.
+fn range_of(sorted: &[(NodeId, NodeId)], key: NodeId) -> &[(NodeId, NodeId)] {
+    let lo = sorted.partition_point(|&(k, _)| k < key);
+    let hi = sorted.partition_point(|&(k, _)| k <= key);
+    &sorted[lo..hi]
+}
+
+/// Hash join of two binding tables on their shared variables; cartesian
+/// product when they share none.
+pub(crate) fn hash_join(
+    left: &Bindings,
+    right: &Bindings,
+    ctx: &mut ExecContext,
+) -> Result<Bindings, ExecError> {
+    let shared: Vec<VarId> = left
+        .vars()
+        .iter()
+        .copied()
+        .filter(|v| right.col_of(*v).is_some())
+        .collect();
+
+    // Output schema: left columns then right's novel columns.
+    let mut schema = left.vars().to_vec();
+    let right_new_cols: Vec<usize> = right
+        .vars()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| left.col_of(**v).is_none())
+        .map(|(i, v)| {
+            schema.push(*v);
+            i
+        })
+        .collect();
+    let mut out = Bindings::new(schema);
+
+    if shared.is_empty() {
+        // Cartesian product.
+        let mut row_buf = Vec::with_capacity(left.width() + right_new_cols.len());
+        for lrow in left.rows() {
+            for rrow in right.rows() {
+                ctx.charge_join(1)?;
+                row_buf.clear();
+                row_buf.extend_from_slice(lrow);
+                for &c in &right_new_cols {
+                    row_buf.push(rrow[c]);
+                }
+                out.push_row(&row_buf);
+            }
+        }
+        return Ok(out);
+    }
+
+    // Build on the smaller side, probe with the larger.
+    let build_left = left.len() <= right.len();
+    let (build, probe) = if build_left { (left, right) } else { (right, left) };
+    let build_key_cols: Vec<usize> =
+        shared.iter().map(|&v| build.col_of(v).unwrap()).collect();
+    let probe_key_cols: Vec<usize> =
+        shared.iter().map(|&v| probe.col_of(v).unwrap()).collect();
+
+    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    let mut key_buf: Vec<NodeId> = Vec::with_capacity(build_key_cols.len());
+    // Exact keys are re-checked on probe, so a 64-bit mixed key is safe.
+    let mix = |vals: &[NodeId]| -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in vals {
+            h ^= v.0 as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    };
+
+    for (i, row) in build.rows().enumerate() {
+        ctx.charge_hash(1)?;
+        key_buf.clear();
+        key_buf.extend(build_key_cols.iter().map(|&c| row[c]));
+        table.entry(mix(&key_buf)).or_default().push(i as u32);
+    }
+
+    let mut row_buf = Vec::with_capacity(left.width() + right_new_cols.len());
+    for prow in probe.rows() {
+        ctx.charge_probe(1)?;
+        key_buf.clear();
+        key_buf.extend(probe_key_cols.iter().map(|&c| prow[c]));
+        let Some(cands) = table.get(&mix(&key_buf)) else {
+            continue;
+        };
+        'cand: for &bi in cands {
+            let brow = build.row(bi as usize);
+            // Exact key equality (guards against 64-bit mix collisions).
+            for (bc, pc) in build_key_cols.iter().zip(&probe_key_cols) {
+                if brow[*bc] != prow[*pc] {
+                    continue 'cand;
+                }
+            }
+            let (lrow, rrow) = if build_left { (brow, prow) } else { (prow, brow) };
+            ctx.charge_join(1)?;
+            row_buf.clear();
+            row_buf.extend_from_slice(lrow);
+            for &c in &right_new_cols {
+                row_buf.push(rrow[c]);
+            }
+            out.push_row(&row_buf);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_model::{Dictionary, Term};
+    use kgdual_sparql::{compile, parse, Compiled};
+
+    /// Tiny academic graph mirroring the paper's running example.
+    fn academic_store() -> (RelStore, Dictionary) {
+        let mut dict = Dictionary::new();
+        let mut store = RelStore::new();
+        let add = |dict: &mut Dictionary, store: &mut RelStore, s: &str, p: &str, o: &str| {
+            let s = dict.encode_node(&Term::iri(s)).unwrap();
+            let p = dict.encode_pred(p).unwrap();
+            let o = dict.encode_node(&Term::iri(o)).unwrap();
+            store.insert(Triple::new(s, p, o));
+        };
+        // einstein: born in ulm, advisor weber born in ulm  -> match
+        // feynman:  born in nyc, advisor wheeler born in jacksonville -> no
+        add(&mut dict, &mut store, "y:Einstein", "y:wasBornIn", "y:Ulm");
+        add(&mut dict, &mut store, "y:Weber", "y:wasBornIn", "y:Ulm");
+        add(&mut dict, &mut store, "y:Einstein", "y:hasAcademicAdvisor", "y:Weber");
+        add(&mut dict, &mut store, "y:Feynman", "y:wasBornIn", "y:NYC");
+        add(&mut dict, &mut store, "y:Wheeler", "y:wasBornIn", "y:Jacksonville");
+        add(&mut dict, &mut store, "y:Feynman", "y:hasAcademicAdvisor", "y:Wheeler");
+        add(&mut dict, &mut store, "y:Einstein", "y:hasGivenName", "y:Albert");
+        add(&mut dict, &mut store, "y:Feynman", "y:hasGivenName", "y:Richard");
+        (store, dict)
+    }
+
+    fn run(store: &RelStore, dict: &Dictionary, src: &str) -> Bindings {
+        let q = parse(src).unwrap();
+        match compile(&q, dict).unwrap() {
+            Compiled::Query(eq) => {
+                let mut ctx = ExecContext::new();
+                store.execute(&eq, &mut ctx).unwrap()
+            }
+            Compiled::EmptyResult => Bindings::new(vec![]),
+        }
+    }
+
+    fn decode_col(b: &Bindings, dict: &Dictionary, col: usize) -> Vec<String> {
+        let mut out: Vec<String> =
+            b.rows().map(|r| dict.node(r[col]).unwrap().to_string()).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn single_pattern_scan() {
+        let (store, dict) = academic_store();
+        let res = run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn ?c }");
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn bound_object_lookup() {
+        let (store, dict) = academic_store();
+        let res = run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn y:Ulm }");
+        assert_eq!(decode_col(&res, &dict, 0), vec!["y:Einstein", "y:Weber"]);
+    }
+
+    #[test]
+    fn paper_complex_query_advisor_same_city() {
+        let (store, dict) = academic_store();
+        let res = run(
+            &store,
+            &dict,
+            "SELECT ?p WHERE { ?p y:wasBornIn ?city . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city }",
+        );
+        assert_eq!(decode_col(&res, &dict, 0), vec!["y:Einstein"]);
+    }
+
+    #[test]
+    fn join_with_projection_of_two_vars() {
+        let (store, dict) = academic_store();
+        let res = run(
+            &store,
+            &dict,
+            "SELECT ?p ?g WHERE { ?p y:hasAcademicAdvisor ?a . ?p y:hasGivenName ?g }",
+        );
+        assert_eq!(res.len(), 2);
+        assert_eq!(res.vars().len(), 2);
+    }
+
+    #[test]
+    fn ground_pattern_filters() {
+        let (store, dict) = academic_store();
+        // True ground fact: keeps results.
+        let res = run(
+            &store,
+            &dict,
+            "SELECT ?g WHERE { y:Einstein y:wasBornIn y:Ulm . y:Einstein y:hasGivenName ?g }",
+        );
+        assert_eq!(res.len(), 1);
+        // False ground fact: empties the result.
+        let res2 = run(
+            &store,
+            &dict,
+            "SELECT ?g WHERE { y:Feynman y:wasBornIn y:Ulm . y:Feynman y:hasGivenName ?g }",
+        );
+        assert!(res2.is_empty());
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let (store, dict) = academic_store();
+        let res = run(&store, &dict, "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c }");
+        assert_eq!(res.len(), 3); // Ulm, NYC, Jacksonville
+        let res2 = run(&store, &dict, "SELECT ?c WHERE { ?p y:wasBornIn ?c } LIMIT 2");
+        assert_eq!(res2.len(), 2);
+    }
+
+    #[test]
+    fn variable_predicate_unions_partitions() {
+        let (store, dict) = academic_store();
+        let res = run(&store, &dict, "SELECT ?s WHERE { ?s ?pred y:Ulm }");
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_pattern() {
+        let (mut store, mut dict) = academic_store();
+        let narcissus = dict.encode_node(&Term::iri("y:Narcissus")).unwrap();
+        let loves = dict.encode_pred("y:loves").unwrap();
+        store.insert(Triple::new(narcissus, loves, narcissus));
+        let other = dict.encode_node(&Term::iri("y:Echo")).unwrap();
+        store.insert(Triple::new(other, loves, narcissus));
+        let res = run(&store, &dict, "SELECT ?x WHERE { ?x y:loves ?x }");
+        assert_eq!(decode_col(&res, &dict, 0), vec!["y:Narcissus"]);
+    }
+
+    #[test]
+    fn empty_result_for_unmatched_join() {
+        let (store, dict) = academic_store();
+        let res = run(
+            &store,
+            &dict,
+            "SELECT ?p WHERE { ?p y:hasGivenName ?g . ?g y:wasBornIn ?c }",
+        );
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn seeded_execution_joins_with_seed() {
+        let (store, dict) = academic_store();
+        let q = parse("SELECT ?p ?g WHERE { ?p y:hasGivenName ?g . ?p y:wasBornIn ?c }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        // Seed: ?p = Einstein only (as if migrated from the graph store).
+        let p_var = 0; // first var in the query is ?p
+        let einstein = dict.node_id(&Term::iri("y:Einstein")).unwrap();
+        let mut seed = Bindings::new(vec![p_var]);
+        seed.push_row(&[einstein]);
+        let mut ctx = ExecContext::new();
+        let res = store.execute_with_seed(&eq, &seed, &mut ctx).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(decode_col(&res, &dict, 0), vec!["y:Einstein"]);
+    }
+
+    #[test]
+    fn empty_seed_short_circuits() {
+        let (store, dict) = academic_store();
+        let q = parse("SELECT ?p WHERE { ?p y:wasBornIn ?c }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        let seed = Bindings::new(vec![0]);
+        let mut ctx = ExecContext::new();
+        let res = store.execute_with_seed(&eq, &seed, &mut ctx).unwrap();
+        assert!(res.is_empty());
+        assert_eq!(ctx.stats.rows_scanned, 0, "must not touch tables");
+    }
+
+    #[test]
+    fn cancellation_interrupts_scan() {
+        let (store, dict) = academic_store();
+        let q = parse("SELECT ?p WHERE { ?p y:wasBornIn ?c }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        let mut ctx = ExecContext::new();
+        ctx.cancel.cancel();
+        assert!(matches!(
+            store.execute(&eq, &mut ctx),
+            Err(ExecError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_scans_for_complex_query() {
+        let (store, dict) = academic_store();
+        let q = parse(
+            "SELECT ?p WHERE { ?p y:wasBornIn ?city . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city }",
+        )
+        .unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        let mut ctx = ExecContext::new();
+        store.execute(&eq, &mut ctx).unwrap();
+        assert!(ctx.stats.rows_scanned > 0, "complex queries must scan");
+        assert!(ctx.stats.work_units() > 0);
+    }
+
+    #[test]
+    fn force_scans_config_disables_indexes() {
+        let (store, dict) = academic_store();
+        let mut forced = RelStore::with_config(PlannerConfig {
+            force_scans: true,
+            ..PlannerConfig::default()
+        });
+        // Copy data over.
+        for p in store.preds() {
+            forced.load_partition(p, store.table(p).unwrap().scan());
+        }
+        let q = parse("SELECT ?p WHERE { ?p y:wasBornIn y:Ulm }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        let mut ctx = ExecContext::new();
+        let res = forced.execute(&eq, &mut ctx).unwrap();
+        assert_eq!(res.len(), 2);
+        assert!(ctx.stats.rows_scanned > 0);
+        assert_eq!(ctx.stats.index_probes, 0);
+    }
+
+    #[test]
+    fn insert_delete_roundtrip() {
+        let (mut store, mut dict) = academic_store();
+        let before = store.total_triples();
+        let s = dict.encode_node(&Term::iri("y:New")).unwrap();
+        let p = dict.encode_pred("y:wasBornIn").unwrap();
+        let o = dict.encode_node(&Term::iri("y:Ulm")).unwrap();
+        store.insert(Triple::new(s, p, o));
+        assert_eq!(store.total_triples(), before + 1);
+        assert_eq!(store.delete(Triple::new(s, p, o)), 1);
+        assert_eq!(store.total_triples(), before);
+        assert_eq!(store.delete(Triple::new(s, p, o)), 0);
+    }
+
+    #[test]
+    fn hash_join_cartesian_when_disjoint() {
+        let mut l = Bindings::new(vec![0]);
+        l.push_row(&[NodeId(1)]);
+        l.push_row(&[NodeId(2)]);
+        let mut r = Bindings::new(vec![1]);
+        r.push_row(&[NodeId(7)]);
+        let mut ctx = ExecContext::new();
+        let j = hash_join(&l, &r, &mut ctx).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.vars(), &[0, 1]);
+        assert_eq!(j.row(0), &[NodeId(1), NodeId(7)]);
+    }
+
+    #[test]
+    fn hash_join_multi_var_key() {
+        let mut l = Bindings::new(vec![0, 1]);
+        l.push_row(&[NodeId(1), NodeId(2)]);
+        l.push_row(&[NodeId(1), NodeId(3)]);
+        let mut r = Bindings::new(vec![0, 1, 2]);
+        r.push_row(&[NodeId(1), NodeId(2), NodeId(9)]);
+        r.push_row(&[NodeId(1), NodeId(9), NodeId(8)]);
+        let mut ctx = ExecContext::new();
+        let j = hash_join(&l, &r, &mut ctx).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.row(0), &[NodeId(1), NodeId(2), NodeId(9)]);
+    }
+}

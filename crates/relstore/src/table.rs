@@ -1,0 +1,287 @@
+//! Per-predicate two-column tables (vertical partitioning).
+
+use kgdual_model::NodeId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Cardinality statistics for one partition table, used by the planner.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: usize,
+    /// Distinct subjects.
+    pub distinct_s: usize,
+    /// Distinct objects.
+    pub distinct_o: usize,
+}
+
+impl TableStats {
+    /// Estimated rows matching a bound subject.
+    pub fn rows_per_subject(&self) -> f64 {
+        if self.distinct_s == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.distinct_s as f64
+        }
+    }
+
+    /// Estimated rows matching a bound object.
+    pub fn rows_per_object(&self) -> f64 {
+        if self.distinct_o == 0 {
+            0.0
+        } else {
+            self.rows as f64 / self.distinct_o as f64
+        }
+    }
+}
+
+/// A key-sorted copy of the pairs, shared with readers while valid.
+type SortedIndex = RwLock<Option<Arc<Vec<(NodeId, NodeId)>>>>;
+
+/// One predicate's `(subject, object)` table.
+///
+/// The base storage is an append-ordered pair vector (cheap inserts — the
+/// paper's relational store must be "convenient in updating knowledge").
+/// Two sorted permutation indexes (`by subject`, `by object`) and the stats
+/// are built lazily behind locks and invalidated by writes, mimicking a
+/// real RDBMS's secondary indexes without penalising the write path.
+#[derive(Debug, Default)]
+pub struct PredTable {
+    pairs: Vec<(NodeId, NodeId)>,
+    by_s: SortedIndex,
+    /// Stored as `(object, subject)` so binary search keys on `.0`.
+    by_o: SortedIndex,
+    stats: RwLock<Option<TableStats>>,
+}
+
+impl PredTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build directly from pairs (bulk load).
+    pub fn from_pairs(pairs: Vec<(NodeId, NodeId)>) -> Self {
+        PredTable { pairs, ..Self::default() }
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the table has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The base rows in insertion order (full-scan access path).
+    #[inline]
+    pub fn scan(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Append a row; invalidates indexes and stats.
+    pub fn insert(&mut self, s: NodeId, o: NodeId) {
+        self.pairs.push((s, o));
+        self.invalidate();
+    }
+
+    /// Append many rows; invalidates indexes and stats once.
+    pub fn insert_batch(&mut self, rows: &[(NodeId, NodeId)]) {
+        self.pairs.extend_from_slice(rows);
+        self.invalidate();
+    }
+
+    /// Delete every `(s, o)` row; returns the number removed.
+    pub fn delete(&mut self, s: NodeId, o: NodeId) -> usize {
+        let before = self.pairs.len();
+        self.pairs.retain(|&(ps, po)| !(ps == s && po == o));
+        let removed = before - self.pairs.len();
+        if removed > 0 {
+            self.invalidate();
+        }
+        removed
+    }
+
+    fn invalidate(&mut self) {
+        *self.by_s.get_mut() = None;
+        *self.by_o.get_mut() = None;
+        *self.stats.get_mut() = None;
+    }
+
+    /// The subject-sorted permutation index, building it on first use.
+    pub fn s_index(&self) -> Arc<Vec<(NodeId, NodeId)>> {
+        if let Some(idx) = self.by_s.read().as_ref() {
+            return Arc::clone(idx);
+        }
+        let mut w = self.by_s.write();
+        if let Some(idx) = w.as_ref() {
+            return Arc::clone(idx);
+        }
+        let mut sorted = self.pairs.clone();
+        sorted.sort_unstable();
+        let arc = Arc::new(sorted);
+        *w = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// The object-sorted permutation index (`(o, s)` pairs), built lazily.
+    pub fn o_index(&self) -> Arc<Vec<(NodeId, NodeId)>> {
+        if let Some(idx) = self.by_o.read().as_ref() {
+            return Arc::clone(idx);
+        }
+        let mut w = self.by_o.write();
+        if let Some(idx) = w.as_ref() {
+            return Arc::clone(idx);
+        }
+        let mut sorted: Vec<(NodeId, NodeId)> =
+            self.pairs.iter().map(|&(s, o)| (o, s)).collect();
+        sorted.sort_unstable();
+        let arc = Arc::new(sorted);
+        *w = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// Statistics, computed on first use from the sorted indexes.
+    pub fn stats(&self) -> TableStats {
+        if let Some(st) = *self.stats.read() {
+            return st;
+        }
+        let s_idx = self.s_index();
+        let o_idx = self.o_index();
+        let distinct = |v: &[(NodeId, NodeId)]| {
+            let mut n = 0usize;
+            let mut last: Option<NodeId> = None;
+            for &(k, _) in v {
+                if last != Some(k) {
+                    n += 1;
+                    last = Some(k);
+                }
+            }
+            n
+        };
+        let st = TableStats {
+            rows: self.pairs.len(),
+            distinct_s: distinct(&s_idx),
+            distinct_o: distinct(&o_idx),
+        };
+        *self.stats.write() = Some(st);
+        st
+    }
+
+    /// Rows with subject `s`, via the subject index (range binary search).
+    pub fn lookup_s(&self, s: NodeId) -> Vec<(NodeId, NodeId)> {
+        let idx = self.s_index();
+        range_of(&idx, s).to_vec()
+    }
+
+    /// Rows with object `o`, returned as `(o, s)` pairs via the object index.
+    pub fn lookup_o(&self, o: NodeId) -> Vec<(NodeId, NodeId)> {
+        let idx = self.o_index();
+        range_of(&idx, o).to_vec()
+    }
+}
+
+/// Contiguous slice of a key-sorted pair vector whose `.0` equals `key`.
+fn range_of(sorted: &[(NodeId, NodeId)], key: NodeId) -> &[(NodeId, NodeId)] {
+    let lo = sorted.partition_point(|&(k, _)| k < key);
+    let hi = sorted.partition_point(|&(k, _)| k <= key);
+    &sorted[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn table() -> PredTable {
+        PredTable::from_pairs(vec![
+            (n(5), n(1)),
+            (n(1), n(2)),
+            (n(5), n(3)),
+            (n(2), n(2)),
+        ])
+    }
+
+    #[test]
+    fn scan_preserves_insertion_order() {
+        let t = table();
+        assert_eq!(t.scan()[0], (n(5), n(1)));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn lookup_by_subject() {
+        let t = table();
+        let rows = t.lookup_s(n(5));
+        assert_eq!(rows, vec![(n(5), n(1)), (n(5), n(3))]);
+        assert!(t.lookup_s(n(99)).is_empty());
+    }
+
+    #[test]
+    fn lookup_by_object_returns_o_s() {
+        let t = table();
+        let rows = t.lookup_o(n(2));
+        assert_eq!(rows, vec![(n(2), n(1)), (n(2), n(2))]);
+    }
+
+    #[test]
+    fn stats_count_distincts() {
+        let t = table();
+        let st = t.stats();
+        assert_eq!(st, TableStats { rows: 4, distinct_s: 3, distinct_o: 3 });
+        assert!((st.rows_per_subject() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_empty_table() {
+        let t = PredTable::new();
+        let st = t.stats();
+        assert_eq!(st.rows, 0);
+        assert_eq!(st.rows_per_subject(), 0.0);
+        assert_eq!(st.rows_per_object(), 0.0);
+    }
+
+    #[test]
+    fn writes_invalidate_indexes_and_stats() {
+        let mut t = table();
+        let _ = t.stats();
+        t.insert(n(7), n(7));
+        assert_eq!(t.stats().rows, 5);
+        assert_eq!(t.lookup_s(n(7)), vec![(n(7), n(7))]);
+        let removed = t.delete(n(7), n(7));
+        assert_eq!(removed, 1);
+        assert_eq!(t.stats().rows, 4);
+        assert!(t.lookup_s(n(7)).is_empty());
+    }
+
+    #[test]
+    fn delete_missing_is_noop() {
+        let mut t = table();
+        assert_eq!(t.delete(n(42), n(42)), 0);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn insert_batch_appends() {
+        let mut t = PredTable::new();
+        t.insert_batch(&[(n(1), n(1)), (n(2), n(2))]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn index_is_cached_until_write() {
+        let t = table();
+        let a = t.s_index();
+        let b = t.s_index();
+        assert!(Arc::ptr_eq(&a, &b), "second call must reuse the cache");
+    }
+}

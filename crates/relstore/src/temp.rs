@@ -1,0 +1,120 @@
+//! Temporary relational table space.
+//!
+//! §3.3 of the paper: when a query spans both stores, the intermediate
+//! results produced by the graph store "are stored in the temporary
+//! relational table space, and discarded at the end of query process".
+//! `TempSpace` is that staging area, with size accounting so experiments
+//! can report the footprint of migrated intermediates.
+
+use crate::exec::Bindings;
+use kgdual_model::fx::FxHashMap;
+
+/// Handle to a staged intermediate-result table.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TempHandle(u64);
+
+/// Registry of in-flight intermediate results.
+#[derive(Default, Debug)]
+pub struct TempSpace {
+    tables: FxHashMap<u64, Bindings>,
+    next: u64,
+    live_units: usize,
+    peak_units: usize,
+}
+
+impl TempSpace {
+    /// An empty temp space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stage a migrated binding table; returns its handle.
+    pub fn store(&mut self, bindings: Bindings) -> TempHandle {
+        let id = self.next;
+        self.next += 1;
+        self.live_units += bindings.storage_units();
+        self.peak_units = self.peak_units.max(self.live_units);
+        self.tables.insert(id, bindings);
+        TempHandle(id)
+    }
+
+    /// Read a staged table.
+    pub fn get(&self, h: TempHandle) -> Option<&Bindings> {
+        self.tables.get(&h.0)
+    }
+
+    /// Discard a staged table (end of query), returning it if present.
+    pub fn discard(&mut self, h: TempHandle) -> Option<Bindings> {
+        let b = self.tables.remove(&h.0)?;
+        self.live_units -= b.storage_units();
+        Some(b)
+    }
+
+    /// Number of staged tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Storage units currently staged.
+    pub fn live_units(&self) -> usize {
+        self.live_units
+    }
+
+    /// High-water mark of staged storage units.
+    pub fn peak_units(&self) -> usize {
+        self.peak_units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_model::NodeId;
+
+    fn table(rows: u32) -> Bindings {
+        let mut b = Bindings::new(vec![0, 1]);
+        for i in 0..rows {
+            b.push_row(&[NodeId(i), NodeId(i + 1)]);
+        }
+        b
+    }
+
+    #[test]
+    fn store_get_discard_roundtrip() {
+        let mut ts = TempSpace::new();
+        let h = ts.store(table(3));
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.get(h).unwrap().len(), 3);
+        let back = ts.discard(h).unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(ts.is_empty());
+        assert!(ts.discard(h).is_none(), "double discard is a no-op");
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let mut ts = TempSpace::new();
+        let a = ts.store(table(1));
+        let b = ts.store(table(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn accounting_tracks_live_and_peak() {
+        let mut ts = TempSpace::new();
+        let a = ts.store(table(4)); // 4 units (8 cells / 2)
+        let b = ts.store(table(2)); // 2 units
+        assert_eq!(ts.live_units(), 6);
+        assert_eq!(ts.peak_units(), 6);
+        ts.discard(a);
+        assert_eq!(ts.live_units(), 2);
+        assert_eq!(ts.peak_units(), 6, "peak is sticky");
+        ts.discard(b);
+        assert_eq!(ts.live_units(), 0);
+    }
+}

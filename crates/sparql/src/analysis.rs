@@ -1,0 +1,226 @@
+//! Query-shape analysis: variable occurrences, join variables, and a
+//! canonical key for pattern sets.
+//!
+//! The complex-subquery identifier (§3.1 of the paper) needs per-variable
+//! occurrence counts; the materialized-view advisor needs to recognise the
+//! "same" subquery across template mutations, which is what
+//! [`canonical_key`] provides.
+
+use crate::ast::{PredPattern, TermPattern, TriplePattern, Var};
+use std::collections::BTreeMap;
+
+/// Count how many times each variable occurs across all positions of the
+/// pattern list. A variable used twice in one pattern (e.g. `?x y:p ?x`)
+/// counts twice.
+pub fn var_occurrences(patterns: &[TriplePattern]) -> BTreeMap<Var, usize> {
+    let mut counts: BTreeMap<Var, usize> = BTreeMap::new();
+    for pat in patterns {
+        for v in pat.vars() {
+            *counts.entry(v.clone()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Variables shared between two pattern sets — the "output variables" that
+/// join a complex subquery with the remainder of the query (§3.1).
+pub fn join_vars(a: &[TriplePattern], b: &[TriplePattern]) -> Vec<Var> {
+    let a_vars = var_occurrences(a);
+    let b_vars = var_occurrences(b);
+    a_vars
+        .keys()
+        .filter(|v| b_vars.contains_key(*v))
+        .cloned()
+        .collect()
+}
+
+/// The canonical form of a pattern set: a string key stable under variable
+/// renaming plus the renaming itself (original variable → canonical name).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// The canonical key (see [`canonical_key`]).
+    pub key: String,
+    /// Mapping from each original variable to its canonical name
+    /// (`v0`, `v1`, …).
+    pub names: Vec<(Var, String)>,
+}
+
+/// A canonical string key for a set of triple patterns, stable under
+/// variable renaming and pattern reordering.
+///
+/// Construction: patterns are sorted by a variable-name-free shape string,
+/// then variables are renamed `v0, v1, …` in traversal order, then the
+/// renamed patterns are sorted and joined. This is a heuristic canonical
+/// form (true canonical labeling is GI-complete); for the symmetric corner
+/// cases it may distinguish isomorphic sets, which is the conservative
+/// direction for view matching — a missed match only costs performance,
+/// never correctness.
+pub fn canonical_key(patterns: &[TriplePattern]) -> String {
+    canonical_form(patterns).key
+}
+
+/// [`canonical_key`] plus the variable renaming used to produce it, which
+/// view matching needs to align query variables with view columns.
+pub fn canonical_form(patterns: &[TriplePattern]) -> CanonicalForm {
+    // Shape string ignores variable names but keeps constants.
+    fn shape(p: &TriplePattern) -> String {
+        let s = match &p.s {
+            TermPattern::Var(_) => "?".to_owned(),
+            TermPattern::Term(t) => t.to_string(),
+        };
+        let pr = match &p.p {
+            PredPattern::Var(_) => "?".to_owned(),
+            PredPattern::Iri(i) => i.clone(),
+        };
+        let o = match &p.o {
+            TermPattern::Var(_) => "?".to_owned(),
+            TermPattern::Term(t) => t.to_string(),
+        };
+        format!("{s}\u{1}{pr}\u{1}{o}")
+    }
+
+    let mut order: Vec<usize> = (0..patterns.len()).collect();
+    order.sort_by_key(|&i| shape(&patterns[i]));
+
+    // Rename variables in first-traversal order over the sorted patterns.
+    let mut next = 0usize;
+    let mut assigned: Vec<(Var, String)> = Vec::new();
+    let name_of = |v: &Var, assigned: &mut Vec<(Var, String)>, next: &mut usize| -> String {
+        if let Some((_, n)) = assigned.iter().find(|(av, _)| av == v) {
+            return n.clone();
+        }
+        let n = format!("v{next}");
+        *next += 1;
+        assigned.push((v.clone(), n.clone()));
+        n
+    };
+
+    let mut rendered: Vec<String> = Vec::with_capacity(patterns.len());
+    for &i in &order {
+        let p = &patterns[i];
+        let s = match &p.s {
+            TermPattern::Var(v) => format!("?{}", name_of(v, &mut assigned, &mut next)),
+            TermPattern::Term(t) => t.to_string(),
+        };
+        let pr = match &p.p {
+            PredPattern::Var(v) => format!("?{}", name_of(v, &mut assigned, &mut next)),
+            PredPattern::Iri(iri) => iri.clone(),
+        };
+        let o = match &p.o {
+            TermPattern::Var(v) => format!("?{}", name_of(v, &mut assigned, &mut next)),
+            TermPattern::Term(t) => t.to_string(),
+        };
+        rendered.push(format!("{s} {pr} {o}"));
+    }
+    rendered.sort();
+    CanonicalForm { key: rendered.join(" . "), names: assigned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn patterns(src: &str) -> Vec<TriplePattern> {
+        parse(src).unwrap().patterns
+    }
+
+    #[test]
+    fn occurrence_counts_match_paper_example() {
+        let pats = patterns(
+            "SELECT ?GivenName WHERE{
+                ?p y:hasGivenName ?GivenName.
+                ?p y:hasFamilyName ?FamilyName.
+                ?p y:wasBornIn ?city.
+                ?p y:hasAcademicAdvisor ?a.
+                ?a y:wasBornIn ?city.
+                ?p y:isMarriedTo ?p2.
+                ?p2 y:wasBornIn ?city.}",
+        );
+        let counts = var_occurrences(&pats);
+        assert_eq!(counts[&Var::new("p")], 5);
+        assert_eq!(counts[&Var::new("city")], 3);
+        assert_eq!(counts[&Var::new("a")], 2);
+        assert_eq!(counts[&Var::new("p2")], 2);
+        assert_eq!(counts[&Var::new("GivenName")], 1);
+        assert_eq!(counts[&Var::new("FamilyName")], 1);
+    }
+
+    #[test]
+    fn self_loop_counts_twice() {
+        let pats = patterns("SELECT ?x WHERE { ?x y:knows ?x }");
+        assert_eq!(var_occurrences(&pats)[&Var::new("x")], 2);
+    }
+
+    #[test]
+    fn join_vars_between_halves() {
+        let a = patterns("SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:advisor ?a . ?a y:wasBornIn ?c }");
+        let b = patterns("SELECT ?p WHERE { ?p y:hasGivenName ?g }");
+        assert_eq!(join_vars(&a, &b), vec![Var::new("p")]);
+    }
+
+    #[test]
+    fn canonical_key_stable_under_renaming() {
+        let a = patterns("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }");
+        let b = patterns("SELECT ?x WHERE { ?x y:advisor ?m . ?x y:bornIn ?town . ?m y:bornIn ?town }");
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_different_shapes() {
+        let a = patterns("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a }");
+        let b = patterns("SELECT ?p WHERE { ?p y:bornIn ?c . ?a y:advisor ?p }");
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_constants() {
+        let a = patterns("SELECT ?p WHERE { ?p y:bornIn y:Ulm }");
+        let b = patterns("SELECT ?p WHERE { ?p y:bornIn y:Bonn }");
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn canonical_key_ignores_pattern_order() {
+        let a = patterns("SELECT ?p WHERE { ?p y:q ?b . ?p y:r ?c }");
+        let b = patterns("SELECT ?p WHERE { ?p y:r ?c . ?p y:q ?b }");
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+    }
+}
+
+#[cfg(test)]
+mod canonical_form_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn names_align_across_isomorphic_sets() {
+        let a = parse("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }")
+            .unwrap()
+            .patterns;
+        let b = parse("SELECT ?x WHERE { ?x y:advisor ?m . ?x y:bornIn ?t . ?m y:bornIn ?t }")
+            .unwrap()
+            .patterns;
+        let fa = canonical_form(&a);
+        let fb = canonical_form(&b);
+        assert_eq!(fa.key, fb.key);
+        let name = |f: &CanonicalForm, v: &str| {
+            f.names
+                .iter()
+                .find(|(var, _)| var.name() == v)
+                .map(|(_, n)| n.clone())
+                .unwrap()
+        };
+        // The "person" role must map to the same canonical name in both.
+        assert_eq!(name(&fa, "p"), name(&fb, "x"));
+        assert_eq!(name(&fa, "c"), name(&fb, "t"));
+        assert_eq!(name(&fa, "a"), name(&fb, "m"));
+    }
+
+    #[test]
+    fn every_variable_gets_a_name() {
+        let pats = parse("SELECT ?a WHERE { ?a y:p ?b . ?c y:q ?a }").unwrap().patterns;
+        let f = canonical_form(&pats);
+        assert_eq!(f.names.len(), 3);
+    }
+}

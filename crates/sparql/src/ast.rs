@@ -1,0 +1,307 @@
+//! Abstract syntax for the SPARQL subset.
+
+use kgdual_model::Term;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A query variable (`?p` is `Var("p")`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct Var(pub String);
+
+impl Var {
+    /// Construct from a name without the leading `?`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Var(name.into())
+    }
+
+    /// The variable name without the leading `?`.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// Subject/object position: either a variable or a concrete term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TermPattern {
+    /// A variable binding slot.
+    Var(Var),
+    /// A fixed term.
+    Term(Term),
+}
+
+impl TermPattern {
+    /// The variable, if this position is one.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Term(_) => None,
+        }
+    }
+
+    /// True if this position is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, TermPattern::Var(_))
+    }
+}
+
+impl fmt::Display for TermPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermPattern::Var(v) => write!(f, "{v}"),
+            TermPattern::Term(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// Predicate position: a variable or an IRI.
+///
+/// The paper's queries always bind predicates; variable predicates are
+/// supported by the stores (union over partitions) but are never part of a
+/// complex subquery because they cannot be mapped to a partition set.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PredPattern {
+    /// A variable predicate.
+    Var(Var),
+    /// A fixed predicate IRI (prefixed or absolute form).
+    Iri(String),
+}
+
+impl PredPattern {
+    /// The IRI, if the predicate is bound.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            PredPattern::Iri(s) => Some(s),
+            PredPattern::Var(_) => None,
+        }
+    }
+
+    /// True if the predicate is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, PredPattern::Var(_))
+    }
+}
+
+impl fmt::Display for PredPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredPattern::Var(v) => write!(f, "{v}"),
+            PredPattern::Iri(s) => {
+                if s.contains("://") {
+                    write!(f, "<{s}>")
+                } else {
+                    write!(f, "{s}")
+                }
+            }
+        }
+    }
+}
+
+/// One triple pattern `s p o .` of a basic graph pattern.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: TermPattern,
+    /// Predicate position.
+    pub p: PredPattern,
+    /// Object position.
+    pub o: TermPattern,
+}
+
+impl TriplePattern {
+    /// Construct a pattern.
+    pub fn new(s: TermPattern, p: PredPattern, o: TermPattern) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// Variables appearing in this pattern, in s, p, o order.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        let s = self.s.as_var();
+        let p = match &self.p {
+            PredPattern::Var(v) => Some(v),
+            PredPattern::Iri(_) => None,
+        };
+        let o = self.o.as_var();
+        s.into_iter().chain(p).chain(o)
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.s, self.p, self.o)
+    }
+}
+
+/// The projection clause.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Selection {
+    /// `SELECT *` — all variables in the pattern.
+    Star,
+    /// `SELECT ?a ?b …`.
+    Vars(Vec<Var>),
+}
+
+/// A parsed query.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Query {
+    /// Projection.
+    pub select: Selection,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The basic graph pattern.
+    pub patterns: Vec<TriplePattern>,
+    /// `LIMIT n`, if present.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// The variables the query projects: either the explicit list, or every
+    /// variable of the pattern in first-occurrence order for `SELECT *`.
+    pub fn projected_vars(&self) -> Vec<Var> {
+        match &self.select {
+            Selection::Vars(vs) => vs.clone(),
+            Selection::Star => {
+                let mut seen = Vec::new();
+                for pat in &self.patterns {
+                    for v in pat.vars() {
+                        if !seen.contains(v) {
+                            seen.push(v.clone());
+                        }
+                    }
+                }
+                seen
+            }
+        }
+    }
+
+    /// All distinct variables in the pattern, first-occurrence order.
+    pub fn pattern_vars(&self) -> Vec<Var> {
+        let mut seen = Vec::new();
+        for pat in &self.patterns {
+            for v in pat.vars() {
+                if !seen.contains(v) {
+                    seen.push(v.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// The set of bound predicate IRIs used by the pattern
+    /// (`getPredicateSet()` in the paper's Table 2).
+    pub fn predicate_set(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for pat in &self.patterns {
+            if let Some(iri) = pat.p.as_iri() {
+                if !seen.contains(&iri) {
+                    seen.push(iri);
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        match &self.select {
+            Selection::Star => write!(f, "*")?,
+            Selection::Vars(vs) => {
+                let mut first = true;
+                for v in vs {
+                    if !first {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                    first = false;
+                }
+            }
+        }
+        write!(f, " WHERE {{ ")?;
+        for p in &self.patterns {
+            write!(f, "{p} ")?;
+        }
+        write!(f, "}}")?;
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> TermPattern {
+        TermPattern::Var(Var::new(n))
+    }
+
+    fn iri(s: &str) -> TermPattern {
+        TermPattern::Term(Term::iri(s))
+    }
+
+    #[test]
+    fn pattern_vars_in_order() {
+        let p = TriplePattern::new(v("a"), PredPattern::Var(Var::new("p")), v("b"));
+        let names: Vec<_> = p.vars().map(Var::name).collect();
+        assert_eq!(names, vec!["a", "p", "b"]);
+    }
+
+    #[test]
+    fn query_projected_vars_star() {
+        let q = Query {
+            select: Selection::Star,
+            distinct: false,
+            patterns: vec![
+                TriplePattern::new(v("p"), PredPattern::Iri("y:bornIn".into()), v("c")),
+                TriplePattern::new(v("p"), PredPattern::Iri("y:advisor".into()), v("a")),
+            ],
+            limit: None,
+        };
+        let names: Vec<_> = q.projected_vars().into_iter().map(|v| v.0).collect();
+        assert_eq!(names, vec!["p", "c", "a"]);
+    }
+
+    #[test]
+    fn predicate_set_dedupes_and_skips_vars() {
+        let q = Query {
+            select: Selection::Star,
+            distinct: false,
+            patterns: vec![
+                TriplePattern::new(v("p"), PredPattern::Iri("y:bornIn".into()), v("c")),
+                TriplePattern::new(v("a"), PredPattern::Iri("y:bornIn".into()), v("c")),
+                TriplePattern::new(v("a"), PredPattern::Var(Var::new("pp")), v("x")),
+            ],
+            limit: None,
+        };
+        assert_eq!(q.predicate_set(), vec!["y:bornIn"]);
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let q = Query {
+            select: Selection::Vars(vec![Var::new("p")]),
+            distinct: true,
+            patterns: vec![TriplePattern::new(
+                v("p"),
+                PredPattern::Iri("y:bornIn".into()),
+                iri("y:Ulm"),
+            )],
+            limit: Some(10),
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT DISTINCT ?p WHERE { ?p y:bornIn y:Ulm . } LIMIT 10"
+        );
+    }
+}

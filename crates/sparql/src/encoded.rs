@@ -1,0 +1,321 @@
+//! Dictionary-encoded query IR.
+//!
+//! Both stores execute over integer ids, never strings. Compilation maps a
+//! parsed [`Query`] against a [`Dictionary`]: constants become ids,
+//! variables become dense [`VarId`]s. A constant that was never interned
+//! proves the query result is empty ([`Compiled::EmptyResult`]) without
+//! touching either store.
+
+use crate::ast::{PredPattern, Query, Selection, TermPattern, Var};
+use kgdual_model::{Dictionary, NodeId, PredId};
+use serde::{Deserialize, Serialize};
+
+/// Dense index of a variable within one compiled query.
+pub type VarId = u16;
+
+/// Subject/object slot of an encoded pattern.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Slot {
+    /// A variable.
+    Var(VarId),
+    /// A fixed node.
+    Const(NodeId),
+}
+
+impl Slot {
+    /// The variable id, if this slot is a variable.
+    #[inline]
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Slot::Var(v) => Some(v),
+            Slot::Const(_) => None,
+        }
+    }
+}
+
+/// Predicate slot of an encoded pattern.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PredSlot {
+    /// A variable predicate (matched against every partition).
+    Var(VarId),
+    /// A fixed predicate — names the partition the pattern reads.
+    Const(PredId),
+}
+
+impl PredSlot {
+    /// The predicate id, if bound.
+    #[inline]
+    pub fn as_const(self) -> Option<PredId> {
+        match self {
+            PredSlot::Const(p) => Some(p),
+            PredSlot::Var(_) => None,
+        }
+    }
+}
+
+/// One encoded triple pattern.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct EncPattern {
+    /// Subject slot.
+    pub s: Slot,
+    /// Predicate slot.
+    pub p: PredSlot,
+    /// Object slot.
+    pub o: Slot,
+}
+
+impl EncPattern {
+    /// Variables of this pattern in (s, p, o) order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> {
+        let s = self.s.as_var();
+        let p = match self.p {
+            PredSlot::Var(v) => Some(v),
+            PredSlot::Const(_) => None,
+        };
+        let o = self.o.as_var();
+        s.into_iter().chain(p).chain(o)
+    }
+}
+
+/// A fully compiled query ready for execution by either store.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EncodedQuery {
+    /// Variable table: `VarId` is an index into this list.
+    pub vars: Vec<Var>,
+    /// The encoded basic graph pattern.
+    pub patterns: Vec<EncPattern>,
+    /// Projection as variable ids.
+    pub projection: Vec<VarId>,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+}
+
+impl EncodedQuery {
+    /// Bound predicates used by the pattern (partition footprint).
+    pub fn predicate_set(&self) -> Vec<PredId> {
+        let mut out = Vec::new();
+        for p in &self.patterns {
+            if let Some(id) = p.p.as_const() {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if any pattern has a variable predicate.
+    pub fn has_var_pred(&self) -> bool {
+        self.patterns.iter().any(|p| matches!(p.p, PredSlot::Var(_)))
+    }
+
+    /// Restrict this query to a subset of its patterns, keeping the same
+    /// variable table, projecting onto `projection`.
+    pub fn subquery(&self, pattern_idx: &[usize], projection: Vec<VarId>) -> EncodedQuery {
+        EncodedQuery {
+            vars: self.vars.clone(),
+            patterns: pattern_idx.iter().map(|&i| self.patterns[i]).collect(),
+            projection,
+            distinct: false,
+            limit: None,
+        }
+    }
+}
+
+/// Result of compiling a query against a dictionary.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Compiled {
+    /// Ready to run.
+    Query(EncodedQuery),
+    /// A constant in the query is not in the dictionary, so the result is
+    /// provably empty.
+    EmptyResult,
+}
+
+/// Compile a parsed query against `dict`.
+///
+/// Returns [`Compiled::EmptyResult`] when any constant (term or predicate)
+/// is unknown to the dictionary. Unknown *projected* variables (projected
+/// but absent from the pattern) are rejected as an error to surface typos.
+pub fn compile(query: &Query, dict: &Dictionary) -> Result<Compiled, CompileError> {
+    let mut vars: Vec<Var> = Vec::new();
+    let var_id = |v: &Var, vars: &mut Vec<Var>| -> Result<VarId, CompileError> {
+        if let Some(pos) = vars.iter().position(|x| x == v) {
+            return Ok(pos as VarId);
+        }
+        if vars.len() > VarId::MAX as usize {
+            return Err(CompileError::TooManyVars);
+        }
+        vars.push(v.clone());
+        Ok((vars.len() - 1) as VarId)
+    };
+
+    let mut patterns = Vec::with_capacity(query.patterns.len());
+    for pat in &query.patterns {
+        let s = match &pat.s {
+            TermPattern::Var(v) => Slot::Var(var_id(v, &mut vars)?),
+            TermPattern::Term(t) => match dict.node_id(t) {
+                Some(id) => Slot::Const(id),
+                None => return Ok(Compiled::EmptyResult),
+            },
+        };
+        let p = match &pat.p {
+            PredPattern::Var(v) => PredSlot::Var(var_id(v, &mut vars)?),
+            PredPattern::Iri(iri) => match dict.pred_id(iri) {
+                Some(id) => PredSlot::Const(id),
+                None => return Ok(Compiled::EmptyResult),
+            },
+        };
+        let o = match &pat.o {
+            TermPattern::Var(v) => Slot::Var(var_id(v, &mut vars)?),
+            TermPattern::Term(t) => match dict.node_id(t) {
+                Some(id) => Slot::Const(id),
+                None => return Ok(Compiled::EmptyResult),
+            },
+        };
+        patterns.push(EncPattern { s, p, o });
+    }
+
+    let projection = match &query.select {
+        Selection::Star => (0..vars.len() as VarId).collect(),
+        Selection::Vars(vs) => {
+            let mut proj = Vec::with_capacity(vs.len());
+            for v in vs {
+                match vars.iter().position(|x| x == v) {
+                    Some(pos) => proj.push(pos as VarId),
+                    None => return Err(CompileError::UnboundProjection(v.clone())),
+                }
+            }
+            proj
+        }
+    };
+
+    Ok(Compiled::Query(EncodedQuery {
+        vars,
+        patterns,
+        projection,
+        distinct: query.distinct,
+        limit: query.limit,
+    }))
+}
+
+/// Errors surfaced by query compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A projected variable never occurs in the pattern.
+    UnboundProjection(Var),
+    /// More than `u16::MAX` variables.
+    TooManyVars,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnboundProjection(v) => {
+                write!(f, "projected variable {v} does not occur in the pattern")
+            }
+            CompileError::TooManyVars => write!(f, "query has more than 65536 variables"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use kgdual_model::Term;
+
+    fn dict_with(data: &[(&str, &str, &str)]) -> Dictionary {
+        let mut d = Dictionary::new();
+        for (s, p, o) in data {
+            d.encode_node(&Term::iri(*s)).unwrap();
+            d.encode_pred(p).unwrap();
+            d.encode_node(&Term::iri(*o)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn compiles_vars_and_constants() {
+        let dict = dict_with(&[("y:a", "y:p", "y:b")]);
+        let q = parse("SELECT ?x WHERE { ?x y:p y:b }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!("expected compiled query")
+        };
+        assert_eq!(eq.vars, vec![Var::new("x")]);
+        assert_eq!(eq.patterns.len(), 1);
+        assert!(matches!(eq.patterns[0].s, Slot::Var(0)));
+        assert!(matches!(eq.patterns[0].p, PredSlot::Const(_)));
+        assert!(matches!(eq.patterns[0].o, Slot::Const(_)));
+        assert_eq!(eq.projection, vec![0]);
+    }
+
+    #[test]
+    fn unknown_constant_is_empty_result() {
+        let dict = dict_with(&[("y:a", "y:p", "y:b")]);
+        let q = parse("SELECT ?x WHERE { ?x y:p unknown:thing }").unwrap();
+        assert_eq!(compile(&q, &dict).unwrap(), Compiled::EmptyResult);
+        let q2 = parse("SELECT ?x WHERE { ?x y:unknownPred ?y }").unwrap();
+        assert_eq!(compile(&q2, &dict).unwrap(), Compiled::EmptyResult);
+    }
+
+    #[test]
+    fn select_star_projects_all_vars() {
+        let dict = dict_with(&[("y:a", "y:p", "y:b")]);
+        let q = parse("SELECT * WHERE { ?x y:p ?y . ?y y:p ?z }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        assert_eq!(eq.projection, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unbound_projection_rejected() {
+        let dict = dict_with(&[("y:a", "y:p", "y:b")]);
+        let q = parse("SELECT ?nope WHERE { ?x y:p ?y }").unwrap();
+        assert!(matches!(
+            compile(&q, &dict),
+            Err(CompileError::UnboundProjection(_))
+        ));
+    }
+
+    #[test]
+    fn shared_vars_get_same_id() {
+        let dict = dict_with(&[("y:a", "y:p", "y:b"), ("y:a", "y:q", "y:b")]);
+        let q = parse("SELECT ?x WHERE { ?x y:p ?y . ?x y:q ?y }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        assert_eq!(eq.patterns[0].s, eq.patterns[1].s);
+        assert_eq!(eq.patterns[0].o, eq.patterns[1].o);
+        assert_eq!(eq.vars.len(), 2);
+    }
+
+    #[test]
+    fn predicate_set_and_var_pred() {
+        let dict = dict_with(&[("y:a", "y:p", "y:b"), ("y:a", "y:q", "y:b")]);
+        let q = parse("SELECT ?x WHERE { ?x y:p ?y . ?x y:q ?y . ?x ?pp y:a }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        assert_eq!(eq.predicate_set().len(), 2);
+        assert!(eq.has_var_pred());
+    }
+
+    #[test]
+    fn subquery_restriction() {
+        let dict = dict_with(&[("y:a", "y:p", "y:b"), ("y:a", "y:q", "y:b")]);
+        let q = parse("SELECT ?x WHERE { ?x y:p ?y . ?x y:q ?z }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        let sub = eq.subquery(&[1], vec![0]);
+        assert_eq!(sub.patterns.len(), 1);
+        assert_eq!(sub.patterns[0], eq.patterns[1]);
+        assert_eq!(sub.projection, vec![0]);
+    }
+}

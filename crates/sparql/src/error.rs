@@ -1,0 +1,38 @@
+//! Parse errors with byte positions.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing a query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query text where the problem was found.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error at `pos`.
+    pub fn new(pos: usize, message: impl Into<String>) -> Self {
+        ParseError { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(17, "expected '}'");
+        assert_eq!(e.to_string(), "parse error at byte 17: expected '}'");
+    }
+}

@@ -1,0 +1,420 @@
+//! Tokenizer for the SPARQL subset.
+
+use crate::error::ParseError;
+
+/// A lexical token with its byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the token start.
+    pub pos: usize,
+    /// The token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `SELECT` (case-insensitive).
+    Select,
+    /// `DISTINCT`.
+    Distinct,
+    /// `WHERE`.
+    Where,
+    /// `PREFIX`.
+    Prefix,
+    /// `LIMIT`.
+    Limit,
+    /// A variable without the leading `?`/`$`.
+    Var(String),
+    /// `<…>` absolute IRI (payload without brackets).
+    IriRef(String),
+    /// A prefixed name such as `y:wasBornIn` (payload includes the colon).
+    PrefixedName(String),
+    /// The keyword `a` (sugar for `rdf:type`).
+    A,
+    /// A string literal with optional language tag and datatype.
+    Literal {
+        /// Lexical form (escapes resolved).
+        lexical: String,
+        /// `@lang`, if any.
+        lang: Option<String>,
+        /// `^^datatype`, if any (IRI or prefixed name text).
+        datatype: Option<String>,
+    },
+    /// A bare integer, kept as a typed literal downstream.
+    Integer(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => {
+                out.push(Token { pos: i, kind: TokenKind::LBrace });
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token { pos: i, kind: TokenKind::RBrace });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token { pos: i, kind: TokenKind::Dot });
+                i += 1;
+            }
+            b';' => {
+                out.push(Token { pos: i, kind: TokenKind::Semicolon });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token { pos: i, kind: TokenKind::Comma });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token { pos: i, kind: TokenKind::Star });
+                i += 1;
+            }
+            b'?' | b'$' => {
+                let start = i + 1;
+                let end = scan_name(bytes, start);
+                if end == start {
+                    return Err(ParseError::new(i, "empty variable name"));
+                }
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Var(input[start..end].to_owned()),
+                });
+                i = end;
+            }
+            b'<' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'>' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::new(i, "unterminated IRI (missing '>')"));
+                }
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::IriRef(input[start..j].to_owned()),
+                });
+                i = j + 1;
+            }
+            b'"' | b'\'' => {
+                let (lit, next) = scan_string(input, i)?;
+                // Optional @lang / ^^datatype suffix.
+                let mut lang = None;
+                let mut datatype = None;
+                let mut j = next;
+                if j < bytes.len() && bytes[j] == b'@' {
+                    let start = j + 1;
+                    let end = scan_name(bytes, start);
+                    if end == start {
+                        return Err(ParseError::new(j, "empty language tag"));
+                    }
+                    lang = Some(input[start..end].to_owned());
+                    j = end;
+                } else if j + 1 < bytes.len() && bytes[j] == b'^' && bytes[j + 1] == b'^' {
+                    j += 2;
+                    if j < bytes.len() && bytes[j] == b'<' {
+                        let start = j + 1;
+                        let mut k = start;
+                        while k < bytes.len() && bytes[k] != b'>' {
+                            k += 1;
+                        }
+                        if k >= bytes.len() {
+                            return Err(ParseError::new(j, "unterminated datatype IRI"));
+                        }
+                        datatype = Some(input[start..k].to_owned());
+                        j = k + 1;
+                    } else {
+                        let start = j;
+                        let end = scan_pname(bytes, start);
+                        if end == start {
+                            return Err(ParseError::new(j, "expected datatype after '^^'"));
+                        }
+                        datatype = Some(input[start..end].to_owned());
+                        j = end;
+                    }
+                }
+                out.push(Token { pos: i, kind: TokenKind::Literal { lexical: lit, lang, datatype } });
+                i = j;
+            }
+            b'0'..=b'9' | b'-' | b'+' => {
+                let start = i;
+                let mut j = i;
+                if bytes[j] == b'-' || bytes[j] == b'+' {
+                    j += 1;
+                }
+                let digits_start = j;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == digits_start {
+                    return Err(ParseError::new(i, "expected digits after sign"));
+                }
+                let n: i64 = input[start..j]
+                    .parse()
+                    .map_err(|_| ParseError::new(start, "integer literal out of range"))?;
+                out.push(Token { pos: start, kind: TokenKind::Integer(n) });
+                i = j;
+            }
+            _ if is_name_start(c) => {
+                let start = i;
+                let end = scan_pname(bytes, start);
+                let word = &input[start..end];
+                let kind = if word.contains(':') {
+                    TokenKind::PrefixedName(word.to_owned())
+                } else {
+                    match_keyword(word)
+                        .ok_or_else(|| ParseError::new(start, format!("unexpected word `{word}` (bare names must be keywords or prefixed)")))?
+                };
+                out.push(Token { pos: start, kind });
+                i = end;
+            }
+            _ => {
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character `{}`", input[i..].chars().next().unwrap()),
+                ));
+            }
+        }
+    }
+    out.push(Token { pos: bytes.len(), kind: TokenKind::Eof });
+    Ok(out)
+}
+
+fn match_keyword(word: &str) -> Option<TokenKind> {
+    if word == "a" {
+        return Some(TokenKind::A);
+    }
+    match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Some(TokenKind::Select),
+        "DISTINCT" => Some(TokenKind::Distinct),
+        "WHERE" => Some(TokenKind::Where),
+        "PREFIX" => Some(TokenKind::Prefix),
+        "LIMIT" => Some(TokenKind::Limit),
+        _ => None,
+    }
+}
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+/// Scan a simple name (variable names, language tags).
+fn scan_name(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && is_name_char(bytes[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Scan a prefixed-name-ish word: name chars plus `:` and `.` (but a
+/// trailing `.` is the triple terminator, not part of the name).
+fn scan_pname(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && (is_name_char(bytes[i]) || bytes[i] == b':' || bytes[i] == b'.') {
+        i += 1;
+    }
+    // Never swallow the statement-terminating dot.
+    while i > 0 && bytes[i - 1] == b'.' {
+        i -= 1;
+    }
+    i
+}
+
+/// Scan a quoted string starting at `i` (which holds the quote); returns the
+/// unescaped payload and the index just past the closing quote.
+fn scan_string(input: &str, i: usize) -> Result<(String, usize), ParseError> {
+    let bytes = input.as_bytes();
+    let quote = bytes[i];
+    let mut out = String::new();
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                if j + 1 >= bytes.len() {
+                    return Err(ParseError::new(j, "dangling escape"));
+                }
+                let esc = bytes[j + 1];
+                out.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'\\' => '\\',
+                    b'"' => '"',
+                    b'\'' => '\'',
+                    other => {
+                        return Err(ParseError::new(
+                            j,
+                            format!("unsupported escape `\\{}`", other as char),
+                        ))
+                    }
+                });
+                j += 2;
+            }
+            c if c == quote => return Ok((out, j + 1)),
+            _ => {
+                // Copy one UTF-8 scalar.
+                let ch = input[j..].chars().next().unwrap();
+                out.push(ch);
+                j += ch.len_utf8();
+            }
+        }
+    }
+    Err(ParseError::new(i, "unterminated string literal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_paper_query() {
+        let ks = kinds("SELECT ?p WHERE { ?p y:wasBornIn ?city . }");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Select,
+                TokenKind::Var("p".into()),
+                TokenKind::Where,
+                TokenKind::LBrace,
+                TokenKind::Var("p".into()),
+                TokenKind::PrefixedName("y:wasBornIn".into()),
+                TokenKind::Var("city".into()),
+                TokenKind::Dot,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select")[0], TokenKind::Select);
+        assert_eq!(kinds("SeLeCt")[0], TokenKind::Select);
+        assert_eq!(kinds("distinct")[0], TokenKind::Distinct);
+        assert_eq!(kinds("limit")[0], TokenKind::Limit);
+    }
+
+    #[test]
+    fn a_keyword_is_case_sensitive() {
+        assert_eq!(kinds("a")[0], TokenKind::A);
+        assert!(tokenize("A").is_err(), "uppercase bare A is not a keyword");
+    }
+
+    #[test]
+    fn iri_refs_and_prefixed_names() {
+        assert_eq!(
+            kinds("<http://x.org/p>")[0],
+            TokenKind::IriRef("http://x.org/p".into())
+        );
+        assert_eq!(
+            kinds("rdf:type")[0],
+            TokenKind::PrefixedName("rdf:type".into())
+        );
+    }
+
+    #[test]
+    fn pname_does_not_swallow_terminator_dot() {
+        let ks = kinds("?s y:p1 y:o2.");
+        assert_eq!(ks[2], TokenKind::PrefixedName("y:o2".into()));
+        assert_eq!(ks[3], TokenKind::Dot);
+    }
+
+    #[test]
+    fn string_literals_with_suffixes() {
+        assert_eq!(
+            kinds(r#""plain""#)[0],
+            TokenKind::Literal { lexical: "plain".into(), lang: None, datatype: None }
+        );
+        assert_eq!(
+            kinds(r#""chat"@fr"#)[0],
+            TokenKind::Literal { lexical: "chat".into(), lang: Some("fr".into()), datatype: None }
+        );
+        assert_eq!(
+            kinds(r#""3"^^xsd:int"#)[0],
+            TokenKind::Literal {
+                lexical: "3".into(),
+                lang: None,
+                datatype: Some("xsd:int".into())
+            }
+        );
+        assert_eq!(
+            kinds(r#""3"^^<http://x/int>"#)[0],
+            TokenKind::Literal {
+                lexical: "3".into(),
+                lang: None,
+                datatype: Some("http://x/int".into())
+            }
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\nc""#)[0],
+            TokenKind::Literal { lexical: "a\"b\nc".into(), lang: None, datatype: None }
+        );
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(kinds("42")[0], TokenKind::Integer(42));
+        assert_eq!(kinds("-7")[0], TokenKind::Integer(-7));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT # the projection\n ?x");
+        assert_eq!(ks[1], TokenKind::Var("x".into()));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("SELECT @").unwrap_err();
+        assert_eq!(err.pos, 7);
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("<unterminated").is_err());
+        assert!(tokenize("?").is_err());
+        assert!(tokenize("bareword").is_err());
+    }
+
+    #[test]
+    fn dollar_variables() {
+        assert_eq!(kinds("$x")[0], TokenKind::Var("x".into()));
+    }
+}

@@ -1,0 +1,28 @@
+//! # kgdual-sparql
+//!
+//! A hand-written lexer/parser and AST for the SPARQL subset used by the
+//! dual-store paper: `PREFIX` declarations, `SELECT [DISTINCT] ?v… | *`,
+//! a basic graph pattern in `WHERE { … }`, and `LIMIT`.
+//!
+//! Every query in the paper's evaluation (YAGO templates, WatDiv L/S/F/C,
+//! Bio2RDF templates) is a pure basic graph pattern with projection, so the
+//! subset is complete for the reproduction while staying small enough to be
+//! a dependable substrate.
+//!
+//! The crate also hosts the query-shape analysis the dual store relies on:
+//! variable-occurrence counting (the input to the complex-subquery
+//! identifier) and a canonical form for pattern sets (used by the
+//! materialized-view advisor to recognise recurring subqueries).
+
+pub mod analysis;
+pub mod ast;
+pub mod encoded;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use analysis::{canonical_form, canonical_key, join_vars, var_occurrences, CanonicalForm};
+pub use ast::{PredPattern, Query, Selection, TermPattern, TriplePattern, Var};
+pub use encoded::{compile, Compiled, CompileError, EncPattern, EncodedQuery, PredSlot, Slot, VarId};
+pub use error::ParseError;
+pub use parser::parse;

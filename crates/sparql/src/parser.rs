@@ -1,0 +1,339 @@
+//! Recursive-descent parser for the SPARQL subset.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! Query     := Prefix* "SELECT" "DISTINCT"? ( "*" | Var+ ) "WHERE"? "{" Triples "}" ("LIMIT" Int)?
+//! Prefix    := "PREFIX" PNAME ":"? IRIREF      (pname token already includes ':')
+//! Triples   := (TriplePattern ("." TriplePattern?)*)?
+//! TriplePattern := Subject Predicate Object (";" Predicate Object)* // property lists
+//! ```
+//!
+//! Prefixed names are expanded against declared prefixes when present and
+//! otherwise passed through verbatim (the paper writes `y:wasBornIn`
+//! without declaring `y:`).
+
+use crate::ast::{PredPattern, Query, Selection, TermPattern, TriplePattern, Var};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use kgdual_model::Term;
+
+/// Parse a query string into a [`Query`].
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    Parser { tokens, idx: 0, prefixes: Vec::new() }.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+    prefixes: Vec<(String, String)>,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.idx].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.idx].pos
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.idx].kind.clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(self.pos(), format!("expected {what}")))
+        }
+    }
+
+    fn query(mut self) -> Result<Query, ParseError> {
+        while matches!(self.peek(), TokenKind::Prefix) {
+            self.prefix_decl()?;
+        }
+        self.expect(&TokenKind::Select, "SELECT")?;
+        let distinct = if matches!(self.peek(), TokenKind::Distinct) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let select = self.selection()?;
+        // WHERE keyword is optional in SPARQL.
+        if matches!(self.peek(), TokenKind::Where) {
+            self.bump();
+        }
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let patterns = self.triples_block()?;
+        self.expect(&TokenKind::RBrace, "'}'")?;
+        let limit = if matches!(self.peek(), TokenKind::Limit) {
+            self.bump();
+            match self.bump() {
+                TokenKind::Integer(n) if n >= 0 => Some(n as usize),
+                _ => return Err(ParseError::new(self.pos(), "expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        if !matches!(self.peek(), TokenKind::Eof) {
+            return Err(ParseError::new(self.pos(), "trailing input after query"));
+        }
+        if patterns.is_empty() {
+            return Err(ParseError::new(0, "empty WHERE block"));
+        }
+        Ok(Query { select, distinct, patterns, limit })
+    }
+
+    fn prefix_decl(&mut self) -> Result<(), ParseError> {
+        self.bump(); // PREFIX
+        let name = match self.bump() {
+            TokenKind::PrefixedName(p) => p,
+            _ => return Err(ParseError::new(self.pos(), "expected prefix name (e.g. `y:`)")),
+        };
+        let Some(stripped) = name.strip_suffix(':') else {
+            return Err(ParseError::new(self.pos(), "prefix name must end with ':'"));
+        };
+        let iri = match self.bump() {
+            TokenKind::IriRef(i) => i,
+            _ => return Err(ParseError::new(self.pos(), "expected IRI after prefix name")),
+        };
+        self.prefixes.push((stripped.to_owned(), iri));
+        Ok(())
+    }
+
+    fn selection(&mut self) -> Result<Selection, ParseError> {
+        if matches!(self.peek(), TokenKind::Star) {
+            self.bump();
+            return Ok(Selection::Star);
+        }
+        let mut vars = Vec::new();
+        while let TokenKind::Var(_) = self.peek() {
+            if let TokenKind::Var(name) = self.bump() {
+                vars.push(Var(name));
+            }
+        }
+        if vars.is_empty() {
+            return Err(ParseError::new(self.pos(), "expected '*' or at least one variable after SELECT"));
+        }
+        Ok(Selection::Vars(vars))
+    }
+
+    fn triples_block(&mut self) -> Result<Vec<TriplePattern>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            if matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+                break;
+            }
+            let subject = self.term_pattern("subject")?;
+            loop {
+                let pred = self.pred_pattern()?;
+                let object = self.term_pattern("object")?;
+                out.push(TriplePattern::new(subject.clone(), pred, object));
+                // `;` repeats the subject with a new predicate/object.
+                if matches!(self.peek(), TokenKind::Semicolon) {
+                    self.bump();
+                    continue;
+                }
+                break;
+            }
+            if matches!(self.peek(), TokenKind::Dot) {
+                self.bump();
+            } else if !matches!(self.peek(), TokenKind::RBrace) {
+                return Err(ParseError::new(self.pos(), "expected '.' or '}' after triple pattern"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn expand(&self, pname: &str) -> String {
+        if let Some((prefix, local)) = pname.split_once(':') {
+            for (p, iri) in &self.prefixes {
+                if p == prefix {
+                    return format!("{iri}{local}");
+                }
+            }
+        }
+        pname.to_owned()
+    }
+
+    fn term_pattern(&mut self, what: &str) -> Result<TermPattern, ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            TokenKind::Var(v) => Ok(TermPattern::Var(Var(v))),
+            TokenKind::IriRef(i) => Ok(TermPattern::Term(Term::Iri(i))),
+            TokenKind::PrefixedName(p) => Ok(TermPattern::Term(Term::Iri(self.expand(&p)))),
+            TokenKind::Literal { lexical, lang, datatype } => Ok(TermPattern::Term(Term::Literal {
+                lexical,
+                lang,
+                datatype: datatype.map(|d| self.expand(&d)),
+            })),
+            TokenKind::Integer(n) => Ok(TermPattern::Term(Term::typed_lit(
+                n.to_string(),
+                "xsd:integer",
+            ))),
+            other => Err(ParseError::new(
+                pos,
+                format!("expected {what} (variable, IRI, or literal), found {other:?}"),
+            )),
+        }
+    }
+
+    fn pred_pattern(&mut self) -> Result<PredPattern, ParseError> {
+        let pos = self.pos();
+        match self.bump() {
+            TokenKind::Var(v) => Ok(PredPattern::Var(Var(v))),
+            TokenKind::IriRef(i) => Ok(PredPattern::Iri(i)),
+            TokenKind::PrefixedName(p) => {
+                let expanded = self.expand(&p);
+                Ok(PredPattern::Iri(expanded))
+            }
+            TokenKind::A => Ok(PredPattern::Iri("rdf:type".to_owned())),
+            other => Err(ParseError::new(
+                pos,
+                format!("expected predicate (variable or IRI), found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_query() {
+        // Example 1 from the paper, §3.1.
+        let q = parse(
+            "SELECT ?GivenName ?FamilyName WHERE{
+                ?p y:hasGivenName ?GivenName.
+                ?p y:hasFamilyName ?FamilyName.
+                ?p y:wasBornIn ?city.
+                ?p y:hasAcademicAdvisor ?a.
+                ?a y:wasBornIn ?city.
+                ?p y:isMarriedTo ?p2.
+                ?p2 y:wasBornIn ?city.}",
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 7);
+        assert_eq!(
+            q.projected_vars(),
+            vec![Var::new("GivenName"), Var::new("FamilyName")]
+        );
+        assert_eq!(
+            q.predicate_set(),
+            vec![
+                "y:hasGivenName",
+                "y:hasFamilyName",
+                "y:wasBornIn",
+                "y:hasAcademicAdvisor",
+                "y:isMarriedTo"
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_select_star_and_limit() {
+        let q = parse("SELECT * WHERE { ?s ?p ?o } LIMIT 5").unwrap();
+        assert_eq!(q.select, Selection::Star);
+        assert_eq!(q.limit, Some(5));
+        assert!(q.patterns[0].p.is_var());
+    }
+
+    #[test]
+    fn where_keyword_optional() {
+        let q = parse("SELECT ?s { ?s y:p ?o }").unwrap();
+        assert_eq!(q.patterns.len(), 1);
+    }
+
+    #[test]
+    fn distinct_flag() {
+        let q = parse("SELECT DISTINCT ?s WHERE { ?s y:p ?o }").unwrap();
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn prefix_expansion() {
+        let q = parse(
+            "PREFIX y: <http://yago/> SELECT ?s WHERE { ?s y:p \"3\"^^y:int }",
+        )
+        .unwrap();
+        assert_eq!(q.predicate_set(), vec!["http://yago/p"]);
+        match &q.patterns[0].o {
+            TermPattern::Term(Term::Literal { datatype, .. }) => {
+                assert_eq!(datatype.as_deref(), Some("http://yago/int"));
+            }
+            other => panic!("expected literal object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_prefix_passes_through() {
+        let q = parse("SELECT ?s WHERE { ?s y:p ?o }").unwrap();
+        assert_eq!(q.predicate_set(), vec!["y:p"]);
+    }
+
+    #[test]
+    fn property_list_semicolon() {
+        let q = parse("SELECT ?s WHERE { ?s y:p ?a ; y:q ?b . }").unwrap();
+        assert_eq!(q.patterns.len(), 2);
+        assert_eq!(q.patterns[0].s, q.patterns[1].s);
+        assert_eq!(q.predicate_set(), vec!["y:p", "y:q"]);
+    }
+
+    #[test]
+    fn a_sugar_expands_to_rdf_type() {
+        let q = parse("SELECT ?s WHERE { ?s a y:Person }").unwrap();
+        assert_eq!(q.predicate_set(), vec!["rdf:type"]);
+    }
+
+    #[test]
+    fn literals_and_integers_as_objects() {
+        let q = parse("SELECT ?s WHERE { ?s y:age 42 . ?s y:name \"Ada\" }").unwrap();
+        match &q.patterns[0].o {
+            TermPattern::Term(Term::Literal { lexical, datatype, .. }) => {
+                assert_eq!(lexical, "42");
+                assert_eq!(datatype.as_deref(), Some("xsd:integer"));
+            }
+            other => panic!("expected integer literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_dot_before_brace_optional() {
+        assert!(parse("SELECT ?s WHERE { ?s y:p ?o . }").is_ok());
+        assert!(parse("SELECT ?s WHERE { ?s y:p ?o }").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT WHERE { ?s y:p ?o }").is_err());
+        assert!(parse("SELECT ?s { }").is_err());
+        assert!(parse("SELECT ?s WHERE { ?s y:p }").is_err());
+        assert!(parse("SELECT ?s WHERE { ?s y:p ?o ").is_err());
+        assert!(parse("SELECT ?s WHERE { ?s y:p ?o } LIMIT ?x").is_err());
+        assert!(parse("SELECT ?s WHERE { ?s y:p ?o } garbage:x").is_err());
+    }
+
+    #[test]
+    fn rejects_literal_predicate() {
+        assert!(parse("SELECT ?s WHERE { ?s \"lit\" ?o }").is_err());
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast() {
+        let src = "SELECT DISTINCT ?p WHERE { ?p y:wasBornIn ?c . ?p y:advisor ?a . ?a y:wasBornIn ?c . } LIMIT 3";
+        let q1 = parse(src).unwrap();
+        let q2 = parse(&q1.to_string()).unwrap();
+        assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # kgdual-workloads
+//!
+//! Synthetic knowledge graphs and query workloads mirroring the paper's
+//! evaluation setup (§6.1, Table 3).
+//!
+//! The paper evaluates on YAGO (16.4 M triples, 39 predicates), WatDiv
+//! (14.6 M, 86) and Bio2RDF (60.2 M, 161) with workloads of 20/100/25
+//! queries built from query templates plus **four mutations per
+//! template**, in an *ordered* version (template and its mutations
+//! clustered) and a *random* version (shuffled); each batch is 1/5 of a
+//! workload.
+//!
+//! Those datasets and the exact template sets are not redistributable, so
+//! each generator here reproduces the *statistics that matter to the
+//! system under test*: the predicate count (one partition per predicate —
+//! the tuner's decision space), Zipf-skewed partition sizes, and an
+//! entity-relationship structure that gives every template family
+//! (lookup / linear / star / snowflake / complex) non-trivial results,
+//! including the paper's advisor-born-in-same-city motif. Scale is
+//! configurable; shapes, not absolute sizes, carry the experiments.
+
+pub mod bio2rdf;
+pub(crate) mod util;
+pub mod watdiv;
+pub mod workload;
+pub mod yago;
+
+pub use bio2rdf::Bio2RdfGen;
+pub use watdiv::{WatDivGen, WatDivFamily};
+pub use workload::{Family, Template, Workload};
+pub use yago::YagoGen;

@@ -1,0 +1,60 @@
+//! Shared generator utilities.
+
+use rand::Rng;
+
+/// Sample an index in `0..n` with a power-law skew: small indexes are hit
+/// far more often (the head entities/predicates of a real KG). `skew = 1`
+/// is uniform; larger values concentrate mass on the head.
+pub(crate) fn skewed_index<R: Rng>(rng: &mut R, n: usize, skew: f64) -> usize {
+    debug_assert!(n > 0);
+    let u: f64 = rng.gen::<f64>();
+    let idx = (u.powf(skew) * n as f64) as usize;
+    idx.min(n - 1)
+}
+
+/// Zipf-ish partition size for filler predicate `rank` (0-based): sizes
+/// decay as `base / (rank + 1)`, floored at `min`.
+pub(crate) fn zipf_size(base: usize, rank: usize, min: usize) -> usize {
+    (base / (rank + 1)).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skewed_index_in_range_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            let i = skewed_index(&mut rng, 100, 3.0);
+            assert!(i < 100);
+            if i < 10 {
+                head += 1;
+            }
+        }
+        // With skew 3, P(idx < 10) = P(u^3 < 0.1) = 0.1^(1/3) ≈ 0.46.
+        assert!(head > 3_000, "head too cold: {head}");
+    }
+
+    #[test]
+    fn skewed_index_uniform_when_skew_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            if skewed_index(&mut rng, 100, 1.0) < 10 {
+                head += 1;
+            }
+        }
+        assert!((800..1200).contains(&head), "not uniform: {head}");
+    }
+
+    #[test]
+    fn zipf_sizes_decay() {
+        assert_eq!(zipf_size(1000, 0, 5), 1000);
+        assert_eq!(zipf_size(1000, 1, 5), 500);
+        assert_eq!(zipf_size(1000, 499, 5), 5);
+    }
+}

@@ -1,0 +1,372 @@
+//! Query templates, mutations, and workload assembly.
+
+use kgdual_sparql::{parse, Query, TriplePattern, Var};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Query-shape family (the WatDiv taxonomy, reused for all generators).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Simple lookups / short patterns without repeated join variables.
+    Lookup,
+    /// Linear chains (WatDiv-L).
+    Linear,
+    /// Stars around one join variable (WatDiv-S).
+    Star,
+    /// Snowflakes: star cores with chains (WatDiv-F).
+    Snowflake,
+    /// Complex patterns with multiple repeated variables (WatDiv-C).
+    Complex,
+}
+
+/// A parametrized query template: SPARQL text with `$NAME` placeholders
+/// plus a candidate pool per placeholder, and optional **structural
+/// variants** — alternative pattern compositions a mutation can pick.
+///
+/// Structural variants model what the paper's "mutations of a query
+/// template" do to the two physical designs differently: they reuse the
+/// same triple partitions (so a partition-level design keeps paying off)
+/// but are *not* isomorphic to each other (so an exact-match materialized
+/// view of one variant misses the others).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Template {
+    /// Template identifier (used in experiment output).
+    pub name: String,
+    /// Shape family.
+    pub family: Family,
+    /// SPARQL text with `$NAME` placeholders.
+    pub sparql: String,
+    /// `(placeholder, candidate terms)` pools; instantiation samples one
+    /// candidate per placeholder.
+    pub pools: Vec<(String, Vec<String>)>,
+    /// Alternative SPARQL texts mutations may use instead of `sparql`.
+    pub variants: Vec<String>,
+}
+
+impl Template {
+    /// A template without placeholders or variants.
+    pub fn fixed(name: impl Into<String>, family: Family, sparql: impl Into<String>) -> Self {
+        Template {
+            name: name.into(),
+            family,
+            sparql: sparql.into(),
+            pools: Vec::new(),
+            variants: Vec::new(),
+        }
+    }
+
+    /// A template whose mutations draw from structural variants.
+    pub fn with_variants(
+        name: impl Into<String>,
+        family: Family,
+        sparql: impl Into<String>,
+        variants: Vec<&str>,
+    ) -> Self {
+        Template {
+            name: name.into(),
+            family,
+            sparql: sparql.into(),
+            pools: Vec::new(),
+            variants: variants.into_iter().map(str::to_owned).collect(),
+        }
+    }
+
+    /// The original (deterministic) instance: first candidate of each pool.
+    pub fn original(&self) -> Query {
+        let mut text = self.sparql.clone();
+        for (ph, pool) in &self.pools {
+            let value = pool.first().map(String::as_str).unwrap_or("missing:pool");
+            text = text.replace(&format!("${ph}"), value);
+        }
+        parse(&text).unwrap_or_else(|e| panic!("template {} does not parse: {e}\n{text}", self.name))
+    }
+
+    /// A mutation: pick a structural variant when available, re-sample
+    /// constants from the pools, and — when neither applies — shuffle
+    /// pattern order and rename variables, producing a textually distinct
+    /// but equivalent query (the canonicalization machinery must see
+    /// through exactly this).
+    pub fn mutate<R: Rng>(&self, rng: &mut R) -> Query {
+        let mut text = if self.variants.is_empty() {
+            self.sparql.clone()
+        } else {
+            // Base text and variants are equally likely.
+            let pick = rng.gen_range(0..=self.variants.len());
+            if pick == 0 { self.sparql.clone() } else { self.variants[pick - 1].clone() }
+        };
+        if self.pools.is_empty() && self.variants.is_empty() {
+            return shuffle_mutation(&self.original(), rng);
+        }
+        for (ph, pool) in &self.pools {
+            let value = pool
+                .as_slice()
+                .choose(rng)
+                .map(String::as_str)
+                .unwrap_or("missing:pool");
+            text = text.replace(&format!("${ph}"), value);
+        }
+        parse(&text).unwrap_or_else(|e| panic!("template {} does not parse: {e}\n{text}", self.name))
+    }
+}
+
+/// Shuffle pattern order and rename variables with a random suffix.
+fn shuffle_mutation<R: Rng>(query: &Query, rng: &mut R) -> Query {
+    let suffix: u32 = rng.gen_range(0..100_000);
+    let rename = |v: &Var| Var::new(format!("{}_{suffix}", v.name()));
+    let mut patterns: Vec<TriplePattern> = query
+        .patterns
+        .iter()
+        .map(|p| {
+            use kgdual_sparql::{PredPattern, TermPattern};
+            let s = match &p.s {
+                TermPattern::Var(v) => TermPattern::Var(rename(v)),
+                t => t.clone(),
+            };
+            let pr = match &p.p {
+                PredPattern::Var(v) => PredPattern::Var(rename(v)),
+                t => t.clone(),
+            };
+            let o = match &p.o {
+                TermPattern::Var(v) => TermPattern::Var(rename(v)),
+                t => t.clone(),
+            };
+            TriplePattern::new(s, pr, o)
+        })
+        .collect();
+    patterns.shuffle(rng);
+    let select = match &query.select {
+        kgdual_sparql::Selection::Star => kgdual_sparql::Selection::Star,
+        kgdual_sparql::Selection::Vars(vs) => {
+            kgdual_sparql::Selection::Vars(vs.iter().map(rename).collect())
+        }
+    };
+    Query { select, distinct: query.distinct, patterns, limit: query.limit }
+}
+
+/// A named workload: the ordered query list plus assembly helpers.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Workload name (e.g. `YAGO`, `WatDiv-C`).
+    pub name: String,
+    /// Queries in *ordered* form: each template followed by its mutations.
+    pub queries: Vec<Query>,
+}
+
+impl Workload {
+    /// Assemble from templates: each contributes its original instance
+    /// plus `mutations` mutations, clustered together (the paper's
+    /// *ordered* version).
+    pub fn from_templates<R: Rng>(
+        name: impl Into<String>,
+        templates: &[Template],
+        mutations: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut queries = Vec::with_capacity(templates.len() * (mutations + 1));
+        for t in templates {
+            queries.push(t.original());
+            for _ in 0..mutations {
+                queries.push(t.mutate(rng));
+            }
+        }
+        Workload { name: name.into(), queries }
+    }
+
+    /// The ordered version.
+    pub fn ordered(&self) -> Vec<Query> {
+        self.queries.clone()
+    }
+
+    /// The random version: all queries shuffled.
+    pub fn randomized<R: Rng>(&self, rng: &mut R) -> Vec<Query> {
+        let mut out = self.queries.clone();
+        out.shuffle(rng);
+        out
+    }
+
+    /// Split into `n` near-equal batches (the paper uses n = 5).
+    pub fn batches(queries: &[Query], n: usize) -> Vec<Vec<Query>> {
+        assert!(n > 0, "need at least one batch");
+        let total = queries.len();
+        let base = total / n;
+        let extra = total % n;
+        let mut out = Vec::with_capacity(n);
+        let mut idx = 0usize;
+        for i in 0..n {
+            let size = base + usize::from(i < extra);
+            out.push(queries[idx..idx + size].to_vec());
+            idx += size;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_sparql::canonical_key;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn template_with_pool() -> Template {
+        Template {
+            name: "born-in".into(),
+            family: Family::Lookup,
+            sparql: "SELECT ?p WHERE { ?p y:bornIn $CITY }".into(),
+            pools: vec![(
+                "CITY".into(),
+                vec!["y:Ulm".into(), "y:Bonn".into(), "y:Turin".into()],
+            )],
+            variants: vec![],
+        }
+    }
+
+    #[test]
+    fn original_uses_first_candidate() {
+        let q = template_with_pool().original();
+        assert!(q.to_string().contains("y:Ulm"));
+    }
+
+    #[test]
+    fn mutations_resample_constants() {
+        let t = template_with_pool();
+        let mut rng = StdRng::seed_from_u64(7);
+        let texts: Vec<String> = (0..20).map(|_| t.mutate(&mut rng).to_string()).collect();
+        assert!(
+            texts.iter().any(|s| s.contains("y:Bonn") || s.contains("y:Turin")),
+            "20 samples must hit another city"
+        );
+    }
+
+    #[test]
+    fn fixed_template_mutations_preserve_canonical_key() {
+        let t = Template::fixed(
+            "advisor",
+            Family::Complex,
+            "SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }",
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let original = t.original();
+        let mutant = t.mutate(&mut rng);
+        assert_ne!(original, mutant, "mutation must differ textually");
+        assert_eq!(
+            canonical_key(&original.patterns),
+            canonical_key(&mutant.patterns),
+            "mutation must stay isomorphic"
+        );
+    }
+
+    #[test]
+    fn workload_ordered_clusters_templates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Workload::from_templates("test", &[template_with_pool()], 4, &mut rng);
+        assert_eq!(w.queries.len(), 5, "1 original + 4 mutations");
+        // All five instances share one canonical shape (pool constants are
+        // generalized away only by the view layer, so keys may differ; but
+        // the predicate is constant).
+        for q in &w.queries {
+            assert_eq!(q.predicate_set(), vec!["y:bornIn"]);
+        }
+    }
+
+    #[test]
+    fn randomized_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Workload::from_templates(
+            "t",
+            &[template_with_pool(), template_with_pool()],
+            4,
+            &mut rng,
+        );
+        let random = w.randomized(&mut rng);
+        assert_eq!(random.len(), w.queries.len());
+        let mut a: Vec<String> = w.queries.iter().map(|q| q.to_string()).collect();
+        let mut b: Vec<String> = random.iter().map(|q| q.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batches_split_evenly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Workload::from_templates("t", &[template_with_pool()], 4, &mut rng);
+        let batches = Workload::batches(&w.queries, 5);
+        assert_eq!(batches.len(), 5);
+        assert!(batches.iter().all(|b| b.len() == 1));
+        // Uneven split: 5 queries into 2 batches -> 3 + 2.
+        let b2 = Workload::batches(&w.queries, 2);
+        assert_eq!(b2[0].len(), 3);
+        assert_eq!(b2[1].len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod variant_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn variant_template() -> Template {
+        Template::with_variants(
+            "t",
+            Family::Complex,
+            "SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }",
+            vec![
+                "SELECT ?p WHERE { ?p y:livesIn ?c . ?p y:advisor ?a . ?a y:livesIn ?c }",
+                "SELECT ?p WHERE { ?p y:diedIn ?c . ?p y:advisor ?a . ?a y:diedIn ?c }",
+            ],
+        )
+    }
+
+    #[test]
+    fn variant_mutations_parse_and_share_the_anchor_predicate() {
+        let t = variant_template();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let q = t.mutate(&mut rng);
+            assert!(
+                q.predicate_set().contains(&"y:advisor"),
+                "every variant keeps the anchor partition"
+            );
+            assert_eq!(q.patterns.len(), 3);
+        }
+    }
+
+    #[test]
+    fn variant_mutations_eventually_cover_all_variants() {
+        let t = variant_template();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..60 {
+            let q = t.mutate(&mut rng);
+            seen.insert(q.predicate_set().join(","));
+        }
+        assert_eq!(seen.len(), 3, "base + 2 variants must all appear: {seen:?}");
+    }
+
+    #[test]
+    fn all_generator_templates_parse() {
+        use crate::{Bio2RdfGen, WatDivFamily, WatDivGen, YagoGen};
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut check = |t: &Template| {
+            let _ = t.original();
+            for _ in 0..5 {
+                let _ = t.mutate(&mut rng);
+            }
+        };
+        for t in YagoGen::default().templates() {
+            check(&t);
+        }
+        let w = WatDivGen::default();
+        for f in [WatDivFamily::L, WatDivFamily::S, WatDivFamily::F, WatDivFamily::C] {
+            for t in w.templates(f) {
+                check(&t);
+            }
+        }
+        for t in Bio2RdfGen::default().templates() {
+            check(&t);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration: every store variant, every generator, one
+//! pipeline — results must agree regardless of physical design.
+
+use kgdual::core::batch::TuningSchedule;
+use kgdual::prelude::*;
+
+/// All three store variants produce identical result rows for every query
+/// of every generator's workload.
+#[test]
+fn variants_agree_on_all_generator_workloads() {
+    let cases: Vec<(Dataset, Vec<Query>)> = vec![
+        (
+            YagoGen { persons: 1_500, ..Default::default() }.generate(),
+            YagoGen { persons: 1_500, ..Default::default() }.workload().queries,
+        ),
+        (
+            WatDivGen { users: 1_200, seed: 7 }.generate(),
+            WatDivGen { users: 1_200, seed: 7 }.combined_workload().queries,
+        ),
+        (
+            Bio2RdfGen { genes: 800, seed: 11 }.generate(),
+            Bio2RdfGen { genes: 800, seed: 11 }.workload().queries,
+        ),
+    ];
+
+    for (dataset, queries) in cases {
+        let budget = dataset.len() / 4;
+        let mut only = StoreVariant::rdb_only(DualStore::from_dataset(dataset.clone(), budget));
+        let mut views = StoreVariant::rdb_views(DualStore::from_dataset(dataset.clone(), budget));
+        let mut gdb = StoreVariant::rdb_gdb(
+            DualStore::from_dataset(dataset, budget),
+            Box::new(Dotil::new()),
+        );
+
+        for (qi, q) in queries.iter().enumerate() {
+            let mut rows: Vec<Vec<String>> = Vec::new();
+            for variant in [&mut only, &mut views, &mut gdb] {
+                let out = variant.process(q).expect("query runs");
+                let mut sorted = out.results.clone();
+                sorted.sort_rows();
+                rows.push(sorted.rows().map(|r| format!("{r:?}")).collect());
+            }
+            assert_eq!(rows[0], rows[1], "views diverged on query {qi}: {q}");
+            assert_eq!(rows[0], rows[2], "gdb diverged on query {qi}: {q}");
+            // Exercise the offline machinery mid-stream.
+            if qi % 7 == 3 {
+                views.offline_phase(std::slice::from_ref(q));
+                gdb.offline_phase(std::slice::from_ref(q));
+            }
+        }
+    }
+}
+
+/// Tuning never changes answers, only routes and costs.
+#[test]
+fn tuning_preserves_results_while_changing_routes() {
+    let gen = YagoGen { persons: 2_000, ..Default::default() };
+    let dataset = gen.generate();
+    let budget = dataset.len() / 4;
+    let mut dual = DualStore::from_dataset(dataset, budget);
+
+    let q = parse(
+        "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c }",
+    )
+    .unwrap();
+    let before = kgdual::processor::process(&mut dual, &q).unwrap();
+    assert_eq!(before.route, Route::Relational);
+
+    let mut tuner = Dotil::new();
+    let outcome = tuner.tune(&mut dual, std::slice::from_ref(&q));
+    assert!(outcome.migrated > 0);
+
+    let after = kgdual::processor::process(&mut dual, &q).unwrap();
+    assert_eq!(after.route, Route::Graph);
+    let (mut a, mut b) = (before.results.clone(), after.results.clone());
+    a.sort_rows();
+    b.sort_rows();
+    assert_eq!(a, b);
+    assert!(
+        after.total_work() < before.total_work(),
+        "graph route must be cheaper: {} vs {}",
+        after.total_work(),
+        before.total_work()
+    );
+}
+
+/// The full batch pipeline: five batches, DOTIL tuning, zero errors, and
+/// the graph share ramping up from a cold start (Figure 6's shape).
+#[test]
+fn batch_pipeline_ramps_up_graph_share() {
+    let gen = YagoGen { persons: 2_000, ..Default::default() };
+    let dataset = gen.generate();
+    let budget = dataset.len() / 4;
+    let workload = gen.workload();
+    let batches = Workload::batches(&workload.ordered(), 5);
+
+    let mut variant = StoreVariant::rdb_gdb(
+        DualStore::from_dataset(dataset, budget),
+        Box::new(Dotil::new()),
+    );
+    let runner = WorkloadRunner::new(TuningSchedule::AfterEachBatch);
+    // Two passes: the first warms, the second must use the graph store.
+    let _ = runner.run(&mut variant, &batches).unwrap();
+    let reports = runner.run(&mut variant, &batches).unwrap();
+
+    assert!(reports.iter().all(|r| r.errors == 0));
+    let graph_used: usize = reports.iter().map(|r| r.routes.graph + r.routes.dual).sum();
+    assert!(graph_used > 0, "warm runs must route complex queries to the graph store");
+    assert!(variant.dual().graph().used() > 0);
+    assert!(variant.dual().graph().used() <= variant.dual().graph().budget());
+}
+
+/// Updates propagate across both stores through the whole stack.
+#[test]
+fn updates_stay_consistent_across_stores() {
+    let gen = Bio2RdfGen { genes: 600, seed: 11 };
+    let dataset = gen.generate();
+    let budget = dataset.len() / 2;
+    let mut dual = DualStore::from_dataset(dataset, budget);
+    let q = parse(
+        "SELECT ?d WHERE { ?d bio:targets ?p1 . ?d bio:targets ?p2 . ?p1 bio:interactsWith ?p2 }",
+    )
+    .unwrap();
+    Dotil::new().tune(&mut dual, std::slice::from_ref(&q));
+
+    let baseline = kgdual::processor::process(&mut dual, &q).unwrap().results.len();
+    for (s, p, o) in [
+        ("bio:DrugX", "bio:targets", "bio:ProteinA"),
+        ("bio:DrugX", "bio:targets", "bio:ProteinB"),
+        ("bio:ProteinA", "bio:interactsWith", "bio:ProteinB"),
+    ] {
+        dual.insert_terms(&Term::iri(s), p, &Term::iri(o)).unwrap();
+    }
+    let grown = kgdual::processor::process(&mut dual, &q).unwrap().results.len();
+    assert!(grown > baseline, "inserted motif must appear: {grown} vs {baseline}");
+
+    let s = dual.dict().node_id(&Term::iri("bio:ProteinA")).unwrap();
+    let p = dual.dict().pred_id("bio:interactsWith").unwrap();
+    let o = dual.dict().node_id(&Term::iri("bio:ProteinB")).unwrap();
+    assert_eq!(dual.delete(Triple::new(s, p, o)), 1);
+    let shrunk = kgdual::processor::process(&mut dual, &q).unwrap().results.len();
+    assert_eq!(shrunk, baseline, "retraction must restore the baseline");
+}
+
+/// The facade's prelude covers the README quickstart path.
+#[test]
+fn prelude_quickstart_compiles_and_runs() {
+    let mut b = DatasetBuilder::new();
+    b.add_terms(&Term::iri("ex:a"), "ex:p", &Term::iri("ex:b"));
+    let mut dual = DualStore::from_dataset(b.build(), 10);
+    let q = parse("SELECT ?x WHERE { ?x ex:p ?y }").unwrap();
+    let out = kgdual::processor::process(&mut dual, &q).unwrap();
+    assert_eq!(out.results.len(), 1);
+    let rs = ResultSet::decode(&out, dual.dict());
+    assert_eq!(rs.rows[0][0], Term::iri("ex:a"));
+}

@@ -1,0 +1,248 @@
+//! Property-based tests: the two execution engines are independent
+//! implementations of BGP semantics, so random graphs + random queries
+//! make an effective cross-check oracle.
+
+use kgdual::prelude::*;
+use proptest::prelude::*;
+
+/// Build a dataset from raw id triples over small id spaces.
+fn dataset_from(raw: &[(u8, u8, u8)]) -> Dataset {
+    let mut b = DatasetBuilder::new();
+    for &(s, p, o) in raw {
+        b.add_terms(
+            &Term::iri(format!("n:{s}")),
+            &format!("p:{p}"),
+            &Term::iri(format!("n:{o}")),
+        );
+    }
+    b.build()
+}
+
+/// Render a random BGP: patterns pick subject/object from a tiny pool of
+/// variables and constants, predicates are always bound (every pattern
+/// must map to a partition for graph execution).
+fn render_query(patterns: &[(u8, bool, u8, u8, bool, u8)]) -> String {
+    let mut out = String::from("SELECT * WHERE { ");
+    for &(s, s_is_var, p, o, o_is_var, _) in patterns {
+        let subj = if s_is_var { format!("?v{}", s % 4) } else { format!("n:{}", s % 8) };
+        let obj = if o_is_var { format!("?w{}", o % 4) } else { format!("n:{}", o % 8) };
+        out.push_str(&format!("{subj} p:{} {obj} . ", p % 4));
+    }
+    out.push('}');
+    out
+}
+
+/// Sorted row-set fingerprint of a binding table.
+fn fingerprint(b: &Bindings) -> Vec<String> {
+    let mut rows: Vec<String> = b.rows().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Relational scan+hash-join execution and graph backtracking
+    /// traversal must agree on every random BGP over every random graph.
+    #[test]
+    fn rel_and_graph_agree_on_random_bgps(
+        triples in prop::collection::vec((0u8..12, 0u8..4, 0u8..12), 1..60),
+        patterns in prop::collection::vec(
+            (0u8..8, any::<bool>(), 0u8..4, 0u8..8, any::<bool>(), 0u8..1),
+            1..4
+        ),
+    ) {
+        let dataset = dataset_from(&triples);
+        let total = dataset.len();
+        let mut dual = DualStore::from_dataset(dataset, total);
+        let preds: Vec<_> = dual.rel().preds().collect();
+        for p in preds {
+            dual.migrate_partition(p).unwrap();
+        }
+
+        let src = render_query(&patterns);
+        let query = parse(&src).unwrap();
+        let compiled = compile(&query, dual.dict()).unwrap();
+        let Compiled::Query(eq) = compiled else {
+            // A constant never interned: both engines would agree trivially.
+            return Ok(());
+        };
+
+        let mut rctx = ExecContext::new();
+        let rel = dual.rel().execute(&eq, &mut rctx).unwrap();
+        let mut gctx = ExecContext::new();
+        let graph = dual.graph().execute(&eq, &mut gctx).unwrap();
+
+        // Same schema ordering is not guaranteed; project both onto the
+        // query's projection (identical by construction) and compare rows.
+        prop_assert_eq!(rel.vars(), graph.vars(), "projection schemas agree");
+        prop_assert_eq!(fingerprint(&rel), fingerprint(&graph), "query: {}", src);
+    }
+
+    /// The query processor returns the same rows as direct relational
+    /// execution for arbitrary partial graph coverage.
+    #[test]
+    fn processor_is_coverage_invariant(
+        triples in prop::collection::vec((0u8..10, 0u8..4, 0u8..10), 1..50),
+        patterns in prop::collection::vec(
+            (0u8..8, any::<bool>(), 0u8..4, 0u8..8, any::<bool>(), 0u8..1),
+            1..4
+        ),
+        coverage_mask in 0u8..16,
+    ) {
+        let dataset = dataset_from(&triples);
+        let total = dataset.len();
+        let mut dual = DualStore::from_dataset(dataset, total);
+        let preds: Vec<_> = dual.rel().preds().collect();
+        for (i, p) in preds.into_iter().enumerate() {
+            if coverage_mask & (1 << (i % 4)) != 0 {
+                dual.migrate_partition(p).unwrap();
+            }
+        }
+
+        let src = render_query(&patterns);
+        let query = parse(&src).unwrap();
+        let baseline = kgdual::processor::process_relational(&dual, &query).unwrap();
+        let routed = kgdual::processor::process(&mut dual, &query).unwrap();
+        prop_assert_eq!(
+            fingerprint(&baseline.results),
+            fingerprint(&routed.results),
+            "route {:?} diverged on {}",
+            routed.route,
+            src
+        );
+    }
+
+    /// Dictionary round-trip for arbitrary term content.
+    #[test]
+    fn dictionary_roundtrip(words in prop::collection::vec("[a-z]{1,12}", 1..20)) {
+        let mut dict = Dictionary::new();
+        let ids: Vec<NodeId> = words
+            .iter()
+            .map(|w| dict.encode_node(&Term::iri(w.clone())).unwrap())
+            .collect();
+        for (w, id) in words.iter().zip(&ids) {
+            assert_eq!(dict.node(*id).unwrap(), &Term::iri(w.clone()));
+            assert_eq!(dict.node_id(&Term::iri(w.clone())), Some(*id));
+        }
+        // Distinct words must get distinct ids.
+        let mut sorted: Vec<String> = words.clone();
+        sorted.sort();
+        sorted.dedup();
+        let mut unique_ids = ids.clone();
+        unique_ids.sort();
+        unique_ids.dedup();
+        assert_eq!(unique_ids.len(), sorted.len());
+    }
+
+    /// Bindings algebra: projection keeps row count, dedup is idempotent,
+    /// truncation bounds length.
+    #[test]
+    fn bindings_algebra(rows in prop::collection::vec((0u32..50, 0u32..50), 0..40), limit in 0usize..20) {
+        let mut b = Bindings::new(vec![0, 1]);
+        for &(x, y) in &rows {
+            b.push_row(&[NodeId(x), NodeId(y)]);
+        }
+        let projected = b.project(&[1]);
+        assert_eq!(projected.len(), b.len());
+        let mut d1 = b.clone();
+        d1.dedup_rows();
+        let mut d2 = d1.clone();
+        d2.dedup_rows();
+        assert_eq!(d1, d2, "dedup is idempotent");
+        assert!(d1.len() <= b.len());
+        let mut t = b.clone();
+        t.truncate(limit);
+        assert!(t.len() <= limit);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Identifier invariants: the complex subquery is a subset of the
+    /// query's patterns, disjoint from the remainder, together they cover
+    /// the query, and output variables occur on both sides.
+    #[test]
+    fn identifier_partitions_the_query(
+        patterns in prop::collection::vec(
+            (0u8..6, any::<bool>(), 0u8..4, 0u8..6, any::<bool>(), 0u8..1),
+            1..6
+        ),
+    ) {
+        let src = render_query(&patterns);
+        let query = parse(&src).unwrap();
+        let Some(qc) = kgdual::identifier::identify(&query) else {
+            return Ok(());
+        };
+        prop_assert!(qc.pattern_indexes.len() >= 2);
+        prop_assert!(qc.pattern_indexes.iter().all(|&i| i < query.patterns.len()));
+        let remainder = qc.remainder_indexes(&query);
+        prop_assert!(remainder.iter().all(|i| !qc.pattern_indexes.contains(i)));
+        prop_assert_eq!(
+            remainder.len() + qc.pattern_indexes.len(),
+            query.patterns.len()
+        );
+        // Every output variable occurs in both halves.
+        let qc_vars = kgdual::sparql::var_occurrences(&qc.patterns);
+        let rem_patterns: Vec<_> =
+            remainder.iter().map(|&i| query.patterns[i].clone()).collect();
+        let rem_vars = kgdual::sparql::var_occurrences(&rem_patterns);
+        for v in &qc.output_vars {
+            prop_assert!(qc_vars.contains_key(v));
+            prop_assert!(rem_vars.contains_key(v));
+        }
+        // Every qc pattern's endpoint variables occur >1 time in the query.
+        let counts = kgdual::sparql::var_occurrences(&query.patterns);
+        for p in &qc.patterns {
+            for v in p.vars() {
+                prop_assert!(counts[v] > 1, "qc endpoint {v} occurs once in {src}");
+            }
+        }
+    }
+
+    /// The forced-scan relational engine agrees with the index-enabled one
+    /// on every random BGP (access paths never change answers).
+    #[test]
+    fn access_paths_are_equivalent(
+        triples in prop::collection::vec((0u8..12, 0u8..4, 0u8..12), 1..50),
+        patterns in prop::collection::vec(
+            (0u8..8, any::<bool>(), 0u8..4, 0u8..8, any::<bool>(), 0u8..1),
+            1..4
+        ),
+    ) {
+        use kgdual::relstore::{PlannerConfig, ResourceGovernor};
+        let dataset = dataset_from(&triples);
+        let normal = DualStore::from_dataset(dataset.clone(), 0);
+        let forced = DualStore::from_dataset_with(
+            dataset,
+            0,
+            PlannerConfig { force_scans: true, ..PlannerConfig::default() },
+            ResourceGovernor::unlimited(),
+        );
+        let src = render_query(&patterns);
+        let query = parse(&src).unwrap();
+        let Compiled::Query(eq) = compile(&query, normal.dict()).unwrap() else {
+            return Ok(());
+        };
+        let mut a = ExecContext::new();
+        let ra = normal.rel().execute(&eq, &mut a).unwrap();
+        let mut b = ExecContext::new();
+        let rb = forced.rel().execute(&eq, &mut b).unwrap();
+        prop_assert_eq!(fingerprint(&ra), fingerprint(&rb), "query: {}", src);
+    }
+
+    /// Snapshot encode/decode round-trips arbitrary datasets exactly.
+    #[test]
+    fn snapshot_roundtrip(
+        triples in prop::collection::vec((0u8..20, 0u8..6, 0u8..20), 0..80),
+    ) {
+        let ds = dataset_from(&triples);
+        let bytes = kgdual::model::encode_snapshot(&ds);
+        let back = kgdual::model::decode_snapshot(&bytes).unwrap();
+        prop_assert_eq!(back.stats(), ds.stats());
+        let a: Vec<_> = ds.triples().collect();
+        let b: Vec<_> = back.triples().collect();
+        prop_assert_eq!(a, b);
+    }
+}
