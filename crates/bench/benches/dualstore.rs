@@ -18,11 +18,16 @@ const EXAMPLE_1: &str = "SELECT ?GivenName ?FamilyName WHERE { \
 
 fn bench_identifier(c: &mut Criterion) {
     let q = parse(EXAMPLE_1).unwrap();
-    c.bench_function("identifier/example1", |b| b.iter(|| identify(black_box(&q))));
+    c.bench_function("identifier/example1", |b| {
+        b.iter(|| identify(black_box(&q)))
+    });
 }
 
 fn bench_routing(c: &mut Criterion) {
-    let gen = YagoGen { persons: 2_000, ..Default::default() };
+    let gen = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    };
     let dataset = gen.generate();
     let budget = dataset.len() / 4;
     let mut dual = DualStore::from_dataset(dataset, budget);
@@ -32,19 +37,30 @@ fn bench_routing(c: &mut Criterion) {
     let mut g = c.benchmark_group("query-processor");
     g.sample_size(30);
     g.bench_function("routed-graph-case1", |b| {
-        b.iter(|| kgdual_core::processor::process(&mut dual, black_box(&q)).unwrap().results.len())
+        b.iter(|| {
+            kgdual_core::processor::process(&mut dual, black_box(&q))
+                .unwrap()
+                .results
+                .len()
+        })
     });
     let simple = parse("SELECT ?p ?g WHERE { ?p y:hasGivenName ?g }").unwrap();
     g.bench_function("routed-relational-simple", |b| {
         b.iter(|| {
-            kgdual_core::processor::process(&mut dual, black_box(&simple)).unwrap().results.len()
+            kgdual_core::processor::process(&mut dual, black_box(&simple))
+                .unwrap()
+                .results
+                .len()
         })
     });
     g.finish();
 }
 
 fn bench_dotil_step(c: &mut Criterion) {
-    let gen = YagoGen { persons: 2_000, ..Default::default() };
+    let gen = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    };
     let q = parse(ADVISOR).unwrap();
     let mut g = c.benchmark_group("dotil");
     g.sample_size(15);
@@ -52,7 +68,10 @@ fn bench_dotil_step(c: &mut Criterion) {
         b.iter_batched(
             || DualStore::from_dataset(gen.generate(), 200_000),
             |mut dual| {
-                let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+                let mut tuner = Dotil::with_config(DotilConfig {
+                    prob: 1.0,
+                    ..Default::default()
+                });
                 tuner.tune(&mut dual, std::slice::from_ref(&q)).migrated
             },
             criterion::BatchSize::LargeInput,
@@ -64,7 +83,11 @@ fn bench_dotil_step(c: &mut Criterion) {
 /// Ablation D1: forcing full scans everywhere (no index access paths)
 /// shows what the MySQL-style optimizer cliff costs on bound patterns.
 fn bench_ablation_force_scans(c: &mut Criterion) {
-    let dataset = YagoGen { persons: 4_000, ..Default::default() }.generate();
+    let dataset = YagoGen {
+        persons: 4_000,
+        ..Default::default()
+    }
+    .generate();
     let normal = {
         let mut d = DualStore::from_dataset(dataset.clone(), 0);
         d.set_case2_guard(true);
@@ -73,7 +96,10 @@ fn bench_ablation_force_scans(c: &mut Criterion) {
     let forced = DualStore::from_dataset_with(
         dataset,
         0,
-        PlannerConfig { force_scans: true, ..PlannerConfig::default() },
+        PlannerConfig {
+            force_scans: true,
+            ..PlannerConfig::default()
+        },
         kgdual_relstore::ResourceGovernor::unlimited(),
     );
     let q = parse("SELECT ?p WHERE { ?p y:wasBornIn y:City0 }").unwrap();
@@ -84,13 +110,21 @@ fn bench_ablation_force_scans(c: &mut Criterion) {
     g.bench_function("index-allowed", |b| {
         b.iter(|| {
             let mut ctx = ExecContext::new();
-            normal.rel().execute(black_box(&eq), &mut ctx).unwrap().len()
+            normal
+                .rel()
+                .execute(black_box(&eq), &mut ctx)
+                .unwrap()
+                .len()
         })
     });
     g.bench_function("force-scans", |b| {
         b.iter(|| {
             let mut ctx = ExecContext::new();
-            forced.rel().execute(black_box(&eq), &mut ctx).unwrap().len()
+            forced
+                .rel()
+                .execute(black_box(&eq), &mut ctx)
+                .unwrap()
+                .len()
         })
     });
     g.finish();
@@ -99,14 +133,16 @@ fn bench_ablation_force_scans(c: &mut Criterion) {
 /// Ablation D6: the Case-2 blowup guard on a query whose complex subquery
 /// is much larger than the full result.
 fn bench_ablation_case2_guard(c: &mut Criterion) {
-    let gen = YagoGen { persons: 2_000, ..Default::default() };
+    let gen = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    };
     let dataset = gen.generate();
     let budget = dataset.len() / 2;
     // Complex pair subquery with a selective remainder.
-    let q = parse(
-        "SELECT ?p WHERE { ?p y:worksAt ?o . ?q y:worksAt ?o . ?p y:hasWonPrize y:Prize0 }",
-    )
-    .unwrap();
+    let q =
+        parse("SELECT ?p WHERE { ?p y:worksAt ?o . ?q y:worksAt ?o . ?p y:hasWonPrize y:Prize0 }")
+            .unwrap();
     let build = |guard: bool| {
         let mut dual = DualStore::from_dataset(dataset.clone(), budget);
         dual.set_case2_guard(guard);
@@ -123,12 +159,18 @@ fn bench_ablation_case2_guard(c: &mut Criterion) {
     g.sample_size(30);
     g.bench_function("guard-on", |b| {
         b.iter(|| {
-            kgdual_core::processor::process(&mut guarded, black_box(&q)).unwrap().results.len()
+            kgdual_core::processor::process(&mut guarded, black_box(&q))
+                .unwrap()
+                .results
+                .len()
         })
     });
     g.bench_function("guard-off", |b| {
         b.iter(|| {
-            kgdual_core::processor::process(&mut unguarded, black_box(&q)).unwrap().results.len()
+            kgdual_core::processor::process(&mut unguarded, black_box(&q))
+                .unwrap()
+                .results
+                .len()
         })
     });
     g.finish();

@@ -18,7 +18,11 @@ const EXAMPLE_1: &str = "SELECT ?GivenName ?FamilyName WHERE { \
      ?p y:isMarriedTo ?p2 . ?p2 y:wasBornIn ?city }";
 
 fn mirrored_dual(persons: usize) -> (DualStore, EncodedQuery) {
-    let dataset = YagoGen { persons, ..Default::default() }.generate();
+    let dataset = YagoGen {
+        persons,
+        ..Default::default()
+    }
+    .generate();
     let total = dataset.len();
     let mut dual = DualStore::from_dataset(dataset, total);
     let preds: Vec<_> = dual.rel().preds().collect();
@@ -56,7 +60,8 @@ fn bench_dictionary(c: &mut Criterion) {
     });
     let mut warm = Dictionary::new();
     for i in 0..1000 {
-        warm.encode_node(&Term::iri(format!("y:Entity{i}"))).unwrap();
+        warm.encode_node(&Term::iri(format!("y:Entity{i}")))
+            .unwrap();
     }
     g.bench_function("lookup-hit", |b| {
         let probe = Term::iri("y:Entity500");
@@ -86,7 +91,10 @@ fn bench_executors(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let mut ctx = ExecContext::new();
-                    dual.graph().execute(black_box(&eq), &mut ctx).unwrap().len()
+                    dual.graph()
+                        .execute(black_box(&eq), &mut ctx)
+                        .unwrap()
+                        .len()
                 })
             },
         );
@@ -110,7 +118,10 @@ fn bench_bound_lookup(c: &mut Criterion) {
     g.bench_function("graph-adjacency", |b| {
         b.iter(|| {
             let mut ctx = ExecContext::new();
-            dual.graph().execute(black_box(&eq), &mut ctx).unwrap().len()
+            dual.graph()
+                .execute(black_box(&eq), &mut ctx)
+                .unwrap()
+                .len()
         })
     });
     g.finish();

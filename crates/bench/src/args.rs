@@ -60,7 +60,10 @@ impl BenchArgs {
 
     /// Look up a free-form flag.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.extra.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.extra
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Triples to generate for a dataset whose paper-scale size is

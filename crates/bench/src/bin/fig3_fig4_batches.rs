@@ -10,20 +10,34 @@ use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind,
 
 fn main() {
     let args = BenchArgs::parse();
-    let figure = if args.order == "random" { "Figure 4" } else { "Figure 3" };
+    let figure = if args.order == "random" {
+        "Figure 4"
+    } else {
+        "Figure 3"
+    };
     println!(
         "{figure}: per-batch simulated TTI (s, calibrated; wall-clock total alongside), {} workloads, scale {}\n",
         args.order, args.scale
     );
 
-    let variants =
-        [VariantKind::RdbOnly, VariantKind::RdbViews, VariantKind::RdbGdbDotil];
+    let variants = [
+        VariantKind::RdbOnly,
+        VariantKind::RdbViews,
+        VariantKind::RdbGdbDotil,
+    ];
 
     for kind in WorkloadKind::figure34_set() {
         println!("== {} ({}) ==", kind.name(), args.order);
         let results = run_variant_comparison(kind, &variants, &args);
         let mut table = TablePrinter::new(vec![
-            "variant", "batch1", "batch2", "batch3", "batch4", "batch5", "total", "wall-total",
+            "variant",
+            "batch1",
+            "batch2",
+            "batch3",
+            "batch4",
+            "batch5",
+            "total",
+            "wall-total",
         ]);
         for r in &results {
             let mut cells = vec![r.variant.to_string()];
@@ -40,7 +54,10 @@ fn main() {
         table.print();
         // Improvement summary like the paper's headline numbers.
         let tti = |name: &str| {
-            results.iter().find(|r| r.variant == name).map(|r| r.total_sim_tti_secs)
+            results
+                .iter()
+                .find(|r| r.variant == name)
+                .map(|r| r.total_sim_tti_secs)
         };
         if let (Some(only), Some(gdb)) = (tti("RDB-only"), tti("RDB-GDB")) {
             println!(

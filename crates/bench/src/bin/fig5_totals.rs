@@ -9,10 +9,16 @@ use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind,
 
 fn main() {
     let mut args = BenchArgs::parse();
-    println!("Figure 5: total simulated TTI (s) per workload and store variant, scale {}\n", args.scale);
+    println!(
+        "Figure 5: total simulated TTI (s) per workload and store variant, scale {}\n",
+        args.scale
+    );
 
-    let variants =
-        [VariantKind::RdbOnly, VariantKind::RdbViews, VariantKind::RdbGdbDotil];
+    let variants = [
+        VariantKind::RdbOnly,
+        VariantKind::RdbViews,
+        VariantKind::RdbGdbDotil,
+    ];
     // The paper's four panels: YAGO, WatDiv ordered, WatDiv random, Bio2RDF.
     let panels: [(WorkloadKind, &str); 4] = [
         (WorkloadKind::Yago, "ordered"),
@@ -22,7 +28,13 @@ fn main() {
     ];
 
     let mut table = TablePrinter::new(vec![
-        "workload", "order", "RDB-only", "RDB-views", "RDB-GDB", "GDB vs only", "GDB vs views",
+        "workload",
+        "order",
+        "RDB-only",
+        "RDB-views",
+        "RDB-GDB",
+        "GDB vs only",
+        "GDB vs views",
     ]);
     for (kind, order) in panels {
         args.order = order.to_owned();

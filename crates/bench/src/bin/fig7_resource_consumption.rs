@@ -59,8 +59,7 @@ fn main() {
         sampler.join().expect("sampler thread")
     });
 
-    let mut table =
-        TablePrinter::new(vec!["t (s)", "IO units/interval", "CPU units/interval"]);
+    let mut table = TablePrinter::new(vec!["t (s)", "IO units/interval", "CPU units/interval"]);
     let mut prev: Option<GovernorSample> = None;
     for s in &samples {
         if let Some(p) = prev {

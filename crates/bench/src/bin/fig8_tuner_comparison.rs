@@ -10,7 +10,10 @@ use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind,
 
 fn main() {
     let mut args = BenchArgs::parse();
-    println!("Figure 8: total simulated TTI (s) per tuner, scale {}\n", args.scale);
+    println!(
+        "Figure 8: total simulated TTI (s) per tuner, scale {}\n",
+        args.scale
+    );
 
     let tuners = [
         VariantKind::RdbGdbDotil,
@@ -26,7 +29,13 @@ fn main() {
     ];
 
     let mut table = TablePrinter::new(vec![
-        "workload", "order", "DOTIL", "one-off", "LRU", "ideal", "DOTIL vs ideal",
+        "workload",
+        "order",
+        "DOTIL",
+        "one-off",
+        "LRU",
+        "ideal",
+        "DOTIL vs ideal",
     ]);
     for (kind, order) in panels {
         args.order = order.to_owned();

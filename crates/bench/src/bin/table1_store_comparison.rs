@@ -15,14 +15,16 @@ use kgdual_sparql::{compile, parse, Compiled};
 use kgdual_workloads::YagoGen;
 use std::time::{Duration, Instant};
 
-const QUERY: &str = "SELECT ?p WHERE { ?p y:wasBornIn ?city . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city }";
+const QUERY: &str =
+    "SELECT ?p WHERE { ?p y:wasBornIn ?city . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city }";
 
 fn main() {
     let args = BenchArgs::parse();
     // Paper sweep: 500k..5M; scaled by --scale (default 0.1 here: 50k..500k).
     let scale = if args.scale == 0.01 { 0.1 } else { args.scale };
-    let sizes: Vec<usize> =
-        (1..=10).map(|i| ((i * 500_000) as f64 * scale) as usize).collect();
+    let sizes: Vec<usize> = (1..=10)
+        .map(|i| ((i * 500_000) as f64 * scale) as usize)
+        .collect();
 
     println!("Table 1: latency (s) of the advisor-same-city query by store and data size");
     println!("(paper: MySQL vs Neo4j, 500k..5M triples; here scaled by {scale})\n");
@@ -45,7 +47,8 @@ fn main() {
         // Table 1 loads the *entire* graph into both stores.
         let preds: Vec<_> = dual.rel().preds().collect();
         for p in preds {
-            dual.migrate_partition(p).expect("full mirror fits the budget");
+            dual.migrate_partition(p)
+                .expect("full mirror fits the budget");
         }
 
         let query = parse(QUERY).unwrap();
@@ -81,9 +84,7 @@ fn main() {
 
         // Calibrated simulated latencies (see DESIGN.md: wall-clock on two
         // embedded engines compresses the disk/IPC gap Table 1 measured).
-        use kgdual_relstore::exec::context::{
-            GRAPH_NANOS_PER_WORK_UNIT, REL_NANOS_PER_WORK_UNIT,
-        };
+        use kgdual_relstore::exec::context::{GRAPH_NANOS_PER_WORK_UNIT, REL_NANOS_PER_WORK_UNIT};
         let sim_rel = Duration::from_nanos((rel_work as f64 * REL_NANOS_PER_WORK_UNIT) as u64);
         let sim_graph =
             Duration::from_nanos((graph_work as f64 * GRAPH_NANOS_PER_WORK_UNIT) as u64);
@@ -92,10 +93,16 @@ fn main() {
             actual.to_string(),
             secs(rel_t),
             secs(graph_t),
-            format!("{:.1}x", rel_t.as_secs_f64() / graph_t.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                rel_t.as_secs_f64() / graph_t.as_secs_f64().max(1e-9)
+            ),
             secs(sim_rel),
             secs(sim_graph),
-            format!("{:.1}x", sim_rel.as_secs_f64() / sim_graph.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.1}x",
+                sim_rel.as_secs_f64() / sim_graph.as_secs_f64().max(1e-12)
+            ),
             rel_rows.to_string(),
         ]);
     }

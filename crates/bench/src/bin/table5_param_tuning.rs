@@ -63,8 +63,12 @@ fn main() {
         },
     ];
 
-    let mut table =
-        TablePrinter::new(vec!["parameter", "value", "TTI(s)", "Q-matrix [Q00,Q01,Q10,Q11]"]);
+    let mut table = TablePrinter::new(vec![
+        "parameter",
+        "value",
+        "TTI(s)",
+        "Q-matrix [Q00,Q01,Q10,Q11]",
+    ]);
     for sweep in &sweeps {
         for &value in &sweep.values {
             // Table 4 defaults, with one parameter overridden.

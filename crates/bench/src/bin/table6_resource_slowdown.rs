@@ -16,7 +16,10 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let args = BenchArgs::parse();
-    println!("Table 6: graph-store slowdown with limited spare resources, scale {}\n", args.scale);
+    println!(
+        "Table 6: graph-store slowdown with limited spare resources, scale {}\n",
+        args.scale
+    );
 
     let triples = args.triples(16_418_085);
     let dataset = YagoGen::with_target_triples(triples, args.seed).generate();

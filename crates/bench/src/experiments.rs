@@ -3,7 +3,9 @@
 use crate::args::BenchArgs;
 use crate::setup::{build_batches, build_dataset, build_workload};
 use kgdual_core::batch::TuningSchedule;
-use kgdual_core::{BatchReport, DualStore, PhysicalTuner, StoreVariant, TuningOutcome, WorkloadRunner};
+use kgdual_core::{
+    BatchReport, DualStore, PhysicalTuner, StoreVariant, TuningOutcome, WorkloadRunner,
+};
 use kgdual_dotil::{Dotil, DotilConfig, FrequencyTuner, IdealTuner, OneOffTuner};
 use kgdual_sparql::Query;
 use parking_lot::Mutex;
@@ -184,7 +186,9 @@ pub fn run_variant_comparison(
         let mut kept: Vec<Vec<f64>> = Vec::new();
         let mut last_reports: Vec<BatchReport> = Vec::new();
         for rep in 0..args.reps {
-            let reports = runner.run(&mut variant, &batches).expect("workload run failed");
+            let reports = runner
+                .run(&mut variant, &batches)
+                .expect("workload run failed");
             if rep > 0 || args.reps == 1 {
                 kept.push(reports.iter().map(|r| r.tti.as_secs_f64()).collect());
             }
@@ -194,8 +198,10 @@ pub fn run_variant_comparison(
         let avg_batch: Vec<f64> = (0..n_batches)
             .map(|b| kept.iter().map(|r| r[b]).sum::<f64>() / kept.len() as f64)
             .collect();
-        let sim_batch: Vec<f64> =
-            last_reports.iter().map(|r| r.sim_tti.as_secs_f64()).collect();
+        let sim_batch: Vec<f64> = last_reports
+            .iter()
+            .map(|r| r.sim_tti.as_secs_f64())
+            .collect();
         out.push(VariantResult {
             variant: vk.name(),
             total_tti_secs: avg_batch.iter().sum(),
@@ -215,7 +221,11 @@ mod tests {
 
     #[test]
     fn variant_comparison_runs_end_to_end() {
-        let args = BenchArgs { scale: 0.0005, reps: 2, ..Default::default() };
+        let args = BenchArgs {
+            scale: 0.0005,
+            reps: 2,
+            ..Default::default()
+        };
         let results = run_variant_comparison(
             WorkloadKind::Yago,
             &[VariantKind::RdbOnly, VariantKind::RdbGdbDotil],

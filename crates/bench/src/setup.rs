@@ -74,7 +74,10 @@ mod tests {
     use super::*;
 
     fn tiny_args() -> BenchArgs {
-        BenchArgs { scale: 0.001, ..Default::default() }
+        BenchArgs {
+            scale: 0.001,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -100,8 +103,7 @@ mod tests {
         let random = build_batches(&w, "random", 42);
         assert_eq!(ordered.len(), 5);
         assert_eq!(random.len(), 5);
-        let mut a: Vec<String> =
-            ordered.iter().flatten().map(|q| q.to_string()).collect();
+        let mut a: Vec<String> = ordered.iter().flatten().map(|q| q.to_string()).collect();
         let mut b: Vec<String> = random.iter().flatten().map(|q| q.to_string()).collect();
         assert_ne!(a, b, "random version must reorder");
         a.sort();

@@ -10,7 +10,10 @@ pub struct TablePrinter {
 impl TablePrinter {
     /// A table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        TablePrinter { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TablePrinter {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).

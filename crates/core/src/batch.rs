@@ -105,7 +105,9 @@ pub struct WorkloadRunner {
 
 impl Default for WorkloadRunner {
     fn default() -> Self {
-        WorkloadRunner { schedule: TuningSchedule::AfterEachBatch }
+        WorkloadRunner {
+            schedule: TuningSchedule::AfterEachBatch,
+        }
     }
 }
 
@@ -133,7 +135,11 @@ impl WorkloadRunner {
                 variant.offline_phase(batch);
             }
 
-            let mut report = BatchReport { batch_index: i, queries: batch.len(), ..Default::default() };
+            let mut report = BatchReport {
+                batch_index: i,
+                queries: batch.len(),
+                ..Default::default()
+            };
             let t0 = Instant::now();
             for query in batch {
                 match variant.process(query) {
@@ -204,13 +210,9 @@ mod tests {
 
     fn batches() -> Vec<Vec<Query>> {
         let complex =
-            parse("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }")
-                .unwrap();
+            parse("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }").unwrap();
         let simple = parse("SELECT ?p WHERE { ?p y:bornIn ?c }").unwrap();
-        vec![
-            vec![complex.clone(), simple.clone()],
-            vec![complex, simple],
-        ]
+        vec![vec![complex.clone(), simple.clone()], vec![complex, simple]]
     }
 
     #[test]

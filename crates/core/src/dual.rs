@@ -35,7 +35,12 @@ pub struct DualStore {
 impl DualStore {
     /// Build from a dataset with graph budget `B_G` given in triples.
     pub fn from_dataset(ds: Dataset, budget: usize) -> Self {
-        Self::from_dataset_with(ds, budget, PlannerConfig::default(), ResourceGovernor::unlimited())
+        Self::from_dataset_with(
+            ds,
+            budget,
+            PlannerConfig::default(),
+            ResourceGovernor::unlimited(),
+        )
     }
 
     /// Build with an explicit budget as a *ratio* of the dataset size
@@ -146,9 +151,18 @@ impl DualStore {
     /// Insert a statement given as terms; the relational store always takes
     /// it, and a graph-resident partition is kept in sync.
     pub fn insert_terms(&mut self, s: &Term, p: &str, o: &Term) -> Result<Triple, CoreError> {
-        let s = self.dict.encode_node(s).map_err(|_| CoreError::UnknownPartition(PredId(0)))?;
-        let p = self.dict.encode_pred(p).map_err(|_| CoreError::UnknownPartition(PredId(0)))?;
-        let o = self.dict.encode_node(o).map_err(|_| CoreError::UnknownPartition(PredId(0)))?;
+        let s = self
+            .dict
+            .encode_node(s)
+            .map_err(|_| CoreError::UnknownPartition(PredId(0)))?;
+        let p = self
+            .dict
+            .encode_pred(p)
+            .map_err(|_| CoreError::UnknownPartition(PredId(0)))?;
+        let o = self
+            .dict
+            .encode_node(o)
+            .map_err(|_| CoreError::UnknownPartition(PredId(0)))?;
         let t = Triple::new(s, p, o);
         self.insert(t)?;
         Ok(t)
@@ -259,7 +273,8 @@ mod tests {
         assert_eq!(dual.rel().partition_len(born), 11);
         assert_eq!(dual.graph().partition_len(born), 11);
         // Non-resident predicate: only relational.
-        dual.insert_terms(&Term::iri("y:new"), "y:livesIn", &Term::iri("y:c0")).unwrap();
+        dual.insert_terms(&Term::iri("y:new"), "y:livesIn", &Term::iri("y:c0"))
+            .unwrap();
         let lives = dual.dict().pred_id("y:livesIn").unwrap();
         assert_eq!(dual.rel().partition_len(lives), 1);
         assert_eq!(dual.graph().partition_len(lives), 0);

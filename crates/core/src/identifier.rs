@@ -63,15 +63,18 @@ pub fn identify(query: &Query) -> Option<ComplexSubquery> {
         return None;
     }
 
-    let patterns: Vec<TriplePattern> =
-        indexes.iter().map(|&i| query.patterns[i].clone()).collect();
+    let patterns: Vec<TriplePattern> = indexes.iter().map(|&i| query.patterns[i].clone()).collect();
     let remainder: Vec<TriplePattern> = (0..query.patterns.len())
         .filter(|i| !indexes.contains(i))
         .map(|i| query.patterns[i].clone())
         .collect();
     let output_vars = kgdual_sparql::join_vars(&patterns, &remainder);
 
-    Some(ComplexSubquery { pattern_indexes: indexes, patterns, output_vars })
+    Some(ComplexSubquery {
+        pattern_indexes: indexes,
+        patterns,
+        output_vars,
+    })
 }
 
 #[cfg(test)]
@@ -102,10 +105,8 @@ mod tests {
 
     #[test]
     fn star_query_with_single_use_vars_is_not_complex() {
-        let q = parse(
-            "SELECT ?g ?f WHERE { ?p y:hasGivenName ?g . ?p y:hasFamilyName ?f }",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT ?g ?f WHERE { ?p y:hasGivenName ?g . ?p y:hasFamilyName ?f }").unwrap();
         // ?p occurs twice but ?g and ?f occur once: no pattern qualifies.
         assert!(identify(&q).is_none());
     }
@@ -136,10 +137,9 @@ mod tests {
 
     #[test]
     fn constant_endpoints_never_qualify() {
-        let q = parse(
-            "SELECT ?p WHERE { ?p y:bornIn y:Ulm . ?p y:advisor ?a . ?a y:bornIn y:Ulm }",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT ?p WHERE { ?p y:bornIn y:Ulm . ?p y:advisor ?a . ?a y:bornIn y:Ulm }")
+                .unwrap();
         // ?p and ?a occur twice each, but the two bornIn patterns have a
         // constant object, so only y:advisor qualifies — not complex.
         assert!(identify(&q).is_none());
@@ -147,10 +147,7 @@ mod tests {
 
     #[test]
     fn variable_predicates_never_qualify() {
-        let q = parse(
-            "SELECT ?p WHERE { ?p ?rel ?a . ?a ?rel2 ?p . ?p y:knows ?a }",
-        )
-        .unwrap();
+        let q = parse("SELECT ?p WHERE { ?p ?rel ?a . ?a ?rel2 ?p . ?p y:knows ?a }").unwrap();
         let qc = identify(&q);
         // Only the y:knows pattern has a bound predicate; alone it cannot
         // form a complex subquery.

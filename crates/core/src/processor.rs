@@ -70,9 +70,7 @@ impl QueryOutcome {
     /// at the native-store rate. Deterministic, so it is the primary TTI
     /// metric of the reproduction harness.
     pub fn simulated_latency(&self) -> Duration {
-        use kgdual_relstore::exec::context::{
-            GRAPH_NANOS_PER_WORK_UNIT, REL_NANOS_PER_WORK_UNIT,
-        };
+        use kgdual_relstore::exec::context::{GRAPH_NANOS_PER_WORK_UNIT, REL_NANOS_PER_WORK_UNIT};
         self.rel_stats.simulated(REL_NANOS_PER_WORK_UNIT)
             + self.graph_stats.simulated(GRAPH_NANOS_PER_WORK_UNIT)
     }
@@ -88,7 +86,9 @@ fn pred_vars(eq: &EncodedQuery) -> Vec<Var> {
             }
         }
     }
-    ids.into_iter().map(|v| eq.vars[v as usize].clone()).collect()
+    ids.into_iter()
+        .map(|v| eq.vars[v as usize].clone())
+        .collect()
 }
 
 fn empty_outcome(query: &Query, elapsed: Duration) -> QueryOutcome {
@@ -106,7 +106,11 @@ fn empty_outcome(query: &Query, elapsed: Duration) -> QueryOutcome {
 
 /// Build the encoded subquery for the complex part: it projects every
 /// subquery variable that the remainder or the final projection needs.
-fn complex_subquery_encoded(eq: &EncodedQuery, qc: &ComplexSubquery, query: &Query) -> EncodedQuery {
+fn complex_subquery_encoded(
+    eq: &EncodedQuery,
+    qc: &ComplexSubquery,
+    query: &Query,
+) -> EncodedQuery {
     let qc_var_ids: Vec<VarId> = {
         let mut ids = Vec::new();
         for &i in &qc.pattern_indexes {
@@ -210,13 +214,13 @@ pub fn process(dual: &mut DualStore, query: &Query) -> Result<QueryOutcome, Core
         let intermediate = dual.graph().execute(&qc_eq, &mut gctx)?;
         // Migrate into the temporary relational table space (§3.3).
         let handle = dual.temp_mut().store(intermediate);
-        let seed = dual
-            .temp()
-            .get(handle)
-            .expect("just staged")
-            .clone();
+        let seed = dual.temp().get(handle).expect("just staged").clone();
         let remainder = eq.subquery(&qc.remainder_indexes(query), eq.projection.clone());
-        let remainder = EncodedQuery { distinct: eq.distinct, limit: eq.limit, ..remainder };
+        let remainder = EncodedQuery {
+            distinct: eq.distinct,
+            limit: eq.limit,
+            ..remainder
+        };
         let mut rctx = ExecContext::with_governor(governor);
         let results = dual.rel().execute_with_seed(&remainder, &seed, &mut rctx);
         // Discard temporaries regardless of success.
@@ -310,8 +314,11 @@ pub fn process_with_views(
                     .filter(|i| !covered_q.contains(i))
                     .collect();
                 let remainder = eq.subquery(&rest, eq.projection.clone());
-                let remainder =
-                    EncodedQuery { distinct: eq.distinct, limit: eq.limit, ..remainder };
+                let remainder = EncodedQuery {
+                    distinct: eq.distinct,
+                    limit: eq.limit,
+                    ..remainder
+                };
                 let mut rctx = ExecContext::with_governor(dual.governor());
                 let results = dual.rel().execute_with_seed(&remainder, &seed, &mut rctx)?;
                 vctx.stats.merge(&rctx.stats);

@@ -43,7 +43,10 @@ impl ResultSet {
                     .collect()
             })
             .collect();
-        ResultSet { vars: outcome.vars.clone(), rows }
+        ResultSet {
+            vars: outcome.vars.clone(),
+            rows,
+        }
     }
 
     /// Number of result rows.
@@ -96,7 +99,10 @@ mod tests {
         let out = process(&mut d, &q).unwrap();
         let rs = ResultSet::decode(&out, d.dict());
         assert_eq!(rs.len(), 1);
-        assert_eq!(rs.rows[0], vec![Term::iri("y:Einstein"), Term::iri("y:Ulm")]);
+        assert_eq!(
+            rs.rows[0],
+            vec![Term::iri("y:Einstein"), Term::iri("y:Ulm")]
+        );
         let rendered = rs.to_string();
         assert!(rendered.contains("?p\t?c"));
         assert!(rendered.contains("y:Einstein\ty:Ulm"));

@@ -47,7 +47,10 @@ impl StoreVariant {
     /// graph budget, matching the paper's fair-comparison setup.
     pub fn rdb_views(dual: DualStore) -> Self {
         let budget = dual.graph().budget();
-        StoreVariant::RdbViews { dual, views: ViewCatalog::new(budget) }
+        StoreVariant::RdbViews {
+            dual,
+            views: ViewCatalog::new(budget),
+        }
     }
 
     /// Construct `RDB-GDB` with the given tuner.
@@ -137,7 +140,10 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(StoreVariant::rdb_only(DualStore::from_dataset(dataset(), 10)).name(), "RDB-only");
+        assert_eq!(
+            StoreVariant::rdb_only(DualStore::from_dataset(dataset(), 10)).name(),
+            "RDB-only"
+        );
         assert_eq!(
             StoreVariant::rdb_views(DualStore::from_dataset(dataset(), 10)).name(),
             "RDB-views"
@@ -154,10 +160,8 @@ mod tests {
         let q = parse(Q).unwrap();
         let mut only = StoreVariant::rdb_only(DualStore::from_dataset(dataset(), 10));
         let mut views = StoreVariant::rdb_views(DualStore::from_dataset(dataset(), 10));
-        let mut gdb = StoreVariant::rdb_gdb(
-            DualStore::from_dataset(dataset(), 10),
-            Box::new(NoopTuner),
-        );
+        let mut gdb =
+            StoreVariant::rdb_gdb(DualStore::from_dataset(dataset(), 10), Box::new(NoopTuner));
         let a = only.process(&q).unwrap();
         let b = views.process(&q).unwrap();
         let c = gdb.process(&q).unwrap();

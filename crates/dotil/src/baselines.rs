@@ -159,8 +159,7 @@ impl PhysicalTuner for FrequencyTuner {
         }
         // Rank purely by frequency (the paper's point: frequency alone
         // ignores benefit, which is why this baseline loses to DOTIL).
-        let mut ranked: Vec<(PredId, u64)> =
-            self.history.iter().map(|(&p, &h)| (p, h)).collect();
+        let mut ranked: Vec<(PredId, u64)> = self.history.iter().map(|(&p, &h)| (p, h)).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let desired: Vec<PredId> = ranked.into_iter().map(|(p, _)| p).collect();
         plan_residency(dual, &desired)
@@ -249,13 +248,20 @@ mod tests {
         // Budget fits only bornIn+advisor (140), not marriedTo too.
         let mut d = dual(150);
         let mut t = FrequencyTuner::new();
-        let batch: Vec<Query> =
-            vec![advisor_query(), advisor_query(), advisor_query(), marriage_query()];
+        let batch: Vec<Query> = vec![
+            advisor_query(),
+            advisor_query(),
+            advisor_query(),
+            marriage_query(),
+        ];
         t.tune(&mut d, &batch);
         let advisor = d.dict().pred_id("y:advisor").unwrap();
         let married = d.dict().pred_id("y:marriedTo").unwrap();
         assert!(d.graph().is_loaded(advisor));
-        assert!(!d.graph().is_loaded(married), "budget spent on frequent partitions");
+        assert!(
+            !d.graph().is_loaded(married),
+            "budget spent on frequent partitions"
+        );
         assert!(t.history()[&advisor] == 3);
     }
 

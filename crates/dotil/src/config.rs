@@ -24,6 +24,13 @@ pub struct DotilConfig {
     pub reward_scale: f64,
     /// RNG seed for the cold-start coin flip (reproducibility).
     pub seed: u64,
+    /// Eviction-protection TTL: a resident partition whose complex
+    /// subqueries have been absent for this many consecutive tuning
+    /// passes loses its keep-equity shield against eviction, letting
+    /// sustained workload drift displace stale designs. Must exceed the
+    /// workload's recurrence period (the paper's workloads cycle every
+    /// 5 batches) or the thrash the guard prevents comes back.
+    pub keep_equity_ttl: u32,
 }
 
 impl Default for DotilConfig {
@@ -35,6 +42,7 @@ impl Default for DotilConfig {
             prob: 0.9,
             reward_scale: 1e-4,
             seed: 0x000D_0711,
+            keep_equity_ttl: 6,
         }
     }
 }
@@ -43,7 +51,12 @@ impl DotilConfig {
     /// The paper's Table 4 *default* (pre-tuning) values: `α = 0.5`,
     /// `γ = 0.5`, `λ = 3.5`, `prob = 0.5`.
     pub fn paper_defaults() -> Self {
-        DotilConfig { gamma: 0.5, lambda: 3.5, prob: 0.5, ..Self::default() }
+        DotilConfig {
+            gamma: 0.5,
+            lambda: 3.5,
+            prob: 0.5,
+            ..Self::default()
+        }
     }
 }
 

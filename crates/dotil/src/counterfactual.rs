@@ -69,7 +69,11 @@ pub fn measure(
             .expect("counterfactual thread must not panic")
     });
 
-    Ok(CostPair { c1, c2: outcome.0, truncated: outcome.1 })
+    Ok(CostPair {
+        c1,
+        c2: outcome.0,
+        truncated: outcome.1,
+    })
 }
 
 #[cfg(test)]
@@ -106,8 +110,8 @@ mod tests {
     }
 
     fn qc(d: &DualStore) -> EncodedQuery {
-        let q = parse("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }")
-            .unwrap();
+        let q =
+            parse("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }").unwrap();
         match compile(&q, d.dict()).unwrap() {
             Compiled::Query(eq) => eq,
             Compiled::EmptyResult => panic!("query must compile"),
@@ -136,7 +140,11 @@ mod tests {
         // scan-heavy relational run must overrun.
         let pair = measure(&d, &qc(&d), 0.01).unwrap();
         let cap = ((pair.c1 as f64 * 0.01) as u64).max(1_000);
-        assert!(pair.c2 <= cap, "c2={} must respect the cutoff {cap}", pair.c2);
+        assert!(
+            pair.c2 <= cap,
+            "c2={} must respect the cutoff {cap}",
+            pair.c2
+        );
         assert!(pair.truncated, "this workload must hit the cutoff");
     }
 

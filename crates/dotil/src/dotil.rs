@@ -29,6 +29,11 @@ type RoleGroup<'a> = (&'a [(PredId, usize, usize)], usize);
 pub struct Dotil {
     cfg: DotilConfig,
     q: FxHashMap<PredId, QMatrix>,
+    /// Consecutive tuning passes each resident partition has gone without
+    /// its complex subqueries appearing in the batch; at
+    /// `cfg.keep_equity_ttl` its keep equity stops shielding it from
+    /// eviction (see the desirability guard in `tune`).
+    stale: FxHashMap<PredId, u32>,
     rng: StdRng,
     trainings: u64,
 }
@@ -43,6 +48,7 @@ impl Dotil {
     pub fn with_config(cfg: DotilConfig) -> Self {
         Dotil {
             q: FxHashMap::default(),
+            stale: FxHashMap::default(),
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             trainings: 0,
@@ -189,25 +195,33 @@ impl PhysicalTuner for Dotil {
             }
         }
 
+        // Partitions referenced by this batch's complex subqueries: evidence
+        // of continued usefulness for the staleness bookkeeping below.
+        let mut active: kgdual_model::fx::FxHashSet<PredId> =
+            kgdual_model::fx::FxHashSet::default();
+
         for (_, query, count) in shapes {
             let Some(qc) = identify(query) else { continue };
             let Some((qc_eq, proportions)) = Self::prepare(dual, &qc.patterns) else {
                 continue;
             };
             let tc = qc_eq.predicate_set();
+            active.extend(tc.iter().copied());
 
             // Lines 5-7: everything already resident — reward keeping,
             // once per copy in the batch.
             if dual.graph().covers(&tc) {
-                let roles: Vec<(PredId, usize, usize)> =
-                    tc.iter().map(|&p| (p, 1, 0)).collect();
+                let roles: Vec<(PredId, usize, usize)> = tc.iter().map(|&p| (p, 1, 0)).collect();
                 self.learn(dual, &qc_eq, &proportions, &[(&roles, count)], &mut outcome);
                 continue;
             }
 
             // Lines 9-11: T_set = partitions of T_c missing from T_G.
-            let tset: Vec<PredId> =
-                tc.iter().copied().filter(|&p| !dual.graph().is_loaded(p)).collect();
+            let tset: Vec<PredId> = tc
+                .iter()
+                .copied()
+                .filter(|&p| !dual.graph().is_loaded(p))
+                .collect();
 
             // Lines 12-17: compare summed Q-values; cold-start coin flip.
             let q00: f64 = tset.iter().map(|&p| self.q_matrix(p).get(0, 0)).sum();
@@ -231,6 +245,19 @@ impl PhysicalTuner for Dotil {
             // fits. Partitions of the current subquery are exempt (evicting
             // what we are about to rely on would thrash), and nothing is
             // evicted unless freeing enough space is actually possible.
+            //
+            // Desirability guard: eviction destroys the victims' keep
+            // equity, so the transfer must be worth it. Summed over the
+            // planned victim set, evicted Q(1,0) must not exceed the
+            // incoming set's learned transfer value Q(0,1); otherwise the
+            // tuner would trade a design it knows is good for one it merely
+            // hopes is — the oscillation that makes an adaptive tuner lose
+            // to a static one-off on recurring workloads. Keep equity is
+            // not eternal: a victim whose subqueries have been absent for
+            // `keep_equity_ttl` consecutive tuning passes counts as zero,
+            // so sustained workload drift displaces stale designs instead
+            // of being locked out by them forever (the Q-values themselves
+            // are preserved for when the workload returns).
             if needed > dual.graph().available() {
                 let mut candidates: Vec<(PredId, usize, f64)> = dual
                     .graph()
@@ -243,11 +270,31 @@ impl PhysicalTuner for Dotil {
                     continue;
                 }
                 candidates.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
-                for (p, sz, _) in candidates {
-                    if needed <= dual.graph().available() {
+                let mut victims: Vec<(PredId, usize)> = Vec::new();
+                let mut would_free = dual.graph().available();
+                for &(p, sz, _) in &candidates {
+                    if needed <= would_free {
                         break;
                     }
+                    would_free += sz;
+                    victims.push((p, sz));
+                }
+                let evicted_equity: f64 = victims
+                    .iter()
+                    .map(|&(p, _)| {
+                        if self.stale.get(&p).copied().unwrap_or(0) >= self.cfg.keep_equity_ttl {
+                            0.0
+                        } else {
+                            self.q_matrix(p).get(1, 0)
+                        }
+                    })
+                    .sum();
+                if evicted_equity > q01 {
+                    continue;
+                }
+                for (p, sz) in victims {
                     dual.evict_partition(p);
+                    self.stale.remove(&p);
                     outcome.evicted += 1;
                     outcome.triples_out += sz as u64;
                 }
@@ -293,8 +340,7 @@ impl PhysicalTuner for Dotil {
                     transfer_roles.push((p, 1, 0));
                 }
             }
-            let keep_roles: Vec<(PredId, usize, usize)> =
-                tc.iter().map(|&p| (p, 1, 0)).collect();
+            let keep_roles: Vec<(PredId, usize, usize)> = tc.iter().map(|&p| (p, 1, 0)).collect();
             self.learn(
                 dual,
                 &qc_eq,
@@ -302,6 +348,22 @@ impl PhysicalTuner for Dotil {
                 &[(&transfer_roles, 1), (&keep_roles, count - 1)],
                 &mut outcome,
             );
+        }
+
+        // Staleness bookkeeping: residents referenced by this batch's
+        // complex subqueries are fresh again; the rest age one pass. A
+        // batch with no complex shapes says nothing about drift, so it
+        // does not age anyone.
+        if !active.is_empty() {
+            let resident: Vec<PredId> =
+                dual.graph().resident_partitions().map(|(p, _)| p).collect();
+            for p in resident {
+                if active.contains(&p) {
+                    self.stale.remove(&p);
+                } else {
+                    *self.stale.entry(p).or_insert(0) += 1;
+                }
+            }
         }
         outcome
     }
@@ -348,7 +410,10 @@ mod tests {
     #[test]
     fn cold_start_transfers_with_high_prob() {
         let mut d = dual(1000);
-        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let mut tuner = Dotil::with_config(DotilConfig {
+            prob: 1.0,
+            ..Default::default()
+        });
         let out = tuner.tune(&mut d, &[complex_query()]);
         assert_eq!(out.migrated, 2, "bornIn + advisor transferred");
         assert!(d.graph().is_loaded(d.dict().pred_id("y:bornIn").unwrap()));
@@ -360,7 +425,10 @@ mod tests {
     #[test]
     fn cold_start_with_zero_prob_never_transfers() {
         let mut d = dual(1000);
-        let mut tuner = Dotil::with_config(DotilConfig { prob: 0.0, ..Default::default() });
+        let mut tuner = Dotil::with_config(DotilConfig {
+            prob: 0.0,
+            ..Default::default()
+        });
         let out = tuner.tune(&mut d, &[complex_query()]);
         assert_eq!(out.migrated, 0);
         assert_eq!(d.graph().used(), 0);
@@ -369,13 +437,19 @@ mod tests {
     #[test]
     fn q_values_grow_with_positive_rewards() {
         let mut d = dual(1000);
-        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let mut tuner = Dotil::with_config(DotilConfig {
+            prob: 1.0,
+            ..Default::default()
+        });
         let batch: Vec<Query> = (0..4).map(|_| complex_query()).collect();
         tuner.tune(&mut d, &batch);
         let born = d.dict().pred_id("y:bornIn").unwrap();
         let advisor = d.dict().pred_id("y:advisor").unwrap();
         // After transfer the partitions keep earning keep-in-graph reward.
-        assert!(tuner.q_matrix(born).get(0, 1) > 0.0, "transfer reward recorded");
+        assert!(
+            tuner.q_matrix(born).get(0, 1) > 0.0,
+            "transfer reward recorded"
+        );
         assert!(tuner.q_matrix(born).get(1, 0) > 0.0, "keep reward recorded");
         assert!(tuner.q_matrix(advisor).get(1, 0) > 0.0);
         let sum = tuner.q_matrix_sum();
@@ -393,7 +467,10 @@ mod tests {
         let mut d = dual(400);
         let likes = d.dict().pred_id("y:likes").unwrap();
         d.migrate_partition(likes).unwrap();
-        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let mut tuner = Dotil::with_config(DotilConfig {
+            prob: 1.0,
+            ..Default::default()
+        });
         let out = tuner.tune(&mut d, &[complex_query()]);
         assert!(out.evicted >= 1, "likes must be evicted");
         assert!(!d.graph().is_loaded(likes));
@@ -407,7 +484,10 @@ mod tests {
     #[test]
     fn oversized_subqueries_are_skipped() {
         let mut d = dual(100); // bornIn alone is 300 triples
-        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let mut tuner = Dotil::with_config(DotilConfig {
+            prob: 1.0,
+            ..Default::default()
+        });
         let out = tuner.tune(&mut d, &[complex_query()]);
         assert_eq!(out.migrated, 0);
         assert_eq!(d.graph().used(), 0);
@@ -432,11 +512,77 @@ mod tests {
     #[test]
     fn simple_queries_are_ignored() {
         let mut d = dual(1000);
-        let mut tuner = Dotil::with_config(DotilConfig { prob: 1.0, ..Default::default() });
+        let mut tuner = Dotil::with_config(DotilConfig {
+            prob: 1.0,
+            ..Default::default()
+        });
         let q = parse("SELECT ?p WHERE { ?p y:bornIn ?c }").unwrap();
         let out = tuner.tune(&mut d, &[q]);
         assert_eq!(out.migrated, 0);
         assert_eq!(tuner.trainings(), 0);
+    }
+
+    #[test]
+    fn sustained_drift_displaces_stale_designs() {
+        // Two disjoint advisor-city motifs over the same budget envelope:
+        // shape A (bornA/advA, 380 triples) and shape B (bornB/advB, 380
+        // triples); budget 400 fits exactly one of them.
+        let mut b = DatasetBuilder::new();
+        for (born, adv, node) in [("y:bornA", "y:advA", "a"), ("y:bornB", "y:advB", "b")] {
+            for i in 0..300 {
+                b.add_terms(
+                    &Term::iri(format!("y:{node}{i}")),
+                    born,
+                    &Term::iri(format!("y:c{}", i % 20)),
+                );
+            }
+            for i in 0..80 {
+                b.add_terms(
+                    &Term::iri(format!("y:{node}{i}")),
+                    adv,
+                    &Term::iri(format!("y:{node}{}", i + 100)),
+                );
+            }
+        }
+        let mut d = DualStore::from_dataset(b.build(), 400);
+        let shape = |born: &str, adv: &str| {
+            parse(&format!(
+                "SELECT ?p WHERE {{ ?p {born} ?c . ?p {adv} ?a . ?a {born} ?c }}"
+            ))
+            .unwrap()
+        };
+        let (query_a, query_b) = (shape("y:bornA", "y:advA"), shape("y:bornB", "y:advB"));
+        let born_b = d.dict().pred_id("y:bornB").unwrap();
+
+        let mut tuner = Dotil::with_config(DotilConfig {
+            prob: 1.0,
+            ..Default::default()
+        });
+        tuner.tune(&mut d, std::slice::from_ref(&query_a));
+        tuner.tune(&mut d, &[query_a]); // covered pass builds keep equity
+        assert!(d.graph().is_loaded(d.dict().pred_id("y:bornA").unwrap()));
+
+        // Workload shifts entirely to shape B. The guard holds at first
+        // (A's equity is fresh) but must yield once A has been absent for
+        // keep_equity_ttl passes — drift is not locked out forever.
+        let ttl = tuner.config().keep_equity_ttl as usize;
+        let mut displaced_at = None;
+        for pass in 0..ttl + 3 {
+            let out = tuner.tune(&mut d, std::slice::from_ref(&query_b));
+            if out.migrated > 0 {
+                displaced_at = Some(pass);
+                break;
+            }
+        }
+        let pass = displaced_at.expect("drift must eventually displace the stale design");
+        assert!(
+            pass >= 2,
+            "fresh keep equity must hold off the first drift batches"
+        );
+        assert!(
+            d.graph().is_loaded(born_b),
+            "shape B resident after displacement"
+        );
     }
 
     #[test]

@@ -259,9 +259,17 @@ mod tests {
     #[test]
     fn out_and_in_neighbours() {
         let idx = sample();
-        let outs: Vec<u32> = idx.out_neighbours(n(1), p(0)).iter().map(|&(_, o)| o.0).collect();
+        let outs: Vec<u32> = idx
+            .out_neighbours(n(1), p(0))
+            .iter()
+            .map(|&(_, o)| o.0)
+            .collect();
         assert_eq!(outs, vec![2, 3]);
-        let ins: Vec<u32> = idx.in_neighbours(n(2), p(0)).iter().map(|&(_, s)| s.0).collect();
+        let ins: Vec<u32> = idx
+            .in_neighbours(n(2), p(0))
+            .iter()
+            .map(|&(_, s)| s.0)
+            .collect();
         assert_eq!(ins, vec![1, 4]);
         assert!(idx.out_neighbours(n(1), p(1)).is_empty());
         assert!(idx.out_neighbours(n(99), p(0)).is_empty());
@@ -286,7 +294,11 @@ mod tests {
     fn single_edge_insert_keeps_sorted_order() {
         let mut idx = sample();
         idx.insert_edge(n(1), p(0), n(0));
-        let outs: Vec<u32> = idx.out_neighbours(n(1), p(0)).iter().map(|&(_, o)| o.0).collect();
+        let outs: Vec<u32> = idx
+            .out_neighbours(n(1), p(0))
+            .iter()
+            .map(|&(_, o)| o.0)
+            .collect();
         assert_eq!(outs, vec![0, 2, 3]);
         assert_eq!(idx.edge_count(), 5);
     }
@@ -317,7 +329,14 @@ mod tests {
     fn partition_stats_track_mutations() {
         let mut idx = sample();
         let st = idx.partition_stats(p(0));
-        assert_eq!(st, PartitionStats { edges: 3, distinct_s: 2, distinct_o: 2 });
+        assert_eq!(
+            st,
+            PartitionStats {
+                edges: 3,
+                distinct_s: 2,
+                distinct_o: 2
+            }
+        );
         assert!((st.out_degree() - 1.5).abs() < 1e-9);
         assert!((st.in_degree() - 1.5).abs() < 1e-9);
         idx.insert_edge(n(1), p(0), n(9));

@@ -50,10 +50,10 @@ pub(crate) fn execute(
 /// degrade to cheap existence probes.
 fn order_patterns(index: &AdjacencyIndex, q: &EncodedQuery) -> Vec<usize> {
     let estimate = |pat: &EncPattern, bound: &[VarId]| -> f64 {
-        let s_bound = matches!(pat.s, Slot::Const(_))
-            || pat.s.as_var().is_some_and(|v| bound.contains(&v));
-        let o_bound = matches!(pat.o, Slot::Const(_))
-            || pat.o.as_var().is_some_and(|v| bound.contains(&v));
+        let s_bound =
+            matches!(pat.s, Slot::Const(_)) || pat.s.as_var().is_some_and(|v| bound.contains(&v));
+        let o_bound =
+            matches!(pat.o, Slot::Const(_)) || pat.o.as_var().is_some_and(|v| bound.contains(&v));
         match pat.p {
             PredSlot::Const(p) => {
                 let st = index.partition_stats(p);
@@ -85,7 +85,11 @@ fn order_patterns(index: &AdjacencyIndex, q: &EncodedQuery) -> Vec<usize> {
             .copied()
             .filter(|&i| q.patterns[i].vars().any(|v| bound.contains(&v)))
             .collect();
-        let pool: &[usize] = if connected.is_empty() { &remaining } else { &connected };
+        let pool: &[usize] = if connected.is_empty() {
+            &remaining
+        } else {
+            &connected
+        };
         let &best = pool
             .iter()
             .min_by(|&&a, &&b| {
@@ -160,7 +164,9 @@ fn extend(
                 .filter(|&&(_, n)| n == o)
                 .count();
             for _ in 0..count {
-                bind_and_recurse(index, q, order, depth, assignment, out, stop_at, ctx, s, p, o)?;
+                bind_and_recurse(
+                    index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
+                )?;
             }
         }
         (Some(s), Some(o), None) => {
@@ -180,28 +186,36 @@ fn extend(
             let neigh = index.out_neighbours(s, p);
             charge(ctx.charge_probe(neigh.len() as u64 + 1))?;
             for &(_, o) in neigh {
-                bind_and_recurse(index, q, order, depth, assignment, out, stop_at, ctx, s, p, o)?;
+                bind_and_recurse(
+                    index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
+                )?;
             }
         }
         (None, Some(o), Some(p)) => {
             let neigh = index.in_neighbours(o, p);
             charge(ctx.charge_probe(neigh.len() as u64 + 1))?;
             for &(_, s) in neigh {
-                bind_and_recurse(index, q, order, depth, assignment, out, stop_at, ctx, s, p, o)?;
+                bind_and_recurse(
+                    index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
+                )?;
             }
         }
         (Some(s), None, None) => {
             let all = index.out_all(s);
             charge(ctx.charge_probe(all.len() as u64 + 1))?;
             for &(p, o) in all {
-                bind_and_recurse(index, q, order, depth, assignment, out, stop_at, ctx, s, p, o)?;
+                bind_and_recurse(
+                    index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
+                )?;
             }
         }
         (None, Some(o), None) => {
             let all = index.in_all(o);
             charge(ctx.charge_probe(all.len() as u64 + 1))?;
             for &(p, s) in all {
-                bind_and_recurse(index, q, order, depth, assignment, out, stop_at, ctx, s, p, o)?;
+                bind_and_recurse(
+                    index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
+                )?;
             }
         }
         (None, None, Some(p)) => {
@@ -333,8 +347,7 @@ mod order_tests {
         let mut store = GraphStore::new(100_000);
         // Hub: 500 people all won prize n(9000).
         let prize = PredId(0);
-        let winners: Vec<(NodeId, NodeId)> =
-            (0..500).map(|i| (n(i), n(9000))).collect();
+        let winners: Vec<(NodeId, NodeId)> = (0..500).map(|i| (n(i), n(9000))).collect();
         store.load_partition(prize, &winners).unwrap();
         // Sparse: only persons 0 and 1 work at org n(8000).
         let works = PredId(1);
@@ -346,10 +359,26 @@ mod order_tests {
         let q = EncodedQuery {
             vars: (0..4).map(|i| Var::new(format!("v{i}"))).collect(),
             patterns: vec![
-                EncPattern { s: Slot::Var(0), p: PredSlot::Const(works), o: Slot::Var(1) },
-                EncPattern { s: Slot::Var(2), p: PredSlot::Const(works), o: Slot::Var(1) },
-                EncPattern { s: Slot::Var(0), p: PredSlot::Const(prize), o: Slot::Var(3) },
-                EncPattern { s: Slot::Var(2), p: PredSlot::Const(prize), o: Slot::Var(3) },
+                EncPattern {
+                    s: Slot::Var(0),
+                    p: PredSlot::Const(works),
+                    o: Slot::Var(1),
+                },
+                EncPattern {
+                    s: Slot::Var(2),
+                    p: PredSlot::Const(works),
+                    o: Slot::Var(1),
+                },
+                EncPattern {
+                    s: Slot::Var(0),
+                    p: PredSlot::Const(prize),
+                    o: Slot::Var(3),
+                },
+                EncPattern {
+                    s: Slot::Var(2),
+                    p: PredSlot::Const(prize),
+                    o: Slot::Var(3),
+                },
             ],
             projection: vec![0, 2],
             distinct: false,

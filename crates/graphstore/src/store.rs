@@ -49,7 +49,11 @@ pub enum GraphStoreError {
 impl std::fmt::Display for GraphStoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphStoreError::BudgetExceeded { pred, needed, available } => write!(
+            GraphStoreError::BudgetExceeded {
+                pred,
+                needed,
+                available,
+            } => write!(
                 f,
                 "loading partition {pred} needs {needed} triples but only {available} fit in B_G"
             ),
@@ -87,7 +91,10 @@ impl std::fmt::Display for GraphExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphExecError::Cancelled { partial_work } => {
-                write!(f, "graph execution cancelled after {partial_work} work units")
+                write!(
+                    f,
+                    "graph execution cancelled after {partial_work} work units"
+                )
             }
             GraphExecError::MissingPartition(p) => {
                 write!(f, "partition {p} is not resident in the graph store")
@@ -112,7 +119,10 @@ pub struct GraphStore {
 impl GraphStore {
     /// An empty store with triple budget `B_G`.
     pub fn new(budget: usize) -> Self {
-        GraphStore { budget, ..Self::default() }
+        GraphStore {
+            budget,
+            ..Self::default()
+        }
     }
 
     /// The configured budget in triples.
@@ -271,12 +281,36 @@ mod tests {
             let o = dict.encode_node(&Term::iri(o)).unwrap();
             triples.push(Triple::new(s, pr, o));
         };
-        add(&mut dict, &mut triples, "y:Einstein", "y:wasBornIn", "y:Ulm");
+        add(
+            &mut dict,
+            &mut triples,
+            "y:Einstein",
+            "y:wasBornIn",
+            "y:Ulm",
+        );
         add(&mut dict, &mut triples, "y:Weber", "y:wasBornIn", "y:Ulm");
-        add(&mut dict, &mut triples, "y:Einstein", "y:hasAcademicAdvisor", "y:Weber");
+        add(
+            &mut dict,
+            &mut triples,
+            "y:Einstein",
+            "y:hasAcademicAdvisor",
+            "y:Weber",
+        );
         add(&mut dict, &mut triples, "y:Feynman", "y:wasBornIn", "y:NYC");
-        add(&mut dict, &mut triples, "y:Wheeler", "y:wasBornIn", "y:Jacksonville");
-        add(&mut dict, &mut triples, "y:Feynman", "y:hasAcademicAdvisor", "y:Wheeler");
+        add(
+            &mut dict,
+            &mut triples,
+            "y:Wheeler",
+            "y:wasBornIn",
+            "y:Jacksonville",
+        );
+        add(
+            &mut dict,
+            &mut triples,
+            "y:Feynman",
+            "y:hasAcademicAdvisor",
+            "y:Wheeler",
+        );
 
         let mut store = GraphStore::new(1000);
         // Group by predicate and load as partitions.
@@ -305,7 +339,14 @@ mod tests {
         let err = store
             .load_partition(p(0), &[(n(1), n(2)), (n(3), n(4)), (n(5), n(6))])
             .unwrap_err();
-        assert!(matches!(err, GraphStoreError::BudgetExceeded { needed: 3, available: 2, .. }));
+        assert!(matches!(
+            err,
+            GraphStoreError::BudgetExceeded {
+                needed: 3,
+                available: 2,
+                ..
+            }
+        ));
         assert_eq!(store.used(), 0);
         store.load_partition(p(0), &[(n(1), n(2))]).unwrap();
         assert_eq!(store.available(), 1);
@@ -324,7 +365,9 @@ mod tests {
     #[test]
     fn evict_frees_budget() {
         let mut store = GraphStore::new(2);
-        store.load_partition(p(0), &[(n(1), n(2)), (n(3), n(4))]).unwrap();
+        store
+            .load_partition(p(0), &[(n(1), n(2)), (n(3), n(4))])
+            .unwrap();
         assert_eq!(store.available(), 0);
         assert_eq!(store.evict_partition(p(0)), 2);
         assert_eq!(store.available(), 2);
@@ -335,7 +378,9 @@ mod tests {
     #[test]
     fn import_stats_accumulate() {
         let mut store = GraphStore::new(100);
-        store.load_partition(p(0), &[(n(1), n(2)), (n(3), n(4))]).unwrap();
+        store
+            .load_partition(p(0), &[(n(1), n(2)), (n(3), n(4))])
+            .unwrap();
         let st = store.import_stats();
         assert_eq!(st.triples_imported, 2);
         assert_eq!(st.work_units, 2 * BULK_IMPORT_COST_PER_TRIPLE);
@@ -384,10 +429,21 @@ mod tests {
     #[test]
     fn matches_equal_relstore_semantics_on_simple_patterns() {
         let (store, dict) = academic();
-        assert_eq!(run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn ?c }").len(), 4);
-        assert_eq!(run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn y:Ulm }").len(), 2);
         assert_eq!(
-            run(&store, &dict, "SELECT ?p ?a WHERE { ?p y:hasAcademicAdvisor ?a }").len(),
+            run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn ?c }").len(),
+            4
+        );
+        assert_eq!(
+            run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn y:Ulm }").len(),
+            2
+        );
+        assert_eq!(
+            run(
+                &store,
+                &dict,
+                "SELECT ?p ?a WHERE { ?p y:hasAcademicAdvisor ?a }"
+            )
+            .len(),
             2
         );
     }
@@ -395,9 +451,17 @@ mod tests {
     #[test]
     fn distinct_and_limit_by_traversal() {
         let (store, dict) = academic();
-        let res = run(&store, &dict, "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c }");
+        let res = run(
+            &store,
+            &dict,
+            "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c }",
+        );
         assert_eq!(res.len(), 3);
-        let res2 = run(&store, &dict, "SELECT ?p WHERE { ?p y:wasBornIn ?c } LIMIT 2");
+        let res2 = run(
+            &store,
+            &dict,
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c } LIMIT 2",
+        );
         assert_eq!(res2.len(), 2);
     }
 
@@ -441,7 +505,9 @@ mod tests {
     #[test]
     fn self_loop_traversal() {
         let mut store = GraphStore::new(10);
-        store.load_partition(p(0), &[(n(1), n(1)), (n(2), n(3))]).unwrap();
+        store
+            .load_partition(p(0), &[(n(1), n(1)), (n(2), n(3))])
+            .unwrap();
         let mut dict = Dictionary::new();
         // Rebuild ids to match: n(1) = first node interned, etc.
         let a = dict.encode_node(&Term::iri("a")).unwrap(); // n0
@@ -474,8 +540,9 @@ mod tests {
                 .load_partition(p(0), &[(n(1), n(2)), (n(3), n(4))])
                 .unwrap();
             if extra > 0 {
-                let big: Vec<(NodeId, NodeId)> =
-                    (0..extra as u32).map(|i| (n(1000 + i), n(2000 + i))).collect();
+                let big: Vec<(NodeId, NodeId)> = (0..extra as u32)
+                    .map(|i| (n(1000 + i), n(2000 + i)))
+                    .collect();
                 store.load_partition(p(1), &big).unwrap();
             }
             store

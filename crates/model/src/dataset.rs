@@ -189,14 +189,23 @@ mod tests {
         assert_eq!(t1.o, t2.o);
         assert_ne!(t1.s, t2.s);
         let stats = ds.stats();
-        assert_eq!(stats, DatasetStats { triples: 2, nodes: 3, preds: 1 });
+        assert_eq!(
+            stats,
+            DatasetStats {
+                triples: 2,
+                nodes: 3,
+                preds: 1
+            }
+        );
     }
 
     #[test]
     fn triples_iterates_everything() {
         let mut ds = Dataset::new();
-        ds.insert_terms(&Term::iri("a"), "p", &Term::iri("b")).unwrap();
-        ds.insert_terms(&Term::iri("a"), "q", &Term::iri("c")).unwrap();
+        ds.insert_terms(&Term::iri("a"), "p", &Term::iri("b"))
+            .unwrap();
+        ds.insert_terms(&Term::iri("a"), "q", &Term::iri("c"))
+            .unwrap();
         assert_eq!(ds.triples().count(), 2);
         assert!(!ds.is_empty());
     }
@@ -204,7 +213,9 @@ mod tests {
     #[test]
     fn remove_updates_len() {
         let mut ds = Dataset::new();
-        let t = ds.insert_terms(&Term::iri("a"), "p", &Term::iri("b")).unwrap();
+        let t = ds
+            .insert_terms(&Term::iri("a"), "p", &Term::iri("b"))
+            .unwrap();
         assert_eq!(ds.remove(t), 1);
         assert!(ds.is_empty());
     }

@@ -75,7 +75,9 @@ impl Dictionary {
 
     /// Decode a node id back to its term.
     pub fn node(&self, id: NodeId) -> Result<&Term, ModelError> {
-        self.nodes.get(id.index()).ok_or(ModelError::UnknownNodeId(id.0))
+        self.nodes
+            .get(id.index())
+            .ok_or(ModelError::UnknownNodeId(id.0))
     }
 
     /// Decode a predicate id back to its IRI.
@@ -158,8 +160,14 @@ mod tests {
     #[test]
     fn unknown_ids_error() {
         let d = Dictionary::new();
-        assert!(matches!(d.node(NodeId(0)), Err(ModelError::UnknownNodeId(0))));
-        assert!(matches!(d.pred(PredId(5)), Err(ModelError::UnknownPredId(5))));
+        assert!(matches!(
+            d.node(NodeId(0)),
+            Err(ModelError::UnknownNodeId(0))
+        ));
+        assert!(matches!(
+            d.pred(PredId(5)),
+            Err(ModelError::UnknownPredId(5))
+        ));
     }
 
     #[test]

@@ -38,7 +38,10 @@ mod tests {
             ModelError::UnknownTerm("y:x".into()).to_string(),
             "unknown term: y:x"
         );
-        assert_eq!(ModelError::UnknownNodeId(9).to_string(), "unknown node id: n9");
+        assert_eq!(
+            ModelError::UnknownNodeId(9).to_string(),
+            "unknown node id: n9"
+        );
         assert_eq!(
             ModelError::UnknownPredId(3).to_string(),
             "unknown predicate id: p3"

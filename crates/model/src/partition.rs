@@ -19,7 +19,10 @@ pub struct TriplePartition {
 impl TriplePartition {
     /// Create an empty partition for `pred`.
     pub fn new(pred: PredId) -> Self {
-        TriplePartition { pred, pairs: Vec::new() }
+        TriplePartition {
+            pred,
+            pairs: Vec::new(),
+        }
     }
 
     /// The predicate this partition belongs to.
@@ -83,7 +86,9 @@ impl PartitionSet {
 
     /// Get the partition for `pred`, if it has ever been touched.
     pub fn get(&self, pred: PredId) -> Option<&TriplePartition> {
-        self.parts.get(pred.index()).filter(|p| !p.is_empty() || p.pred() == pred)
+        self.parts
+            .get(pred.index())
+            .filter(|p| !p.is_empty() || p.pred() == pred)
     }
 
     /// Mutable access, growing the dense vector on demand.

@@ -81,7 +81,11 @@ pub fn encode(ds: &Dataset) -> Bytes {
                 buf.put_u8(1);
                 put_str(&mut buf, s);
             }
-            Term::Literal { lexical, lang, datatype } => {
+            Term::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => {
                 buf.put_u8(2);
                 put_str(&mut buf, lexical);
                 put_str(&mut buf, lang.as_deref().unwrap_or(""));
@@ -152,10 +156,12 @@ pub fn decode(data: &[u8]) -> Result<Dataset, SnapshotError> {
     {
         let dict = ds.dict_mut_for_snapshot();
         for term in &node_terms {
-            dict.encode_node(term).map_err(|_| SnapshotError::Truncated)?;
+            dict.encode_node(term)
+                .map_err(|_| SnapshotError::Truncated)?;
         }
         for iri in &pred_iris {
-            dict.encode_pred(iri).map_err(|_| SnapshotError::Truncated)?;
+            dict.encode_pred(iri)
+                .map_err(|_| SnapshotError::Truncated)?;
         }
     }
 
@@ -186,8 +192,16 @@ mod tests {
     fn sample() -> Dataset {
         let mut b = DatasetBuilder::new();
         b.add_terms(&Term::iri("y:Einstein"), "y:wasBornIn", &Term::iri("y:Ulm"));
-        b.add_terms(&Term::iri("y:Einstein"), "y:hasName", &Term::lang_lit("Albert", "de"));
-        b.add_terms(&Term::blank("b0"), "y:age", &Term::typed_lit("42", "xsd:integer"));
+        b.add_terms(
+            &Term::iri("y:Einstein"),
+            "y:hasName",
+            &Term::lang_lit("Albert", "de"),
+        );
+        b.add_terms(
+            &Term::blank("b0"),
+            "y:age",
+            &Term::typed_lit("42", "xsd:integer"),
+        );
         b.build()
     }
 
@@ -224,7 +238,10 @@ mod tests {
         // panic.
         let bytes = encode(&sample());
         for cut in 0..bytes.len() {
-            assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes must fail");
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must fail"
+            );
         }
     }
 

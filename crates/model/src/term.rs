@@ -33,17 +33,29 @@ impl Term {
 
     /// Convenience constructor for a plain literal.
     pub fn lit(s: impl Into<String>) -> Self {
-        Term::Literal { lexical: s.into(), lang: None, datatype: None }
+        Term::Literal {
+            lexical: s.into(),
+            lang: None,
+            datatype: None,
+        }
     }
 
     /// Convenience constructor for a typed literal.
     pub fn typed_lit(s: impl Into<String>, datatype: impl Into<String>) -> Self {
-        Term::Literal { lexical: s.into(), lang: None, datatype: Some(datatype.into()) }
+        Term::Literal {
+            lexical: s.into(),
+            lang: None,
+            datatype: Some(datatype.into()),
+        }
     }
 
     /// Convenience constructor for a language-tagged literal.
     pub fn lang_lit(s: impl Into<String>, lang: impl Into<String>) -> Self {
-        Term::Literal { lexical: s.into(), lang: Some(lang.into()), datatype: None }
+        Term::Literal {
+            lexical: s.into(),
+            lang: Some(lang.into()),
+            datatype: None,
+        }
     }
 
     /// Convenience constructor for a blank node.
@@ -93,7 +105,11 @@ impl Term {
                 k.push_str(s);
                 Cow::Owned(k)
             }
-            Term::Literal { lexical, lang, datatype } => {
+            Term::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => {
                 let mut k = String::with_capacity(lexical.len() + 8);
                 k.push('L');
                 k.push_str(lexical);
@@ -122,7 +138,11 @@ impl fmt::Display for Term {
                     write!(f, "{s}")
                 }
             }
-            Term::Literal { lexical, lang, datatype } => {
+            Term::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => {
                 write!(f, "\"{lexical}\"")?;
                 if let Some(l) = lang {
                     write!(f, "@{l}")?;

@@ -20,13 +20,19 @@ pub struct Bindings {
 impl Bindings {
     /// An empty table with the given schema.
     pub fn new(vars: Vec<VarId>) -> Self {
-        Bindings { vars, data: Vec::new() }
+        Bindings {
+            vars,
+            data: Vec::new(),
+        }
     }
 
     /// An empty table pre-sized for `rows` rows.
     pub fn with_capacity(vars: Vec<VarId>, rows: usize) -> Self {
         let width = vars.len();
-        Bindings { vars, data: Vec::with_capacity(rows * width) }
+        Bindings {
+            vars,
+            data: Vec::with_capacity(rows * width),
+        }
     }
 
     /// The schema (one entry per column).
@@ -89,7 +95,10 @@ impl Bindings {
     pub fn project(&self, keep: &[VarId]) -> Bindings {
         let cols: Vec<usize> = keep
             .iter()
-            .map(|&v| self.col_of(v).expect("projection variable missing from schema"))
+            .map(|&v| {
+                self.col_of(v)
+                    .expect("projection variable missing from schema")
+            })
             .collect();
         let mut out = Bindings::with_capacity(keep.to_vec(), self.len());
         let mut row_buf: Vec<NodeId> = vec![NodeId(0); cols.len()];
@@ -125,7 +134,8 @@ impl Bindings {
     /// result rendering).
     pub fn sort_rows(&mut self) {
         let w = self.vars.len().max(1);
-        let mut rows: Vec<Vec<NodeId>> = self.data.chunks_exact(w).map(<[NodeId]>::to_vec).collect();
+        let mut rows: Vec<Vec<NodeId>> =
+            self.data.chunks_exact(w).map(<[NodeId]>::to_vec).collect();
         rows.sort_unstable();
         self.data.clear();
         for r in rows {
@@ -145,7 +155,10 @@ impl Bindings {
     /// view's local variables into a query's variables.
     pub fn renamed(self, vars: Vec<VarId>) -> Bindings {
         assert_eq!(vars.len(), self.vars.len(), "renamed: arity mismatch");
-        Bindings { vars, data: self.data }
+        Bindings {
+            vars,
+            data: self.data,
+        }
     }
 }
 

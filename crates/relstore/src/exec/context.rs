@@ -157,12 +157,18 @@ impl ExecContext {
     /// Context sharing an existing governor (how both stores of one dual
     /// store observe the same resource limits).
     pub fn with_governor(governor: Arc<ResourceGovernor>) -> Self {
-        ExecContext { governor, ..Self::default() }
+        ExecContext {
+            governor,
+            ..Self::default()
+        }
     }
 
     /// Context with an externally controlled cancel token.
     pub fn with_cancel(cancel: CancelToken) -> Self {
-        ExecContext { cancel, ..Self::default() }
+        ExecContext {
+            cancel,
+            ..Self::default()
+        }
     }
 
     /// Charge `n` scanned rows (IO-ish work) and poll for cancellation.
@@ -199,14 +205,19 @@ impl ExecContext {
 
     /// Context that self-cancels after `limit` work units.
     pub fn with_work_limit(limit: u64) -> Self {
-        ExecContext { work_limit: Some(limit), ..Self::default() }
+        ExecContext {
+            work_limit: Some(limit),
+            ..Self::default()
+        }
     }
 
     /// Check the cancel flag and the work limit.
     #[inline]
     pub fn poll(&self) -> Result<(), ExecError> {
         if self.cancel.is_cancelled() {
-            return Err(ExecError::Cancelled { partial_work: self.stats.work_units() });
+            return Err(ExecError::Cancelled {
+                partial_work: self.stats.work_units(),
+            });
         }
         if let Some(limit) = self.work_limit {
             let done = self.stats.work_units();
@@ -246,8 +257,15 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_fields() {
-        let mut a = ExecStats { rows_scanned: 1, ..Default::default() };
-        let b = ExecStats { rows_scanned: 2, rows_output: 5, ..Default::default() };
+        let mut a = ExecStats {
+            rows_scanned: 1,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            rows_scanned: 2,
+            rows_output: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.rows_scanned, 3);
         assert_eq!(a.rows_output, 5);

@@ -73,8 +73,14 @@ impl ResourceGovernor {
     pub fn with_spare(io_spare: f64, cpu_spare: f64) -> Self {
         let clamp = |f: f64| f.clamp(0.01, 1.0);
         ResourceGovernor {
-            io: Throttle { spare: clamp(io_spare), owed_nanos: Mutex::new(0.0) },
-            cpu: Throttle { spare: clamp(cpu_spare), owed_nanos: Mutex::new(0.0) },
+            io: Throttle {
+                spare: clamp(io_spare),
+                owed_nanos: Mutex::new(0.0),
+            },
+            cpu: Throttle {
+                spare: clamp(cpu_spare),
+                owed_nanos: Mutex::new(0.0),
+            },
             io_units: AtomicU64::new(0),
             cpu_units: AtomicU64::new(0),
             started: Instant::now(),
@@ -160,9 +166,7 @@ mod tests {
         let t0 = Instant::now();
         g.charge(ResourceKind::Cpu, units);
         let elapsed = t0.elapsed();
-        let expected = Duration::from_nanos(
-            (units as f64 * NANOS_PER_UNIT * 9.0) as u64,
-        );
+        let expected = Duration::from_nanos((units as f64 * NANOS_PER_UNIT * 9.0) as u64);
         assert!(
             elapsed >= expected / 2,
             "expected ≥{expected:?}/2 of injected delay, got {elapsed:?}"

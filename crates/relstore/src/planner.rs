@@ -83,10 +83,10 @@ pub fn bound_estimate(
     stats_of: &mut dyn FnMut(PredId) -> Option<TableStats>,
     total_rows: usize,
 ) -> f64 {
-    let s_bound = matches!(pat.s, Slot::Const(_))
-        || pat.s.as_var().is_some_and(|v| bound.contains(&v));
-    let o_bound = matches!(pat.o, Slot::Const(_))
-        || pat.o.as_var().is_some_and(|v| bound.contains(&v));
+    let s_bound =
+        matches!(pat.s, Slot::Const(_)) || pat.s.as_var().is_some_and(|v| bound.contains(&v));
+    let o_bound =
+        matches!(pat.o, Slot::Const(_)) || pat.o.as_var().is_some_and(|v| bound.contains(&v));
     match pat.p {
         PredSlot::Const(p) => {
             let Some(st) = stats_of(p) else { return 0.0 };
@@ -132,7 +132,11 @@ pub fn order_patterns(
             .filter(|&i| q.patterns[i].vars().any(|v| bound.contains(&v)))
             .collect();
         let candidates: &[usize] = if !connected.is_empty() || order.is_empty() {
-            if connected.is_empty() { &remaining } else { &connected }
+            if connected.is_empty() {
+                &remaining
+            } else {
+                &connected
+            }
         } else {
             // Disconnected component: cartesian product is unavoidable;
             // restart greedily from the cheapest remaining pattern.
@@ -187,16 +191,26 @@ mod tests {
     use kgdual_model::NodeId;
 
     fn stats(rows: usize, ds: usize, dobj: usize) -> TableStats {
-        TableStats { rows, distinct_s: ds, distinct_o: dobj }
+        TableStats {
+            rows,
+            distinct_s: ds,
+            distinct_o: dobj,
+        }
     }
 
     fn pat(s: Slot, p: u32, o: Slot) -> EncPattern {
-        EncPattern { s, p: PredSlot::Const(PredId(p)), o }
+        EncPattern {
+            s,
+            p: PredSlot::Const(PredId(p)),
+            o,
+        }
     }
 
     fn query(patterns: Vec<EncPattern>) -> EncodedQuery {
         EncodedQuery {
-            vars: (0..8).map(|i| kgdual_sparql::Var::new(format!("v{i}"))).collect(),
+            vars: (0..8)
+                .map(|i| kgdual_sparql::Var::new(format!("v{i}")))
+                .collect(),
             patterns,
             projection: vec![0],
             distinct: false,
@@ -233,7 +247,11 @@ mod tests {
             pat(Slot::Var(1), 1, Slot::Var(2)),
         ]);
         let mut s = |p: PredId| {
-            Some(if p == PredId(0) { stats(10_000, 100, 100) } else { stats(10, 10, 10) })
+            Some(if p == PredId(0) {
+                stats(10_000, 100, 100)
+            } else {
+                stats(10, 10, 10)
+            })
         };
         let order = order_patterns(&q, &[], &mut s, 10_010);
         assert_eq!(order, vec![1, 0]);
@@ -269,7 +287,11 @@ mod tests {
             pat(Slot::Var(2), 1, Slot::Var(3)),
         ]);
         let mut s = |p: PredId| {
-            Some(if p == PredId(0) { stats(10, 5, 5) } else { stats(1000, 500, 2) })
+            Some(if p == PredId(0) {
+                stats(10, 5, 5)
+            } else {
+                stats(1000, 500, 2)
+            })
         };
         // With v2 seeded, pattern 1's estimate is rows_per_subject = 2,
         // beating pattern 0's 10.
@@ -301,6 +323,9 @@ mod tests {
             pat(Slot::Var(0), 0, Slot::Const(NodeId(1))),
         ]);
         let est2 = estimate_result_rows(&q2, &mut s, 1000);
-        assert!(est2 < est / 100.0, "constant must shrink the estimate: {est2}");
+        assert!(
+            est2 < est / 100.0,
+            "constant must shrink the estimate: {est2}"
+        );
     }
 }

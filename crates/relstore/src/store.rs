@@ -28,7 +28,10 @@ impl RelStore {
 
     /// An empty store with explicit planner settings (ablations).
     pub fn with_config(cfg: PlannerConfig) -> Self {
-        RelStore { cfg, ..Self::default() }
+        RelStore {
+            cfg,
+            ..Self::default()
+        }
     }
 
     /// The planner configuration in use.
@@ -502,11 +505,13 @@ pub(crate) fn hash_join(
 
     // Build on the smaller side, probe with the larger.
     let build_left = left.len() <= right.len();
-    let (build, probe) = if build_left { (left, right) } else { (right, left) };
-    let build_key_cols: Vec<usize> =
-        shared.iter().map(|&v| build.col_of(v).unwrap()).collect();
-    let probe_key_cols: Vec<usize> =
-        shared.iter().map(|&v| probe.col_of(v).unwrap()).collect();
+    let (build, probe) = if build_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let build_key_cols: Vec<usize> = shared.iter().map(|&v| build.col_of(v).unwrap()).collect();
+    let probe_key_cols: Vec<usize> = shared.iter().map(|&v| probe.col_of(v).unwrap()).collect();
 
     let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
     let mut key_buf: Vec<NodeId> = Vec::with_capacity(build_key_cols.len());
@@ -543,7 +548,11 @@ pub(crate) fn hash_join(
                     continue 'cand;
                 }
             }
-            let (lrow, rrow) = if build_left { (brow, prow) } else { (prow, brow) };
+            let (lrow, rrow) = if build_left {
+                (brow, prow)
+            } else {
+                (prow, brow)
+            };
             ctx.charge_join(1)?;
             row_buf.clear();
             row_buf.extend_from_slice(lrow);
@@ -576,12 +585,42 @@ mod tests {
         // feynman:  born in nyc, advisor wheeler born in jacksonville -> no
         add(&mut dict, &mut store, "y:Einstein", "y:wasBornIn", "y:Ulm");
         add(&mut dict, &mut store, "y:Weber", "y:wasBornIn", "y:Ulm");
-        add(&mut dict, &mut store, "y:Einstein", "y:hasAcademicAdvisor", "y:Weber");
+        add(
+            &mut dict,
+            &mut store,
+            "y:Einstein",
+            "y:hasAcademicAdvisor",
+            "y:Weber",
+        );
         add(&mut dict, &mut store, "y:Feynman", "y:wasBornIn", "y:NYC");
-        add(&mut dict, &mut store, "y:Wheeler", "y:wasBornIn", "y:Jacksonville");
-        add(&mut dict, &mut store, "y:Feynman", "y:hasAcademicAdvisor", "y:Wheeler");
-        add(&mut dict, &mut store, "y:Einstein", "y:hasGivenName", "y:Albert");
-        add(&mut dict, &mut store, "y:Feynman", "y:hasGivenName", "y:Richard");
+        add(
+            &mut dict,
+            &mut store,
+            "y:Wheeler",
+            "y:wasBornIn",
+            "y:Jacksonville",
+        );
+        add(
+            &mut dict,
+            &mut store,
+            "y:Feynman",
+            "y:hasAcademicAdvisor",
+            "y:Wheeler",
+        );
+        add(
+            &mut dict,
+            &mut store,
+            "y:Einstein",
+            "y:hasGivenName",
+            "y:Albert",
+        );
+        add(
+            &mut dict,
+            &mut store,
+            "y:Feynman",
+            "y:hasGivenName",
+            "y:Richard",
+        );
         (store, dict)
     }
 
@@ -597,8 +636,10 @@ mod tests {
     }
 
     fn decode_col(b: &Bindings, dict: &Dictionary, col: usize) -> Vec<String> {
-        let mut out: Vec<String> =
-            b.rows().map(|r| dict.node(r[col]).unwrap().to_string()).collect();
+        let mut out: Vec<String> = b
+            .rows()
+            .map(|r| dict.node(r[col]).unwrap().to_string())
+            .collect();
         out.sort();
         out
     }
@@ -662,9 +703,17 @@ mod tests {
     #[test]
     fn distinct_and_limit() {
         let (store, dict) = academic_store();
-        let res = run(&store, &dict, "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c }");
+        let res = run(
+            &store,
+            &dict,
+            "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c }",
+        );
         assert_eq!(res.len(), 3); // Ulm, NYC, Jacksonville
-        let res2 = run(&store, &dict, "SELECT ?c WHERE { ?p y:wasBornIn ?c } LIMIT 2");
+        let res2 = run(
+            &store,
+            &dict,
+            "SELECT ?c WHERE { ?p y:wasBornIn ?c } LIMIT 2",
+        );
         assert_eq!(res2.len(), 2);
     }
 

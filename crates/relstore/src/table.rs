@@ -63,7 +63,10 @@ impl PredTable {
 
     /// Build directly from pairs (bulk load).
     pub fn from_pairs(pairs: Vec<(NodeId, NodeId)>) -> Self {
-        PredTable { pairs, ..Self::default() }
+        PredTable {
+            pairs,
+            ..Self::default()
+        }
     }
 
     /// Row count.
@@ -138,8 +141,7 @@ impl PredTable {
         if let Some(idx) = w.as_ref() {
             return Arc::clone(idx);
         }
-        let mut sorted: Vec<(NodeId, NodeId)> =
-            self.pairs.iter().map(|&(s, o)| (o, s)).collect();
+        let mut sorted: Vec<(NodeId, NodeId)> = self.pairs.iter().map(|&(s, o)| (o, s)).collect();
         sorted.sort_unstable();
         let arc = Arc::new(sorted);
         *w = Some(Arc::clone(&arc));
@@ -202,12 +204,7 @@ mod tests {
     }
 
     fn table() -> PredTable {
-        PredTable::from_pairs(vec![
-            (n(5), n(1)),
-            (n(1), n(2)),
-            (n(5), n(3)),
-            (n(2), n(2)),
-        ])
+        PredTable::from_pairs(vec![(n(5), n(1)), (n(1), n(2)), (n(5), n(3)), (n(2), n(2))])
     }
 
     #[test]
@@ -236,7 +233,14 @@ mod tests {
     fn stats_count_distincts() {
         let t = table();
         let st = t.stats();
-        assert_eq!(st, TableStats { rows: 4, distinct_s: 3, distinct_o: 3 });
+        assert_eq!(
+            st,
+            TableStats {
+                rows: 4,
+                distinct_s: 3,
+                distinct_o: 3
+            }
+        );
         assert!((st.rows_per_subject() - 4.0 / 3.0).abs() < 1e-9);
     }
 

@@ -123,7 +123,10 @@ impl ViewCatalog {
     /// mutations. Strictly stronger than the paper's baseline — used by
     /// the ablation benches, not the reproduction runs.
     pub fn with_generalization(budget_units: usize) -> Self {
-        ViewCatalog { generalize: true, ..Self::new(budget_units) }
+        ViewCatalog {
+            generalize: true,
+            ..Self::new(budget_units)
+        }
     }
 
     /// Normalise a subquery to its view-defining form.
@@ -180,7 +183,10 @@ impl ViewCatalog {
     /// generalized subqueries that fit the budget.
     pub fn rebuild(&mut self, store: &RelStore, dict: &Dictionary) -> RebuildReport {
         self.views.clear();
-        let mut report = RebuildReport { candidates: self.freq.len(), ..Default::default() };
+        let mut report = RebuildReport {
+            candidates: self.freq.len(),
+            ..Default::default()
+        };
 
         let mut ranked: Vec<(&String, &(u64, Vec<TriplePattern>))> = self.freq.iter().collect();
         // Highest frequency first; key as deterministic tie-break.
@@ -298,7 +304,9 @@ impl ViewCatalog {
         // Constant filters: generalized variable column must equal the id.
         let mut filters: Vec<(usize, NodeId)> = Vec::with_capacity(consts.len());
         for (v, term) in &consts {
-            let Some(col) = col_of(v) else { return Ok(None) };
+            let Some(col) = col_of(v) else {
+                return Ok(None);
+            };
             match dict.node_id(term) {
                 Some(id) => filters.push((col, id)),
                 // Unknown constant: provably empty subquery result.
@@ -370,10 +378,28 @@ mod tests {
         };
         add(&mut dict, &mut store, "y:Einstein", "y:wasBornIn", "y:Ulm");
         add(&mut dict, &mut store, "y:Weber", "y:wasBornIn", "y:Ulm");
-        add(&mut dict, &mut store, "y:Einstein", "y:hasAcademicAdvisor", "y:Weber");
+        add(
+            &mut dict,
+            &mut store,
+            "y:Einstein",
+            "y:hasAcademicAdvisor",
+            "y:Weber",
+        );
         add(&mut dict, &mut store, "y:Feynman", "y:wasBornIn", "y:NYC");
-        add(&mut dict, &mut store, "y:Wheeler", "y:wasBornIn", "y:Jacksonville");
-        add(&mut dict, &mut store, "y:Feynman", "y:hasAcademicAdvisor", "y:Wheeler");
+        add(
+            &mut dict,
+            &mut store,
+            "y:Wheeler",
+            "y:wasBornIn",
+            "y:Jacksonville",
+        );
+        add(
+            &mut dict,
+            &mut store,
+            "y:Feynman",
+            "y:hasAcademicAdvisor",
+            "y:Wheeler",
+        );
         (store, dict)
     }
 
@@ -383,7 +409,8 @@ mod tests {
 
     #[test]
     fn generalize_replaces_constants_consistently() {
-        let p = pats("SELECT ?p WHERE { ?p y:bornIn y:Ulm . ?a y:bornIn y:Ulm . ?p y:knows y:Bob }");
+        let p =
+            pats("SELECT ?p WHERE { ?p y:bornIn y:Ulm . ?a y:bornIn y:Ulm . ?p y:knows y:Bob }");
         let (gen, consts) = generalize(&p);
         assert_eq!(consts.len(), 2, "Ulm once, Bob once");
         // Both Ulm occurrences share one variable.
@@ -485,9 +512,7 @@ mod tests {
             "SELECT ?p WHERE { ?p y:wasBornIn y:Ulm . ?p y:hasAcademicAdvisor ?a }",
         ));
         cat.rebuild(&store, &dict);
-        let q = pats(
-            "SELECT ?p WHERE { ?p y:wasBornIn y:Atlantis . ?p y:hasAcademicAdvisor ?a }",
-        );
+        let q = pats("SELECT ?p WHERE { ?p y:wasBornIn y:Atlantis . ?p y:hasAcademicAdvisor ?a }");
         let mut ctx = ExecContext::new();
         let (_, _, rows) = cat.answer(&q, &dict, &mut ctx).unwrap().unwrap();
         assert!(rows.is_empty());
@@ -553,14 +578,19 @@ mod concrete_view_tests {
                 &mut ctx,
             )
             .unwrap();
-        assert!(miss.is_none(), "different constant must miss a concrete view");
+        assert!(
+            miss.is_none(),
+            "different constant must miss a concrete view"
+        );
     }
 
     #[test]
     fn concrete_views_hit_isomorphic_rewrites() {
         let (store, dict) = setup();
         let mut cat = ViewCatalog::new(10_000);
-        cat.observe(&pats("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:livesIn ?d }"));
+        cat.observe(&pats(
+            "SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:livesIn ?d }",
+        ));
         cat.rebuild(&store, &dict);
         let mut ctx = ExecContext::new();
         let hit = cat

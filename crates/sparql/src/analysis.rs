@@ -113,7 +113,10 @@ pub fn canonical_form(patterns: &[TriplePattern]) -> CanonicalForm {
         rendered.push(format!("{s} {pr} {o}"));
     }
     rendered.sort();
-    CanonicalForm { key: rendered.join(" . "), names: assigned }
+    CanonicalForm {
+        key: rendered.join(" . "),
+        names: assigned,
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +157,8 @@ mod tests {
 
     #[test]
     fn join_vars_between_halves() {
-        let a = patterns("SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:advisor ?a . ?a y:wasBornIn ?c }");
+        let a =
+            patterns("SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:advisor ?a . ?a y:wasBornIn ?c }");
         let b = patterns("SELECT ?p WHERE { ?p y:hasGivenName ?g }");
         assert_eq!(join_vars(&a, &b), vec![Var::new("p")]);
     }
@@ -162,7 +166,8 @@ mod tests {
     #[test]
     fn canonical_key_stable_under_renaming() {
         let a = patterns("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }");
-        let b = patterns("SELECT ?x WHERE { ?x y:advisor ?m . ?x y:bornIn ?town . ?m y:bornIn ?town }");
+        let b =
+            patterns("SELECT ?x WHERE { ?x y:advisor ?m . ?x y:bornIn ?town . ?m y:bornIn ?town }");
         assert_eq!(canonical_key(&a), canonical_key(&b));
     }
 
@@ -219,7 +224,9 @@ mod canonical_form_tests {
 
     #[test]
     fn every_variable_gets_a_name() {
-        let pats = parse("SELECT ?a WHERE { ?a y:p ?b . ?c y:q ?a }").unwrap().patterns;
+        let pats = parse("SELECT ?a WHERE { ?a y:p ?b . ?c y:q ?a }")
+            .unwrap()
+            .patterns;
         let f = canonical_form(&pats);
         assert_eq!(f.names.len(), 3);
     }

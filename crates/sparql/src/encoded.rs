@@ -108,7 +108,9 @@ impl EncodedQuery {
 
     /// True if any pattern has a variable predicate.
     pub fn has_var_pred(&self) -> bool {
-        self.patterns.iter().any(|p| matches!(p.p, PredSlot::Var(_)))
+        self.patterns
+            .iter()
+            .any(|p| matches!(p.p, PredSlot::Var(_)))
     }
 
     /// Restrict this query to a subset of its patterns, keeping the same

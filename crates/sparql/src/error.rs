@@ -14,7 +14,10 @@ pub struct ParseError {
 impl ParseError {
     /// Construct an error at `pos`.
     pub fn new(pos: usize, message: impl Into<String>) -> Self {
-        ParseError { pos, message: message.into() }
+        ParseError {
+            pos,
+            message: message.into(),
+        }
     }
 }
 

@@ -75,27 +75,45 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 }
             }
             b'{' => {
-                out.push(Token { pos: i, kind: TokenKind::LBrace });
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::LBrace,
+                });
                 i += 1;
             }
             b'}' => {
-                out.push(Token { pos: i, kind: TokenKind::RBrace });
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::RBrace,
+                });
                 i += 1;
             }
             b'.' => {
-                out.push(Token { pos: i, kind: TokenKind::Dot });
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Dot,
+                });
                 i += 1;
             }
             b';' => {
-                out.push(Token { pos: i, kind: TokenKind::Semicolon });
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Semicolon,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Token { pos: i, kind: TokenKind::Comma });
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Comma,
+                });
                 i += 1;
             }
             b'*' => {
-                out.push(Token { pos: i, kind: TokenKind::Star });
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Star,
+                });
                 i += 1;
             }
             b'?' | b'$' => {
@@ -162,7 +180,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                         j = end;
                     }
                 }
-                out.push(Token { pos: i, kind: TokenKind::Literal { lexical: lit, lang, datatype } });
+                out.push(Token {
+                    pos: i,
+                    kind: TokenKind::Literal {
+                        lexical: lit,
+                        lang,
+                        datatype,
+                    },
+                });
                 i = j;
             }
             b'0'..=b'9' | b'-' | b'+' => {
@@ -181,7 +206,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 let n: i64 = input[start..j]
                     .parse()
                     .map_err(|_| ParseError::new(start, "integer literal out of range"))?;
-                out.push(Token { pos: start, kind: TokenKind::Integer(n) });
+                out.push(Token {
+                    pos: start,
+                    kind: TokenKind::Integer(n),
+                });
                 i = j;
             }
             _ if is_name_start(c) => {
@@ -200,12 +228,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
             _ => {
                 return Err(ParseError::new(
                     i,
-                    format!("unexpected character `{}`", input[i..].chars().next().unwrap()),
+                    format!(
+                        "unexpected character `{}`",
+                        input[i..].chars().next().unwrap()
+                    ),
                 ));
             }
         }
     }
-    out.push(Token { pos: bytes.len(), kind: TokenKind::Eof });
+    out.push(Token {
+        pos: bytes.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(out)
 }
 
@@ -359,11 +393,19 @@ mod tests {
     fn string_literals_with_suffixes() {
         assert_eq!(
             kinds(r#""plain""#)[0],
-            TokenKind::Literal { lexical: "plain".into(), lang: None, datatype: None }
+            TokenKind::Literal {
+                lexical: "plain".into(),
+                lang: None,
+                datatype: None
+            }
         );
         assert_eq!(
             kinds(r#""chat"@fr"#)[0],
-            TokenKind::Literal { lexical: "chat".into(), lang: Some("fr".into()), datatype: None }
+            TokenKind::Literal {
+                lexical: "chat".into(),
+                lang: Some("fr".into()),
+                datatype: None
+            }
         );
         assert_eq!(
             kinds(r#""3"^^xsd:int"#)[0],
@@ -387,7 +429,11 @@ mod tests {
     fn string_escapes() {
         assert_eq!(
             kinds(r#""a\"b\nc""#)[0],
-            TokenKind::Literal { lexical: "a\"b\nc".into(), lang: None, datatype: None }
+            TokenKind::Literal {
+                lexical: "a\"b\nc".into(),
+                lang: None,
+                datatype: None
+            }
         );
     }
 

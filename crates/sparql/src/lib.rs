@@ -23,6 +23,8 @@ pub mod parser;
 
 pub use analysis::{canonical_form, canonical_key, join_vars, var_occurrences, CanonicalForm};
 pub use ast::{PredPattern, Query, Selection, TermPattern, TriplePattern, Var};
-pub use encoded::{compile, Compiled, CompileError, EncPattern, EncodedQuery, PredSlot, Slot, VarId};
+pub use encoded::{
+    compile, CompileError, Compiled, EncPattern, EncodedQuery, PredSlot, Slot, VarId,
+};
 pub use error::ParseError;
 pub use parser::parse;

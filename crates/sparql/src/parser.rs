@@ -21,7 +21,12 @@ use kgdual_model::Term;
 /// Parse a query string into a [`Query`].
 pub fn parse(input: &str) -> Result<Query, ParseError> {
     let tokens = tokenize(input)?;
-    Parser { tokens, idx: 0, prefixes: Vec::new() }.query()
+    Parser {
+        tokens,
+        idx: 0,
+        prefixes: Vec::new(),
+    }
+    .query()
 }
 
 struct Parser {
@@ -79,7 +84,12 @@ impl Parser {
             self.bump();
             match self.bump() {
                 TokenKind::Integer(n) if n >= 0 => Some(n as usize),
-                _ => return Err(ParseError::new(self.pos(), "expected non-negative integer after LIMIT")),
+                _ => {
+                    return Err(ParseError::new(
+                        self.pos(),
+                        "expected non-negative integer after LIMIT",
+                    ))
+                }
             }
         } else {
             None
@@ -90,21 +100,36 @@ impl Parser {
         if patterns.is_empty() {
             return Err(ParseError::new(0, "empty WHERE block"));
         }
-        Ok(Query { select, distinct, patterns, limit })
+        Ok(Query {
+            select,
+            distinct,
+            patterns,
+            limit,
+        })
     }
 
     fn prefix_decl(&mut self) -> Result<(), ParseError> {
         self.bump(); // PREFIX
         let name = match self.bump() {
             TokenKind::PrefixedName(p) => p,
-            _ => return Err(ParseError::new(self.pos(), "expected prefix name (e.g. `y:`)")),
+            _ => {
+                return Err(ParseError::new(
+                    self.pos(),
+                    "expected prefix name (e.g. `y:`)",
+                ))
+            }
         };
         let Some(stripped) = name.strip_suffix(':') else {
             return Err(ParseError::new(self.pos(), "prefix name must end with ':'"));
         };
         let iri = match self.bump() {
             TokenKind::IriRef(i) => i,
-            _ => return Err(ParseError::new(self.pos(), "expected IRI after prefix name")),
+            _ => {
+                return Err(ParseError::new(
+                    self.pos(),
+                    "expected IRI after prefix name",
+                ))
+            }
         };
         self.prefixes.push((stripped.to_owned(), iri));
         Ok(())
@@ -122,7 +147,10 @@ impl Parser {
             }
         }
         if vars.is_empty() {
-            return Err(ParseError::new(self.pos(), "expected '*' or at least one variable after SELECT"));
+            return Err(ParseError::new(
+                self.pos(),
+                "expected '*' or at least one variable after SELECT",
+            ));
         }
         Ok(Selection::Vars(vars))
     }
@@ -148,7 +176,10 @@ impl Parser {
             if matches!(self.peek(), TokenKind::Dot) {
                 self.bump();
             } else if !matches!(self.peek(), TokenKind::RBrace) {
-                return Err(ParseError::new(self.pos(), "expected '.' or '}' after triple pattern"));
+                return Err(ParseError::new(
+                    self.pos(),
+                    "expected '.' or '}' after triple pattern",
+                ));
             }
         }
         Ok(out)
@@ -171,7 +202,11 @@ impl Parser {
             TokenKind::Var(v) => Ok(TermPattern::Var(Var(v))),
             TokenKind::IriRef(i) => Ok(TermPattern::Term(Term::Iri(i))),
             TokenKind::PrefixedName(p) => Ok(TermPattern::Term(Term::Iri(self.expand(&p)))),
-            TokenKind::Literal { lexical, lang, datatype } => Ok(TermPattern::Term(Term::Literal {
+            TokenKind::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => Ok(TermPattern::Term(Term::Literal {
                 lexical,
                 lang,
                 datatype: datatype.map(|d| self.expand(&d)),
@@ -262,10 +297,7 @@ mod tests {
 
     #[test]
     fn prefix_expansion() {
-        let q = parse(
-            "PREFIX y: <http://yago/> SELECT ?s WHERE { ?s y:p \"3\"^^y:int }",
-        )
-        .unwrap();
+        let q = parse("PREFIX y: <http://yago/> SELECT ?s WHERE { ?s y:p \"3\"^^y:int }").unwrap();
         assert_eq!(q.predicate_set(), vec!["http://yago/p"]);
         match &q.patterns[0].o {
             TermPattern::Term(Term::Literal { datatype, .. }) => {
@@ -299,7 +331,9 @@ mod tests {
     fn literals_and_integers_as_objects() {
         let q = parse("SELECT ?s WHERE { ?s y:age 42 . ?s y:name \"Ada\" }").unwrap();
         match &q.patterns[0].o {
-            TermPattern::Term(Term::Literal { lexical, datatype, .. }) => {
+            TermPattern::Term(Term::Literal {
+                lexical, datatype, ..
+            }) => {
                 assert_eq!(lexical, "42");
                 assert_eq!(datatype.as_deref(), Some("xsd:integer"));
             }

@@ -25,7 +25,10 @@ pub struct Bio2RdfGen {
 
 impl Default for Bio2RdfGen {
     fn default() -> Self {
-        Bio2RdfGen { genes: 5_000, seed: 11 }
+        Bio2RdfGen {
+            genes: 5_000,
+            seed: 11,
+        }
     }
 }
 
@@ -54,7 +57,10 @@ const FILLER_PREDS: usize = 145; // 16 + 145 = 161 = Table 3's #-P
 impl Bio2RdfGen {
     /// Calibrate gene count so the dataset lands near `triples`.
     pub fn with_target_triples(triples: usize, seed: u64) -> Self {
-        Bio2RdfGen { genes: (triples / 24).max(100), seed }
+        Bio2RdfGen {
+            genes: (triples / 24).max(100),
+            seed,
+        }
     }
 
     /// Generate the dataset.
@@ -73,7 +79,9 @@ impl Bio2RdfGen {
         let n_misc = (n_genes / 5).max(20);
 
         let pool = |b: &mut DatasetBuilder, prefix: &str, count: usize| -> Vec<NodeId> {
-            (0..count).map(|i| b.node(&Term::iri(format!("bio:{prefix}{i}")))).collect()
+            (0..count)
+                .map(|i| b.node(&Term::iri(format!("bio:{prefix}{i}"))))
+                .collect()
         };
         let genes = pool(&mut b, "Gene", n_genes);
         let proteins = pool(&mut b, "Protein", n_proteins);
@@ -98,13 +106,25 @@ impl Bio2RdfGen {
         // Genes encode proteins, sit on chromosomes, express in tissues.
         for (i, &g) in genes.iter().enumerate() {
             b.add(g, p("bio:encodes"), proteins[i]);
-            b.add(g, p("bio:locatedOn"), chromosomes[skewed_index(&mut rng, n_chromosomes, 1.5)]);
+            b.add(
+                g,
+                p("bio:locatedOn"),
+                chromosomes[skewed_index(&mut rng, n_chromosomes, 1.5)],
+            );
             let n_tis = 1 + skewed_index(&mut rng, 3, 1.5);
             for _ in 0..n_tis {
-                b.add(g, p("bio:expressedIn"), tissues[skewed_index(&mut rng, n_tissues, 2.0)]);
+                b.add(
+                    g,
+                    p("bio:expressedIn"),
+                    tissues[skewed_index(&mut rng, n_tissues, 2.0)],
+                );
             }
             if rng.gen_bool(0.4) {
-                b.add(g, p("bio:associatedWith"), diseases[skewed_index(&mut rng, n_diseases, 2.0)]);
+                b.add(
+                    g,
+                    p("bio:associatedWith"),
+                    diseases[skewed_index(&mut rng, n_diseases, 2.0)],
+                );
             }
             if rng.gen_bool(0.3) {
                 let o = genes[rng.gen_range(0..n_genes)];
@@ -127,7 +147,11 @@ impl Bio2RdfGen {
                 }
             }
             if rng.gen_bool(0.4) {
-                b.add(pr, p("bio:involvedIn"), pathways[skewed_index(&mut rng, n_pathways, 2.0)]);
+                b.add(
+                    pr,
+                    p("bio:involvedIn"),
+                    pathways[skewed_index(&mut rng, n_pathways, 2.0)],
+                );
             }
             if rng.gen_bool(0.2) {
                 b.add(pr, p("bio:partOf"), misc[i % n_misc]);
@@ -137,12 +161,24 @@ impl Bio2RdfGen {
         for (i, &d) in drugs.iter().enumerate() {
             let n_targets = 1 + skewed_index(&mut rng, 4, 1.5);
             for _ in 0..n_targets {
-                b.add(d, p("bio:targets"), proteins[skewed_index(&mut rng, n_proteins, 2.5)]);
+                b.add(
+                    d,
+                    p("bio:targets"),
+                    proteins[skewed_index(&mut rng, n_proteins, 2.5)],
+                );
             }
             if rng.gen_bool(0.8) {
-                b.add(d, p("bio:treats"), diseases[skewed_index(&mut rng, n_diseases, 2.0)]);
+                b.add(
+                    d,
+                    p("bio:treats"),
+                    diseases[skewed_index(&mut rng, n_diseases, 2.0)],
+                );
             }
-            b.add(d, p("bio:classifiedAs"), classes[skewed_index(&mut rng, n_classes, 1.5)]);
+            b.add(
+                d,
+                p("bio:classifiedAs"),
+                classes[skewed_index(&mut rng, n_classes, 1.5)],
+            );
             if rng.gen_bool(0.5) {
                 b.add(d, p("bio:hasSideEffect"), misc[i % n_misc]);
             }
@@ -150,10 +186,18 @@ impl Bio2RdfGen {
         // Literature: articles mention genes/drugs and cite each other.
         for (i, &a) in articles.iter().enumerate() {
             if rng.gen_bool(0.7) {
-                b.add(a, p("bio:mentions"), genes[skewed_index(&mut rng, n_genes, 2.5)]);
+                b.add(
+                    a,
+                    p("bio:mentions"),
+                    genes[skewed_index(&mut rng, n_genes, 2.5)],
+                );
             }
             if rng.gen_bool(0.3) {
-                b.add(a, p("bio:mentions"), drugs[skewed_index(&mut rng, n_drugs, 2.5)]);
+                b.add(
+                    a,
+                    p("bio:mentions"),
+                    drugs[skewed_index(&mut rng, n_drugs, 2.5)],
+                );
             }
             if i > 0 && rng.gen_bool(0.5) {
                 b.add(a, p("bio:cites"), articles[rng.gen_range(0..i)]);
@@ -241,7 +285,11 @@ mod tests {
 
     #[test]
     fn generates_161_predicates() {
-        let ds = Bio2RdfGen { genes: 400, seed: 11 }.generate();
+        let ds = Bio2RdfGen {
+            genes: 400,
+            seed: 11,
+        }
+        .generate();
         assert_eq!(ds.stats().preds, 161, "Table 3: #-P = 161");
     }
 
@@ -250,12 +298,18 @@ mod tests {
         let w = Bio2RdfGen::default().workload();
         assert_eq!(w.queries.len(), 25, "Table 3: #-queries = 25");
         let complex = w.queries.iter().filter(|q| identify(q).is_some()).count();
-        assert!(complex >= 15, "three of five templates are complex: {complex}");
+        assert!(
+            complex >= 15,
+            "three of five templates are complex: {complex}"
+        );
     }
 
     #[test]
     fn complex_templates_match_data() {
-        let g = Bio2RdfGen { genes: 2_000, seed: 11 };
+        let g = Bio2RdfGen {
+            genes: 2_000,
+            seed: 11,
+        };
         let ds = g.generate();
         let mut dual = kgdual_core::DualStore::from_dataset(ds, 0);
         // The dual-target motif must yield results on generated data.
@@ -263,13 +317,24 @@ mod tests {
         assert!(!out.results.is_empty(), "dual-target drugs must exist");
         let out2 =
             kgdual_core::processor::process(&mut dual, &g.templates()[1].original()).unwrap();
-        assert!(!out2.results.is_empty(), "same-chromosome disease genes must exist");
+        assert!(
+            !out2.results.is_empty(),
+            "same-chromosome disease genes must exist"
+        );
     }
 
     #[test]
     fn generation_is_deterministic() {
-        let a = Bio2RdfGen { genes: 300, seed: 5 }.generate();
-        let b = Bio2RdfGen { genes: 300, seed: 5 }.generate();
+        let a = Bio2RdfGen {
+            genes: 300,
+            seed: 5,
+        }
+        .generate();
+        let b = Bio2RdfGen {
+            genes: 300,
+            seed: 5,
+        }
+        .generate();
         assert_eq!(a.stats(), b.stats());
     }
 }

@@ -26,6 +26,6 @@ pub mod workload;
 pub mod yago;
 
 pub use bio2rdf::Bio2RdfGen;
-pub use watdiv::{WatDivGen, WatDivFamily};
+pub use watdiv::{WatDivFamily, WatDivGen};
 pub use workload::{Family, Template, Workload};
 pub use yago::YagoGen;

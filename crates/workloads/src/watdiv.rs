@@ -40,7 +40,10 @@ pub struct WatDivGen {
 
 impl Default for WatDivGen {
     fn default() -> Self {
-        WatDivGen { users: 10_000, seed: 7 }
+        WatDivGen {
+            users: 10_000,
+            seed: 7,
+        }
     }
 }
 
@@ -80,7 +83,10 @@ const FILLER_PREDS: usize = 60; // 26 + 60 = 86 = Table 3's #-P
 impl WatDivGen {
     /// Calibrate user count so the dataset lands near `triples`.
     pub fn with_target_triples(triples: usize, seed: u64) -> Self {
-        WatDivGen { users: (triples / 24).max(100), seed }
+        WatDivGen {
+            users: (triples / 24).max(100),
+            seed,
+        }
     }
 
     /// Generate the dataset.
@@ -98,7 +104,9 @@ impl WatDivGen {
         let n_misc = (n_users / 10).max(20);
 
         let pool = |b: &mut DatasetBuilder, prefix: &str, count: usize| -> Vec<NodeId> {
-            (0..count).map(|i| b.node(&Term::iri(format!("wsdbm:{prefix}{i}")))).collect()
+            (0..count)
+                .map(|i| b.node(&Term::iri(format!("wsdbm:{prefix}{i}"))))
+                .collect()
         };
         let users = pool(&mut b, "User", n_users);
         let products = pool(&mut b, "Product", n_products);
@@ -137,10 +145,18 @@ impl WatDivGen {
             // Interests.
             let n_likes = skewed_index(&mut rng, 4, 1.5);
             for _ in 0..n_likes {
-                b.add(u, p("wsdbm:likes"), products[skewed_index(&mut rng, n_products, 2.5)]);
+                b.add(
+                    u,
+                    p("wsdbm:likes"),
+                    products[skewed_index(&mut rng, n_products, 2.5)],
+                );
             }
             if rng.gen_bool(0.3) {
-                b.add(u, p("wsdbm:subscribesTo"), websites[skewed_index(&mut rng, n_websites, 2.0)]);
+                b.add(
+                    u,
+                    p("wsdbm:subscribesTo"),
+                    websites[skewed_index(&mut rng, n_websites, 2.0)],
+                );
             }
             if i < n_purchases {
                 b.add(u, p("wsdbm:makesPurchase"), purchases[i]);
@@ -148,7 +164,11 @@ impl WatDivGen {
         }
         // Purchases point at products.
         for (i, &pu) in purchases.iter().enumerate() {
-            b.add(pu, p("wsdbm:purchaseFor"), products[skewed_index(&mut rng, n_products, 2.5)]);
+            b.add(
+                pu,
+                p("wsdbm:purchaseFor"),
+                products[skewed_index(&mut rng, n_products, 2.5)],
+            );
             b.add(pu, p("wsdbm:validThrough"), misc[i % n_misc]);
         }
         // Reviews.
@@ -156,13 +176,25 @@ impl WatDivGen {
             let prod = products[skewed_index(&mut rng, n_products, 2.5)];
             b.add(r, p("wsdbm:reviewOf"), prod);
             b.add(prod, p("wsdbm:hasReview"), r);
-            b.add(r, p("wsdbm:reviewer"), users[skewed_index(&mut rng, n_users, 1.8)]);
+            b.add(
+                r,
+                p("wsdbm:reviewer"),
+                users[skewed_index(&mut rng, n_users, 1.8)],
+            );
             b.add(r, p("wsdbm:rating"), misc[i % 5]);
         }
         // Products.
         for (i, &prod) in products.iter().enumerate() {
-            b.add(prod, p("wsdbm:hasGenre"), genres[skewed_index(&mut rng, n_genres, 2.0)]);
-            b.add(prod, p("wsdbm:soldBy"), retailers[skewed_index(&mut rng, n_retailers, 2.0)]);
+            b.add(
+                prod,
+                p("wsdbm:hasGenre"),
+                genres[skewed_index(&mut rng, n_genres, 2.0)],
+            );
+            b.add(
+                prod,
+                p("wsdbm:soldBy"),
+                retailers[skewed_index(&mut rng, n_retailers, 2.0)],
+            );
             b.add(prod, p("wsdbm:title"), misc[i % n_misc]);
             if rng.gen_bool(0.5) {
                 b.add(prod, p("wsdbm:caption"), misc[(i * 3) % n_misc]);
@@ -171,7 +203,11 @@ impl WatDivGen {
         }
         // Retailers.
         for (i, &r) in retailers.iter().enumerate() {
-            b.add(r, p("wsdbm:offers"), products[skewed_index(&mut rng, n_products, 1.5)]);
+            b.add(
+                r,
+                p("wsdbm:offers"),
+                products[skewed_index(&mut rng, n_products, 1.5)],
+            );
             b.add(r, p("wsdbm:legalName"), misc[i % n_misc]);
             b.add(r, p("wsdbm:locatedIn"), cities[i % n_cities]);
             b.add(r, p("wsdbm:homepage"), websites[i % n_websites]);
@@ -388,10 +424,18 @@ impl WatDivGen {
     /// The combined 100-query workload over all four families.
     pub fn combined_workload(&self) -> Workload {
         let mut queries = Vec::with_capacity(100);
-        for f in [WatDivFamily::L, WatDivFamily::S, WatDivFamily::F, WatDivFamily::C] {
+        for f in [
+            WatDivFamily::L,
+            WatDivFamily::S,
+            WatDivFamily::F,
+            WatDivFamily::C,
+        ] {
             queries.extend(self.workload(f).queries);
         }
-        Workload { name: "WatDiv".into(), queries }
+        Workload {
+            name: "WatDiv".into(),
+            queries,
+        }
     }
 }
 
@@ -402,7 +446,11 @@ mod tests {
 
     #[test]
     fn generates_86_predicates() {
-        let ds = WatDivGen { users: 500, seed: 7 }.generate();
+        let ds = WatDivGen {
+            users: 500,
+            seed: 7,
+        }
+        .generate();
         assert_eq!(ds.stats().preds, 86, "Table 3: #-P = 86");
     }
 
@@ -434,12 +482,24 @@ mod tests {
 
     #[test]
     fn queries_have_results_on_generated_data() {
-        let ds = WatDivGen { users: 2_000, seed: 7 }.generate();
+        let ds = WatDivGen {
+            users: 2_000,
+            seed: 7,
+        }
+        .generate();
         let mut dual = kgdual_core::DualStore::from_dataset(ds, 0);
-        let g = WatDivGen { users: 2_000, seed: 7 };
+        let g = WatDivGen {
+            users: 2_000,
+            seed: 7,
+        };
         let mut non_empty = 0usize;
         let mut total = 0usize;
-        for family in [WatDivFamily::L, WatDivFamily::S, WatDivFamily::F, WatDivFamily::C] {
+        for family in [
+            WatDivFamily::L,
+            WatDivFamily::S,
+            WatDivFamily::F,
+            WatDivFamily::C,
+        ] {
             for t in g.templates(family) {
                 total += 1;
                 let out = kgdual_core::processor::process(&mut dual, &t.original()).unwrap();
@@ -456,8 +516,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = WatDivGen { users: 300, seed: 9 }.generate();
-        let b = WatDivGen { users: 300, seed: 9 }.generate();
+        let a = WatDivGen {
+            users: 300,
+            seed: 9,
+        }
+        .generate();
+        let b = WatDivGen {
+            users: 300,
+            seed: 9,
+        }
+        .generate();
         assert_eq!(a.stats(), b.stats());
     }
 }

@@ -79,7 +79,8 @@ impl Template {
             let value = pool.first().map(String::as_str).unwrap_or("missing:pool");
             text = text.replace(&format!("${ph}"), value);
         }
-        parse(&text).unwrap_or_else(|e| panic!("template {} does not parse: {e}\n{text}", self.name))
+        parse(&text)
+            .unwrap_or_else(|e| panic!("template {} does not parse: {e}\n{text}", self.name))
     }
 
     /// A mutation: pick a structural variant when available, re-sample
@@ -93,7 +94,11 @@ impl Template {
         } else {
             // Base text and variants are equally likely.
             let pick = rng.gen_range(0..=self.variants.len());
-            if pick == 0 { self.sparql.clone() } else { self.variants[pick - 1].clone() }
+            if pick == 0 {
+                self.sparql.clone()
+            } else {
+                self.variants[pick - 1].clone()
+            }
         };
         if self.pools.is_empty() && self.variants.is_empty() {
             return shuffle_mutation(&self.original(), rng);
@@ -106,7 +111,8 @@ impl Template {
                 .unwrap_or("missing:pool");
             text = text.replace(&format!("${ph}"), value);
         }
-        parse(&text).unwrap_or_else(|e| panic!("template {} does not parse: {e}\n{text}", self.name))
+        parse(&text)
+            .unwrap_or_else(|e| panic!("template {} does not parse: {e}\n{text}", self.name))
     }
 }
 
@@ -141,7 +147,12 @@ fn shuffle_mutation<R: Rng>(query: &Query, rng: &mut R) -> Query {
             kgdual_sparql::Selection::Vars(vs.iter().map(rename).collect())
         }
     };
-    Query { select, distinct: query.distinct, patterns, limit: query.limit }
+    Query {
+        select,
+        distinct: query.distinct,
+        patterns,
+        limit: query.limit,
+    }
 }
 
 /// A named workload: the ordered query list plus assembly helpers.
@@ -170,7 +181,10 @@ impl Workload {
                 queries.push(t.mutate(rng));
             }
         }
-        Workload { name: name.into(), queries }
+        Workload {
+            name: name.into(),
+            queries,
+        }
     }
 
     /// The ordered version.
@@ -234,7 +248,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let texts: Vec<String> = (0..20).map(|_| t.mutate(&mut rng).to_string()).collect();
         assert!(
-            texts.iter().any(|s| s.contains("y:Bonn") || s.contains("y:Turin")),
+            texts
+                .iter()
+                .any(|s| s.contains("y:Bonn") || s.contains("y:Turin")),
             "20 samples must hit another city"
         );
     }
@@ -360,7 +376,12 @@ mod variant_tests {
             check(&t);
         }
         let w = WatDivGen::default();
-        for f in [WatDivFamily::L, WatDivFamily::S, WatDivFamily::F, WatDivFamily::C] {
+        for f in [
+            WatDivFamily::L,
+            WatDivFamily::S,
+            WatDivFamily::F,
+            WatDivFamily::C,
+        ] {
             for t in w.templates(f) {
                 check(&t);
             }

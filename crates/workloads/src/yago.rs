@@ -29,7 +29,12 @@ pub struct YagoGen {
 
 impl Default for YagoGen {
     fn default() -> Self {
-        YagoGen { persons: 10_000, seed: 42, advisor_same_city: 0.25, spouse_same_city: 0.3 }
+        YagoGen {
+            persons: 10_000,
+            seed: 42,
+            advisor_same_city: 0.25,
+            spouse_same_city: 0.3,
+        }
     }
 }
 
@@ -79,7 +84,11 @@ pub const PREDICATES: [&str; 39] = [
 impl YagoGen {
     /// Calibrate the person count so the dataset lands near `triples`.
     pub fn with_target_triples(triples: usize, seed: u64) -> Self {
-        YagoGen { persons: (triples / 10).max(100), seed, ..Self::default() }
+        YagoGen {
+            persons: (triples / 10).max(100),
+            seed,
+            ..Self::default()
+        }
     }
 
     /// Generate the dataset.
@@ -97,7 +106,9 @@ impl YagoGen {
         let n_topics = 50.min(n).max(10);
 
         let pool = |b: &mut DatasetBuilder, prefix: &str, count: usize| -> Vec<NodeId> {
-            (0..count).map(|i| b.node(&Term::iri(format!("y:{prefix}{i}")))).collect()
+            (0..count)
+                .map(|i| b.node(&Term::iri(format!("y:{prefix}{i}"))))
+                .collect()
         };
         let persons = pool(&mut b, "Person", n);
         let cities = pool(&mut b, "City", n_cities);
@@ -113,9 +124,8 @@ impl YagoGen {
         let family_names = pool(&mut b, "Family", 300.min(n).max(10));
 
         let preds: Vec<PredId> = PREDICATES.iter().map(|p| b.pred(p)).collect();
-        let pid = |name: &str| -> PredId {
-            preds[PREDICATES.iter().position(|&p| p == name).unwrap()]
-        };
+        let pid =
+            |name: &str| -> PredId { preds[PREDICATES.iter().position(|&p| p == name).unwrap()] };
 
         // Birth city per person, skewed towards head cities.
         let born = pid("y:wasBornIn");
@@ -135,7 +145,11 @@ impl YagoGen {
         // Names, gender, label for everyone.
         for (i, &p) in persons.iter().enumerate() {
             b.add(p, pid("y:hasGivenName"), given_names[i % given_names.len()]);
-            b.add(p, pid("y:hasFamilyName"), family_names[i % family_names.len()]);
+            b.add(
+                p,
+                pid("y:hasFamilyName"),
+                family_names[i % family_names.len()],
+            );
             b.add(p, pid("y:hasGender"), genders[i % 2]);
             b.add(p, pid("y:label"), given_names[(i * 7) % given_names.len()]);
         }
@@ -177,11 +191,11 @@ impl YagoGen {
 
         // Remaining person-centric facts, with skewed fan-out.
         let fact = |b: &mut DatasetBuilder,
-                        rng: &mut StdRng,
-                        pred: &str,
-                        prob: f64,
-                        targets: &[NodeId],
-                        skew: f64| {
+                    rng: &mut StdRng,
+                    pred: &str,
+                    prob: f64,
+                    targets: &[NodeId],
+                    skew: f64| {
             let p = pid(pred);
             for &s in &persons {
                 if rng.gen_bool(prob) {
@@ -309,7 +323,11 @@ mod tests {
 
     #[test]
     fn generates_39_predicates() {
-        let ds = YagoGen { persons: 500, ..Default::default() }.generate();
+        let ds = YagoGen {
+            persons: 500,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(ds.stats().preds, 39, "Table 3: #-P = 39");
     }
 
@@ -326,8 +344,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = YagoGen { persons: 300, ..Default::default() }.generate();
-        let b = YagoGen { persons: 300, ..Default::default() }.generate();
+        let a = YagoGen {
+            persons: 300,
+            ..Default::default()
+        }
+        .generate();
+        let b = YagoGen {
+            persons: 300,
+            ..Default::default()
+        }
+        .generate();
         assert_eq!(a.stats(), b.stats());
         let ta: Vec<_> = a.triples().collect();
         let tb: Vec<_> = b.triples().collect();
@@ -336,7 +362,11 @@ mod tests {
 
     #[test]
     fn advisor_motif_has_matches() {
-        let ds = YagoGen { persons: 2_000, ..Default::default() }.generate();
+        let ds = YagoGen {
+            persons: 2_000,
+            ..Default::default()
+        }
+        .generate();
         let mut dual = kgdual_core::DualStore::from_dataset(ds, 0);
         let q = kgdual_sparql::parse(
             "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c }",
@@ -356,12 +386,18 @@ mod tests {
         let w = g.workload();
         assert_eq!(w.queries.len(), 20, "Table 3: #-queries = 20");
         let complex = w.queries.iter().filter(|q| identify(q).is_some()).count();
-        assert!(complex >= 10, "most YAGO queries are complex, got {complex}");
+        assert!(
+            complex >= 10,
+            "most YAGO queries are complex, got {complex}"
+        );
     }
 
     #[test]
     fn template_constants_exist_in_data() {
-        let g = YagoGen { persons: 1_000, ..Default::default() };
+        let g = YagoGen {
+            persons: 1_000,
+            ..Default::default()
+        };
         let ds = g.generate();
         for t in g.templates() {
             for (_, pool) in &t.pools {

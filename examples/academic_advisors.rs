@@ -34,7 +34,10 @@ fn main() {
     println!(
         "complex subquery: patterns {:?}, output variables {:?}",
         qc.pattern_indexes,
-        qc.output_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        qc.output_vars
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
     );
 
     // Relational route (cold store).
@@ -49,7 +52,13 @@ fn main() {
     );
 
     // Mirror the five predicates and run by traversal.
-    for pred in ["y:wasBornIn", "y:hasAcademicAdvisor", "y:isMarriedTo", "y:hasGivenName", "y:hasFamilyName"] {
+    for pred in [
+        "y:wasBornIn",
+        "y:hasAcademicAdvisor",
+        "y:isMarriedTo",
+        "y:hasGivenName",
+        "y:hasFamilyName",
+    ] {
         let p = dual.dict().pred_id(pred).expect("predicate exists");
         dual.migrate_partition(p).expect("fits budget");
     }

@@ -32,7 +32,9 @@ fn main() {
     let loop_t = gen.templates(WatDivFamily::C)[2].clone();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(99);
     let batch_of = |t: &Template, n: usize, rng: &mut rand::rngs::StdRng| -> Vec<Query> {
-        (0..n).map(|i| if i == 0 { t.original() } else { t.mutate(rng) }).collect()
+        (0..n)
+            .map(|i| if i == 0 { t.original() } else { t.mutate(rng) })
+            .collect()
     };
     let batches = vec![
         batch_of(&triangle, 4, &mut rng),

@@ -45,7 +45,8 @@ fn main() {
         ("bio:Drug0", "bio:targets", "bio:Protein8"),
         ("bio:Protein7", "bio:interactsWith", "bio:Protein8"),
     ] {
-        dual.insert_terms(&Term::iri(s), p, &Term::iri(o)).expect("insert");
+        dual.insert_terms(&Term::iri(s), p, &Term::iri(o))
+            .expect("insert");
     }
     let import = dual.graph().import_stats();
     println!(

@@ -56,7 +56,10 @@ fn main() {
         tuned.migrated, tuned.triples_in
     );
     for (pred, size) in dual.design().graph_partitions {
-        println!("             - {} ({size} triples)", dual.dict().pred(pred).unwrap());
+        println!(
+            "             - {} ({size} triples)",
+            dual.dict().pred(pred).unwrap()
+        );
     }
 
     // 5. The same query now routes to the graph store.

@@ -1,0 +1,228 @@
+//! Offline shim for `bytes` — see `shims/README.md`.
+//!
+//! [`BytesMut`] is a growable byte buffer; [`Bytes`] is a read cursor
+//! over an owned buffer (consumption via [`Buf`] advances the cursor, and
+//! `Deref` exposes only the unconsumed tail, matching the real crate's
+//! observable behaviour). No reference-counted zero-copy sharing — the
+//! snapshot codec never relies on it.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor; stand-in for `bytes::Bytes`.
+#[derive(Clone, Default, Debug, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+/// Growable write buffer; stand-in for `bytes::BytesMut`.
+#[derive(Clone, Default, Debug, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+/// Read access to a byte cursor; mirrors `bytes::Buf`.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    fn get_u8(&mut self) -> u8;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+/// Write access to a byte buffer; mirrors `bytes::BufMut`.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    fn take(&mut self, len: usize) -> &[u8] {
+        assert!(
+            len <= self.len(),
+            "buffer underflow: {} > {}",
+            len,
+            self.len()
+        );
+        let start = self.pos;
+        self.pos += len;
+        &self.data[start..self.pos]
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        self.take(N).try_into().expect("exact length")
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        Bytes {
+            data: self.take(len).to_vec(),
+            pos: 0,
+        }
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable read cursor.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { data: src.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(42);
+        w.put_slice(b"tail");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(&r.copy_to_bytes(4)[..], b"tail");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn deref_tracks_cursor() {
+        let mut b = Bytes::copy_from_slice(b"abcdef");
+        assert_eq!(&b[..2], b"ab");
+        b.get_u8();
+        assert_eq!(&b[..2], b"bc");
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        Bytes::copy_from_slice(b"ab").copy_to_bytes(3);
+    }
+}

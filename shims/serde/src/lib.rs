@@ -1,0 +1,21 @@
+//! Offline shim for `serde` — see `shims/README.md`.
+//!
+//! Nothing in the workspace performs actual serialization; the derives
+//! only annotate types for future wire formats. The traits are therefore
+//! markers with blanket impls, and the derive macros (re-exported from
+//! the `serde_derive` shim under the `derive` feature) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

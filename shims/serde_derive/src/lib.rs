@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive` — see `shims/README.md`.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; here the
+//! shim `serde` crate provides blanket impls for every type, so the
+//! derive macros have nothing to emit. They exist so `#[derive(Serialize,
+//! Deserialize)]` attributes across the workspace keep compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -9,12 +9,19 @@ use kgdual::relstore::ResourceGovernor;
 /// expensive while returning identical rows.
 #[test]
 fn d1_force_scans_costs_more_same_rows() {
-    let dataset = YagoGen { persons: 2_000, ..Default::default() }.generate();
+    let dataset = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    }
+    .generate();
     let normal = DualStore::from_dataset(dataset.clone(), 0);
     let forced = DualStore::from_dataset_with(
         dataset,
         0,
-        PlannerConfig { force_scans: true, ..PlannerConfig::default() },
+        PlannerConfig {
+            force_scans: true,
+            ..PlannerConfig::default()
+        },
         ResourceGovernor::unlimited(),
     );
     let q = parse("SELECT ?p WHERE { ?p y:wasBornIn y:City0 }").unwrap();
@@ -35,7 +42,10 @@ fn d1_force_scans_costs_more_same_rows() {
         fctx.stats.work_units(),
         nctx.stats.work_units()
     );
-    assert_eq!(fctx.stats.index_probes, 0, "forced mode must not touch indexes");
+    assert_eq!(
+        fctx.stats.index_probes, 0,
+        "forced mode must not touch indexes"
+    );
 }
 
 /// D6: with the Case-2 guard off, a query whose complex subquery dwarfs
@@ -44,7 +54,11 @@ fn d1_force_scans_costs_more_same_rows() {
 fn d6_guard_prevents_case2_blowup() {
     // Large enough that the connection-pair subquery estimate clears the
     // guard's 4x-of-full-query threshold.
-    let dataset = YagoGen { persons: 8_000, ..Default::default() }.generate();
+    let dataset = YagoGen {
+        persons: 8_000,
+        ..Default::default()
+    }
+    .generate();
     let budget = dataset.len() / 2;
     let build = |guard: bool| {
         let mut dual = DualStore::from_dataset(dataset.clone(), budget);
@@ -83,16 +97,16 @@ fn d6_guard_prevents_case2_blowup() {
 /// miss; both agree with direct execution when they do answer.
 #[test]
 fn d8_generalized_views_cover_mutations() {
-    let dataset = YagoGen { persons: 2_000, ..Default::default() }.generate();
+    let dataset = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    }
+    .generate();
     let dual = DualStore::from_dataset(dataset, 0);
-    let seen = parse(
-        "SELECT ?p WHERE { ?p y:wasBornIn y:City0 . ?p y:hasAcademicAdvisor ?a }",
-    )
-    .unwrap();
-    let mutation = parse(
-        "SELECT ?p WHERE { ?p y:wasBornIn y:City1 . ?p y:hasAcademicAdvisor ?a }",
-    )
-    .unwrap();
+    let seen =
+        parse("SELECT ?p WHERE { ?p y:wasBornIn y:City0 . ?p y:hasAcademicAdvisor ?a }").unwrap();
+    let mutation =
+        parse("SELECT ?p WHERE { ?p y:wasBornIn y:City1 . ?p y:hasAcademicAdvisor ?a }").unwrap();
 
     let mut concrete = ViewCatalog::new(1_000_000);
     concrete.observe(&seen.patterns);
@@ -103,21 +117,34 @@ fn d8_generalized_views_cover_mutations() {
 
     let mut ctx = ExecContext::new();
     assert!(
-        concrete.answer(&mutation.patterns, dual.dict(), &mut ctx).unwrap().is_none(),
+        concrete
+            .answer(&mutation.patterns, dual.dict(), &mut ctx)
+            .unwrap()
+            .is_none(),
         "concrete views must miss the constant mutation"
     );
-    let hit = gen.answer(&mutation.patterns, dual.dict(), &mut ctx).unwrap();
+    let hit = gen
+        .answer(&mutation.patterns, dual.dict(), &mut ctx)
+        .unwrap();
     let (_, _, rows) = hit.expect("generalized views must hit the mutation");
     // Cross-check against direct execution.
     let direct = kgdual::processor::process_relational(&dual, &mutation).unwrap();
-    assert_eq!(rows.len(), direct.results.len(), "view answer row count must match");
+    assert_eq!(
+        rows.len(),
+        direct.results.len(),
+        "view answer row count must match"
+    );
 }
 
 /// D4: λ bounds the counterfactual's cost; larger λ can only increase the
 /// measured relational cost, and rewards stay deterministic.
 #[test]
 fn d4_lambda_monotone_and_deterministic() {
-    let dataset = YagoGen { persons: 2_000, ..Default::default() }.generate();
+    let dataset = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    }
+    .generate();
     let total = dataset.len();
     let mut dual = DualStore::from_dataset(dataset, total);
     for pred in ["y:wasBornIn", "y:hasAcademicAdvisor"] {

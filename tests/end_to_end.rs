@@ -10,16 +10,43 @@ use kgdual::prelude::*;
 fn variants_agree_on_all_generator_workloads() {
     let cases: Vec<(Dataset, Vec<Query>)> = vec![
         (
-            YagoGen { persons: 1_500, ..Default::default() }.generate(),
-            YagoGen { persons: 1_500, ..Default::default() }.workload().queries,
+            YagoGen {
+                persons: 1_500,
+                ..Default::default()
+            }
+            .generate(),
+            YagoGen {
+                persons: 1_500,
+                ..Default::default()
+            }
+            .workload()
+            .queries,
         ),
         (
-            WatDivGen { users: 1_200, seed: 7 }.generate(),
-            WatDivGen { users: 1_200, seed: 7 }.combined_workload().queries,
+            WatDivGen {
+                users: 1_200,
+                seed: 7,
+            }
+            .generate(),
+            WatDivGen {
+                users: 1_200,
+                seed: 7,
+            }
+            .combined_workload()
+            .queries,
         ),
         (
-            Bio2RdfGen { genes: 800, seed: 11 }.generate(),
-            Bio2RdfGen { genes: 800, seed: 11 }.workload().queries,
+            Bio2RdfGen {
+                genes: 800,
+                seed: 11,
+            }
+            .generate(),
+            Bio2RdfGen {
+                genes: 800,
+                seed: 11,
+            }
+            .workload()
+            .queries,
         ),
     ];
 
@@ -54,7 +81,10 @@ fn variants_agree_on_all_generator_workloads() {
 /// Tuning never changes answers, only routes and costs.
 #[test]
 fn tuning_preserves_results_while_changing_routes() {
-    let gen = YagoGen { persons: 2_000, ..Default::default() };
+    let gen = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    };
     let dataset = gen.generate();
     let budget = dataset.len() / 4;
     let mut dual = DualStore::from_dataset(dataset, budget);
@@ -88,7 +118,10 @@ fn tuning_preserves_results_while_changing_routes() {
 /// the graph share ramping up from a cold start (Figure 6's shape).
 #[test]
 fn batch_pipeline_ramps_up_graph_share() {
-    let gen = YagoGen { persons: 2_000, ..Default::default() };
+    let gen = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    };
     let dataset = gen.generate();
     let budget = dataset.len() / 4;
     let workload = gen.workload();
@@ -105,7 +138,10 @@ fn batch_pipeline_ramps_up_graph_share() {
 
     assert!(reports.iter().all(|r| r.errors == 0));
     let graph_used: usize = reports.iter().map(|r| r.routes.graph + r.routes.dual).sum();
-    assert!(graph_used > 0, "warm runs must route complex queries to the graph store");
+    assert!(
+        graph_used > 0,
+        "warm runs must route complex queries to the graph store"
+    );
     assert!(variant.dual().graph().used() > 0);
     assert!(variant.dual().graph().used() <= variant.dual().graph().budget());
 }
@@ -113,7 +149,10 @@ fn batch_pipeline_ramps_up_graph_share() {
 /// Updates propagate across both stores through the whole stack.
 #[test]
 fn updates_stay_consistent_across_stores() {
-    let gen = Bio2RdfGen { genes: 600, seed: 11 };
+    let gen = Bio2RdfGen {
+        genes: 600,
+        seed: 11,
+    };
     let dataset = gen.generate();
     let budget = dataset.len() / 2;
     let mut dual = DualStore::from_dataset(dataset, budget);
@@ -123,7 +162,10 @@ fn updates_stay_consistent_across_stores() {
     .unwrap();
     Dotil::new().tune(&mut dual, std::slice::from_ref(&q));
 
-    let baseline = kgdual::processor::process(&mut dual, &q).unwrap().results.len();
+    let baseline = kgdual::processor::process(&mut dual, &q)
+        .unwrap()
+        .results
+        .len();
     for (s, p, o) in [
         ("bio:DrugX", "bio:targets", "bio:ProteinA"),
         ("bio:DrugX", "bio:targets", "bio:ProteinB"),
@@ -131,14 +173,23 @@ fn updates_stay_consistent_across_stores() {
     ] {
         dual.insert_terms(&Term::iri(s), p, &Term::iri(o)).unwrap();
     }
-    let grown = kgdual::processor::process(&mut dual, &q).unwrap().results.len();
-    assert!(grown > baseline, "inserted motif must appear: {grown} vs {baseline}");
+    let grown = kgdual::processor::process(&mut dual, &q)
+        .unwrap()
+        .results
+        .len();
+    assert!(
+        grown > baseline,
+        "inserted motif must appear: {grown} vs {baseline}"
+    );
 
     let s = dual.dict().node_id(&Term::iri("bio:ProteinA")).unwrap();
     let p = dual.dict().pred_id("bio:interactsWith").unwrap();
     let o = dual.dict().node_id(&Term::iri("bio:ProteinB")).unwrap();
     assert_eq!(dual.delete(Triple::new(s, p, o)), 1);
-    let shrunk = kgdual::processor::process(&mut dual, &q).unwrap().results.len();
+    let shrunk = kgdual::processor::process(&mut dual, &q)
+        .unwrap()
+        .results
+        .len();
     assert_eq!(shrunk, baseline, "retraction must restore the baseline");
 }
 

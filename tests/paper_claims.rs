@@ -9,7 +9,11 @@ const ADVISOR: &str =
     "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c }";
 
 fn fully_mirrored(persons: usize) -> DualStore {
-    let dataset = YagoGen { persons, ..Default::default() }.generate();
+    let dataset = YagoGen {
+        persons,
+        ..Default::default()
+    }
+    .generate();
     let total = dataset.len();
     let mut dual = DualStore::from_dataset(dataset, total);
     let preds: Vec<_> = dual.rel().preds().collect();
@@ -41,14 +45,20 @@ fn table1_shape_graph_wins_and_relational_grows() {
     let (rel_s, graph_s) = costs(&small, ADVISOR);
     let (rel_l, graph_l) = costs(&large, ADVISOR);
 
-    assert!(graph_s < rel_s, "graph must win small: {graph_s} vs {rel_s}");
-    assert!(graph_l < rel_l, "graph must win large: {graph_l} vs {rel_l}");
+    assert!(
+        graph_s < rel_s,
+        "graph must win small: {graph_s} vs {rel_s}"
+    );
+    assert!(
+        graph_l < rel_l,
+        "graph must win large: {graph_l} vs {rel_l}"
+    );
     assert!(rel_l > rel_s * 2, "relational cost must grow with size");
 
     // Calibrated simulated ratio (Table 1 reports 18-25x for MySQL/Neo4j).
     use kgdual::relstore::exec::context::{GRAPH_NANOS_PER_WORK_UNIT, REL_NANOS_PER_WORK_UNIT};
-    let sim_ratio = (rel_l as f64 * REL_NANOS_PER_WORK_UNIT)
-        / (graph_l as f64 * GRAPH_NANOS_PER_WORK_UNIT);
+    let sim_ratio =
+        (rel_l as f64 * REL_NANOS_PER_WORK_UNIT) / (graph_l as f64 * GRAPH_NANOS_PER_WORK_UNIT);
     assert!(
         (5.0..120.0).contains(&sim_ratio),
         "simulated gap out of range: {sim_ratio:.1}x"
@@ -64,14 +74,20 @@ fn traversal_cost_independent_of_graph_size() {
     let (_, graph_small) = costs(&dual, q);
     let big = fully_mirrored(8_000);
     let (_, graph_big) = costs(&big, q);
-    assert_eq!(graph_small, graph_big, "bound traversal must be size-independent");
+    assert_eq!(
+        graph_small, graph_big,
+        "bound traversal must be size-independent"
+    );
 }
 
 /// DOTIL improves a repeated complex workload versus never tuning
 /// (deterministic work-unit TTI).
 #[test]
 fn dotil_beats_no_tuning_on_repeated_workload() {
-    let gen = YagoGen { persons: 2_000, ..Default::default() };
+    let gen = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    };
     let workload = gen.workload();
     let batches = Workload::batches(&workload.ordered(), 5);
     let budget = gen.generate().len() / 4;
@@ -82,10 +98,7 @@ fn dotil_beats_no_tuning_on_repeated_workload() {
         let runner = WorkloadRunner::new(schedule);
         let _ = runner.run(&mut variant, &batches).unwrap(); // warm-up pass
         let reports = runner.run(&mut variant, &batches).unwrap();
-        reports
-            .iter()
-            .map(|r| r.sim_tti.as_nanos() as u64)
-            .sum()
+        reports.iter().map(|r| r.sim_tti.as_nanos() as u64).sum()
     };
 
     let untuned = run(Box::new(NoopTuner), TuningSchedule::Never);
@@ -106,7 +119,10 @@ fn dotil_beats_no_tuning_on_repeated_workload() {
 /// good as DOTIL, and DOTIL at least matches the static one-off mode.
 #[test]
 fn tuner_ordering_matches_figure8() {
-    let gen = YagoGen { persons: 2_000, ..Default::default() };
+    let gen = YagoGen {
+        persons: 2_000,
+        ..Default::default()
+    };
     let workload = gen.workload();
     let batches = Workload::batches(&workload.ordered(), 5);
     let budget = gen.generate().len() / 4;
@@ -121,8 +137,14 @@ fn tuner_ordering_matches_figure8() {
     };
 
     let dotil = run(Box::new(Dotil::new()), TuningSchedule::AfterEachBatch);
-    let ideal = run(Box::new(IdealTuner::new()), TuningSchedule::BeforeEachBatchWithUpcoming);
-    let oneoff = run(Box::new(OneOffTuner::new()), TuningSchedule::OnceUpfrontWithAll);
+    let ideal = run(
+        Box::new(IdealTuner::new()),
+        TuningSchedule::BeforeEachBatchWithUpcoming,
+    );
+    let oneoff = run(
+        Box::new(OneOffTuner::new()),
+        TuningSchedule::OnceUpfrontWithAll,
+    );
 
     // Generous slack: these are different algorithms, not epsilon-compare.
     assert!(
@@ -139,7 +161,10 @@ fn tuner_ordering_matches_figure8() {
 /// the query processor honours all three coverage cases on real data.
 #[test]
 fn example1_and_coverage_cases() {
-    let gen = YagoGen { persons: 1_000, ..Default::default() };
+    let gen = YagoGen {
+        persons: 1_000,
+        ..Default::default()
+    };
     let dataset = gen.generate();
     let total = dataset.len();
     let q = parse(

@@ -24,8 +24,16 @@ fn dataset_from(raw: &[(u8, u8, u8)]) -> Dataset {
 fn render_query(patterns: &[(u8, bool, u8, u8, bool, u8)]) -> String {
     let mut out = String::from("SELECT * WHERE { ");
     for &(s, s_is_var, p, o, o_is_var, _) in patterns {
-        let subj = if s_is_var { format!("?v{}", s % 4) } else { format!("n:{}", s % 8) };
-        let obj = if o_is_var { format!("?w{}", o % 4) } else { format!("n:{}", o % 8) };
+        let subj = if s_is_var {
+            format!("?v{}", s % 4)
+        } else {
+            format!("n:{}", s % 8)
+        };
+        let obj = if o_is_var {
+            format!("?w{}", o % 4)
+        } else {
+            format!("n:{}", o % 8)
+        };
         out.push_str(&format!("{subj} p:{} {obj} . ", p % 4));
     }
     out.push('}');
