@@ -38,7 +38,7 @@ fn bench_routing(c: &mut Criterion) {
     g.sample_size(30);
     g.bench_function("routed-graph-case1", |b| {
         b.iter(|| {
-            kgdual_core::processor::process(&mut dual, black_box(&q))
+            kgdual_core::processor::process(&dual, black_box(&q))
                 .unwrap()
                 .results
                 .len()
@@ -47,7 +47,7 @@ fn bench_routing(c: &mut Criterion) {
     let simple = parse("SELECT ?p ?g WHERE { ?p y:hasGivenName ?g }").unwrap();
     g.bench_function("routed-relational-simple", |b| {
         b.iter(|| {
-            kgdual_core::processor::process(&mut dual, black_box(&simple))
+            kgdual_core::processor::process(&dual, black_box(&simple))
                 .unwrap()
                 .results
                 .len()
@@ -153,13 +153,13 @@ fn bench_ablation_case2_guard(c: &mut Criterion) {
         }
         dual
     };
-    let mut guarded = build(true);
-    let mut unguarded = build(false);
+    let guarded = build(true);
+    let unguarded = build(false);
     let mut g = c.benchmark_group("ablation-d6-case2-guard");
     g.sample_size(30);
     g.bench_function("guard-on", |b| {
         b.iter(|| {
-            kgdual_core::processor::process(&mut guarded, black_box(&q))
+            kgdual_core::processor::process(&guarded, black_box(&q))
                 .unwrap()
                 .results
                 .len()
@@ -167,7 +167,7 @@ fn bench_ablation_case2_guard(c: &mut Criterion) {
     });
     g.bench_function("guard-off", |b| {
         b.iter(|| {
-            kgdual_core::processor::process(&mut unguarded, black_box(&q))
+            kgdual_core::processor::process(&unguarded, black_box(&q))
                 .unwrap()
                 .results
                 .len()

@@ -12,6 +12,10 @@ pub struct BenchArgs {
     pub reps: usize,
     /// `ordered` or `random` workload version.
     pub order: String,
+    /// Worker threads for the concurrent batch executor (`kgdual-exec`).
+    /// 1 (the default) means serial; >1 makes the batch binaries report
+    /// parallel wall-clock TTI alongside the serial measurement.
+    pub threads: usize,
     /// Remaining free-form flags (`--key value`).
     pub extra: Vec<(String, String)>,
 }
@@ -23,6 +27,7 @@ impl Default for BenchArgs {
             seed: 42,
             reps: 2,
             order: "ordered".to_owned(),
+            threads: 1,
             extra: Vec::new(),
         }
     }
@@ -52,6 +57,7 @@ impl BenchArgs {
                 "seed" => out.seed = value.parse().unwrap_or(out.seed),
                 "reps" => out.reps = value.parse().unwrap_or(out.reps).max(1),
                 "order" => out.order = value,
+                "threads" => out.threads = value.parse().unwrap_or(out.threads).max(1),
                 _ => out.extra.push((key.to_owned(), value)),
             }
         }
@@ -88,15 +94,22 @@ mod tests {
         assert_eq!(a.seed, 42);
         assert_eq!(a.reps, 2);
         assert_eq!(a.order, "ordered");
+        assert_eq!(a.threads, 1);
     }
 
     #[test]
     fn parses_known_flags() {
-        let a = parse("--scale 0.1 --seed 7 --reps 5 --order random");
+        let a = parse("--scale 0.1 --seed 7 --reps 5 --order random --threads 8");
         assert_eq!(a.scale, 0.1);
         assert_eq!(a.seed, 7);
         assert_eq!(a.reps, 5);
         assert_eq!(a.order, "random");
+        assert_eq!(a.threads, 8);
+    }
+
+    #[test]
+    fn threads_minimum_one() {
+        assert_eq!(parse("--threads 0").threads, 1);
     }
 
     #[test]

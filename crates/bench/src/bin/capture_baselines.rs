@@ -1,0 +1,54 @@
+//! Emit the deterministic baseline table used by the regression check.
+//!
+//! Prints one TSV row per (workload, variant) with the metrics that are
+//! exact operator counts rather than wall-clock readings: total work
+//! units, simulated TTI in nanoseconds, and result rows. Captured once at
+//! a fixed `--scale`/`--seed` and committed under `docs/baselines/`, the
+//! table lets later performance PRs prove their wins (or get flagged for
+//! regressions) by re-running this binary and diffing — see
+//! `scripts/check_baselines.sh` and `crates/bench/tests/baseline_regression.rs`.
+
+use kgdual_bench::{run_variant_comparison, BenchArgs, VariantKind, WorkloadKind};
+
+/// The workload set captured in the baseline (figure 3/4 panels plus the
+/// combined WatDiv mix of figure 5).
+pub fn workloads() -> [WorkloadKind; 7] {
+    [
+        WorkloadKind::Yago,
+        WorkloadKind::WatDivL,
+        WorkloadKind::WatDivS,
+        WorkloadKind::WatDivF,
+        WorkloadKind::WatDivC,
+        WorkloadKind::WatDivAll,
+        WorkloadKind::Bio2Rdf,
+    ]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let variants = [
+        VariantKind::RdbOnly,
+        VariantKind::RdbViews,
+        VariantKind::RdbGdbDotil,
+    ];
+    println!(
+        "# kgdual deterministic baseline: scale={} seed={} reps={} order={}",
+        args.scale, args.seed, args.reps, args.order
+    );
+    println!("# workload\tvariant\ttotal_work\tsim_tti_ns\tresult_rows");
+    for kind in workloads() {
+        let results = run_variant_comparison(kind, &variants, &args);
+        for r in &results {
+            let rows: u64 = r.reports.iter().map(|b| b.result_rows).sum();
+            let sim_ns: u128 = r.reports.iter().map(|b| b.sim_tti.as_nanos()).sum();
+            println!(
+                "{}\t{}\t{}\t{}\t{}",
+                kind.name(),
+                r.variant,
+                r.total_work,
+                sim_ns,
+                rows
+            );
+        }
+    }
+}

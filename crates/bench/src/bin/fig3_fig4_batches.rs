@@ -6,7 +6,10 @@
 //! warm, `RDB-views` sometimes *above* `RDB-only` (view lookup + join
 //! overhead), and `RDB-GDB` the most stable series.
 
-use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind, WorkloadKind};
+use kgdual_bench::{
+    run_parallel_comparison, run_variant_comparison, BenchArgs, TablePrinter, VariantKind,
+    WorkloadKind,
+};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -70,6 +73,21 @@ fn main() {
                 "RDB-GDB vs RDB-views: {:+.2}% TTI",
                 (gdb - views) / views * 100.0
             );
+        }
+        // Concurrent submission through kgdual-exec: wall-clock TTI of
+        // the same batches at 1 and --threads workers.
+        if args.threads > 1 {
+            for r in run_parallel_comparison(kind, &args) {
+                println!(
+                    "{} parallel TTI ({} threads): wall {:.4}s -> {:.4}s ({:.2}x), sim {:.4}s",
+                    r.variant,
+                    r.threads,
+                    r.serial_wall_secs,
+                    r.parallel_wall_secs,
+                    r.speedup(),
+                    r.sim_tti_secs
+                );
+            }
         }
         println!();
     }

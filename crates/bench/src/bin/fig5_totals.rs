@@ -5,7 +5,10 @@
 //! little difference to `RDB-GDB` (the paper's point about DOTIL's
 //! adaptivity being insensitive to query order).
 
-use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind, WorkloadKind};
+use kgdual_bench::{
+    run_parallel_comparison, run_variant_comparison, BenchArgs, TablePrinter, VariantKind,
+    WorkloadKind,
+};
 
 fn main() {
     let mut args = BenchArgs::parse();
@@ -58,4 +61,38 @@ fn main() {
         ]);
     }
     table.print();
+
+    // Concurrent submission: the same batches through kgdual-exec at
+    // --threads N, wall-clock TTI vs the 1-thread run of the identical
+    // machinery (simulated TTI and work units are thread-invariant).
+    if args.threads > 1 {
+        println!(
+            "\nParallel TTI (kgdual-exec, {} worker threads; deterministic totals verified equal):\n",
+            args.threads
+        );
+        let mut ptable = TablePrinter::new(vec![
+            "workload",
+            "order",
+            "variant",
+            "wall 1T (s)",
+            "wall NT (s)",
+            "speedup",
+            "sim TTI (s)",
+        ]);
+        for (kind, order) in panels {
+            args.order = order.to_owned();
+            for r in run_parallel_comparison(kind, &args) {
+                ptable.row(vec![
+                    kind.name().to_string(),
+                    order.to_string(),
+                    r.variant.to_string(),
+                    format!("{:.4}", r.serial_wall_secs),
+                    format!("{:.4}", r.parallel_wall_secs),
+                    format!("{:.2}x", r.speedup()),
+                    format!("{:.4}", r.sim_tti_secs),
+                ]);
+            }
+        }
+        ptable.print();
+    }
 }

@@ -52,7 +52,7 @@ fn main() {
         ];
         for _ in 0..args.reps.max(5) {
             for q in &queries {
-                process(&mut dual, q).expect("query runs");
+                process(&dual, q).expect("query runs");
             }
         }
         stop.store(true, Ordering::Relaxed);

@@ -7,6 +7,7 @@ use kgdual_core::{
     BatchReport, DualStore, PhysicalTuner, StoreVariant, TuningOutcome, WorkloadRunner,
 };
 use kgdual_dotil::{Dotil, DotilConfig, FrequencyTuner, IdealTuner, OneOffTuner};
+use kgdual_exec::{BatchExecutor, ExecMode, ParallelRunner, SharedStore};
 use kgdual_sparql::Query;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -215,6 +216,108 @@ pub fn run_variant_comparison(
     out
 }
 
+/// One variant's serial-vs-parallel TTI measurement.
+#[derive(Clone, Debug)]
+pub struct ParallelTti {
+    /// Variant name.
+    pub variant: &'static str,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Wall-clock TTI of the 1-thread run through the same executor
+    /// (kept repetitions averaged), in seconds.
+    pub serial_wall_secs: f64,
+    /// Wall-clock TTI of the `threads`-worker run, in seconds.
+    pub parallel_wall_secs: f64,
+    /// Simulated TTI in seconds — identical for both runs by
+    /// construction; reported once as the deterministic reference.
+    pub sim_tti_secs: f64,
+    /// Total deterministic work units — also thread-count-invariant.
+    pub total_work: u64,
+}
+
+impl ParallelTti {
+    /// Measured wall-clock speedup of concurrent submission.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_wall_secs > 0.0 {
+            self.serial_wall_secs / self.parallel_wall_secs
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// Run one workload through the concurrent executor at 1 thread and at
+/// `args.threads` threads, for the `RDB-only` and `RDB-GDB` variants
+/// (`RDB-views` mutates its advisor state online and stays serial).
+///
+/// Both runs start from identical fresh stores and identically seeded
+/// tuners; the driver asserts that every deterministic total (work units,
+/// simulated TTI, result rows) matches between them — the executor's
+/// correctness contract — and reports the wall-clock pair. Repetitions
+/// follow the harness convention: `args.reps` runs over a persistent
+/// store, the first dropped as warm-up when more than one.
+pub fn run_parallel_comparison(kind: WorkloadKind, args: &BenchArgs) -> Vec<ParallelTti> {
+    let dataset = build_dataset(kind, args);
+    let workload = build_workload(kind, args);
+    let batches = build_batches(&workload, &args.order, args.seed);
+    let budget = (dataset.len() as f64 * 0.25) as usize;
+
+    let configs: [(&'static str, ExecMode); 2] = [
+        ("RDB-only", ExecMode::RelationalOnly),
+        ("RDB-GDB", ExecMode::Routed),
+    ];
+    let mut out = Vec::with_capacity(configs.len());
+    for (name, mode) in configs {
+        let measure = |threads: usize| -> (u64, u64, f64, f64) {
+            let store = SharedStore::new(DualStore::from_dataset(dataset.clone(), budget));
+            let mut tuner: Box<dyn PhysicalTuner> = match mode {
+                ExecMode::Routed => Box::new(Dotil::with_config(DotilConfig::default())),
+                ExecMode::RelationalOnly => Box::new(kgdual_core::NoopTuner),
+            };
+            let runner = ParallelRunner::new(
+                VariantKind::RdbGdbDotil.schedule(),
+                BatchExecutor::new(threads).with_mode(mode),
+            );
+            let mut wall = Vec::new();
+            let (mut work, mut rows, mut sim) = (0u64, 0u64, 0.0f64);
+            for rep in 0..args.reps {
+                let reports = runner.run(&store, tuner.as_mut(), &batches);
+                if rep > 0 || args.reps == 1 {
+                    wall.push(ParallelRunner::total_wall(&reports).as_secs_f64());
+                }
+                work = ParallelRunner::total_work(&reports);
+                rows = reports.iter().map(|r| r.result_rows).sum();
+                sim = ParallelRunner::total_sim_tti(&reports).as_secs_f64();
+            }
+            let avg_wall = wall.iter().sum::<f64>() / wall.len() as f64;
+            (work, rows, sim, avg_wall)
+        };
+        let (work_1, rows_1, sim_1, wall_1) = measure(1);
+        let (work_n, rows_n, sim_n, wall_n) = measure(args.threads);
+        assert_eq!(
+            work_1, work_n,
+            "{name}: parallel execution must not change total work"
+        );
+        assert_eq!(
+            rows_1, rows_n,
+            "{name}: parallel execution must not change result rows"
+        );
+        assert_eq!(
+            sim_1, sim_n,
+            "{name}: parallel execution must not change simulated TTI"
+        );
+        out.push(ParallelTti {
+            variant: name,
+            threads: args.threads,
+            serial_wall_secs: wall_1,
+            parallel_wall_secs: wall_n,
+            sim_tti_secs: sim_1,
+            total_work: work_1,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +347,34 @@ mod tests {
             .map(|r| r.reports.iter().map(|b| b.result_rows).sum::<u64>())
             .collect();
         assert_eq!(rows[0], rows[1], "variants must agree on results");
+    }
+
+    #[test]
+    fn parallel_comparison_is_deterministic_and_reports_both_walls() {
+        let args = BenchArgs {
+            scale: 0.0005,
+            reps: 1,
+            threads: 4,
+            ..Default::default()
+        };
+        // The driver itself asserts work/rows/sim equality between the
+        // 1-thread and 4-thread runs; reaching the assertions below means
+        // the determinism contract held.
+        let results = run_parallel_comparison(WorkloadKind::Yago, &args);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.threads, 4);
+            assert!(r.total_work > 0);
+            assert!(r.serial_wall_secs > 0.0);
+            assert!(r.parallel_wall_secs > 0.0);
+            assert!(r.speedup().is_finite());
+        }
+        let gdb = results.iter().find(|r| r.variant == "RDB-GDB").unwrap();
+        let only = results.iter().find(|r| r.variant == "RDB-only").unwrap();
+        assert!(
+            gdb.total_work < only.total_work,
+            "tuned dual store must do less online work than RDB-only"
+        );
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub mod setup;
 pub mod table;
 
 pub use args::BenchArgs;
-pub use experiments::{run_variant_comparison, SharedDotil, VariantKind, WorkloadKind};
+pub use experiments::{
+    run_parallel_comparison, run_variant_comparison, ParallelTti, SharedDotil, VariantKind,
+    WorkloadKind,
+};
 pub use setup::{build_batches, build_dataset, build_workload};
 pub use table::TablePrinter;

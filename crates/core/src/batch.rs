@@ -45,7 +45,9 @@ pub struct RouteCounts {
 }
 
 impl RouteCounts {
-    fn record(&mut self, route: Route) {
+    /// Count one query's route (used by both the serial runner here and
+    /// the parallel executor in `kgdual-exec`).
+    pub fn record(&mut self, route: Route) {
         match route {
             Route::Relational => self.relational += 1,
             Route::Graph => self.graph += 1,

@@ -3,7 +3,7 @@
 use crate::error::CoreError;
 use kgdual_graphstore::GraphStore;
 use kgdual_model::{Dataset, Dictionary, PredId, Term, Triple};
-use kgdual_relstore::{PlannerConfig, RelStore, ResourceGovernor, TempSpace};
+use kgdual_relstore::{PlannerConfig, RelStore, ResourceGovernor};
 use std::sync::Arc;
 
 /// A snapshot of the current physical design.
@@ -20,14 +20,20 @@ pub struct DualDesign {
 }
 
 /// The dual store: a complete relational store, a budgeted graph-store
-/// accelerator, a shared dictionary, and the temp space for migrated
-/// intermediate results.
+/// accelerator, and a shared dictionary.
+///
+/// The online phase only ever *reads* this structure (see
+/// [`crate::processor`]): the §3.3 temporary table space for migrated
+/// intermediates is caller-owned ([`kgdual_relstore::TempSpace`], one per
+/// worker), so a `&DualStore` can be shared across threads for concurrent
+/// query execution. All design changes — migration, eviction, inserts,
+/// deletes — take `&mut self`, which is what makes the shared-read /
+/// exclusive-reconfigure split of `kgdual-exec` sound by construction.
 #[derive(Debug)]
 pub struct DualStore {
     dict: Dictionary,
     rel: RelStore,
     graph: GraphStore,
-    temp: TempSpace,
     governor: Arc<ResourceGovernor>,
     case2_guard: bool,
 }
@@ -64,7 +70,6 @@ impl DualStore {
             dict,
             rel,
             graph: GraphStore::new(budget),
-            temp: TempSpace::new(),
             governor: Arc::new(governor),
             case2_guard: true,
         }
@@ -104,16 +109,6 @@ impl DualStore {
     /// Replace the governor (used by the resource-limit experiments).
     pub fn set_governor(&mut self, governor: ResourceGovernor) {
         self.governor = Arc::new(governor);
-    }
-
-    /// The temporary table space.
-    pub fn temp(&self) -> &TempSpace {
-        &self.temp
-    }
-
-    /// Mutable temp space (the query processor stages results here).
-    pub(crate) fn temp_mut(&mut self) -> &mut TempSpace {
-        &mut self.temp
     }
 
     /// Current physical design.
@@ -194,6 +189,15 @@ impl DualStore {
 mod tests {
     use super::*;
     use kgdual_model::DatasetBuilder;
+
+    /// The shared-read query path of `kgdual-exec` requires `&DualStore`
+    /// to be shareable across worker threads; keep that guarantee
+    /// compile-time-checked.
+    #[test]
+    fn dual_store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DualStore>();
+    }
 
     fn dataset() -> Dataset {
         let mut b = DatasetBuilder::new();

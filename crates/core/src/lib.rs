@@ -35,6 +35,7 @@ pub use batch::{BatchReport, WorkloadRunner};
 pub use dual::{DualDesign, DualStore};
 pub use error::CoreError;
 pub use identifier::{identify, ComplexSubquery};
+pub use processor::{process, process_relational, process_shared, process_with_views};
 pub use processor::{QueryOutcome, Route};
 pub use results::ResultSet;
 pub use tuner::{NoopTuner, PhysicalTuner, TuningOutcome};

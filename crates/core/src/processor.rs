@@ -13,11 +13,25 @@
 //! The same module implements the `RDB-views` variant's routing: the
 //! complex subquery is answered from a materialized view when one matches,
 //! with the remainder joined relationally.
+//!
+//! # Concurrency model
+//!
+//! Every entry point here is **read-only on the store**: the physical
+//! design `D = ⟨T_R, T_G⟩` never changes during the online phase (§4.2
+//! separates online processing from offline tuning), and the §3.3
+//! temporary relational table space is a *caller-owned* [`TempSpace`]
+//! passed into [`process_shared`] rather than shared store state. Any
+//! number of queries may therefore execute concurrently against one
+//! `&DualStore` — each worker brings its own `TempSpace` and
+//! [`ExecContext`] — while migration/tuning takes `&mut DualStore` and is
+//! thereby excluded by the borrow checker (or, across threads, by the
+//! `kgdual-exec` crate's reconfiguration epoch). [`process`] is the
+//! single-query convenience wrapper that supplies a throwaway temp space.
 
 use crate::dual::DualStore;
 use crate::error::CoreError;
 use crate::identifier::{identify, ComplexSubquery};
-use kgdual_relstore::{Bindings, ExecContext, ExecStats, ViewCatalog};
+use kgdual_relstore::{Bindings, ExecContext, ExecStats, TempSpace, ViewCatalog};
 use kgdual_sparql::{compile, Compiled, EncodedQuery, PredSlot, Query, Var, VarId};
 use std::time::{Duration, Instant};
 
@@ -91,17 +105,44 @@ fn pred_vars(eq: &EncodedQuery) -> Vec<Var> {
         .collect()
 }
 
-fn empty_outcome(query: &Query, elapsed: Duration) -> QueryOutcome {
+/// The route-specific pieces of one execution; [`assemble`] turns them
+/// into a [`QueryOutcome`]. All entry points build their outcomes through
+/// this one helper so the assembly logic exists exactly once.
+struct RoutedRun {
+    route: Route,
+    results: Bindings,
+    rel_stats: ExecStats,
+    graph_stats: ExecStats,
+    had_complex_subquery: bool,
+}
+
+/// Assemble the uniform [`QueryOutcome`] from a finished routed run.
+fn assemble(query: &Query, pred_vars: Vec<Var>, t0: Instant, run: RoutedRun) -> QueryOutcome {
     QueryOutcome {
-        results: Bindings::new(vec![]),
+        results: run.results,
         vars: query.projected_vars(),
-        pred_vars: vec![],
-        route: Route::Empty,
-        elapsed,
-        rel_stats: ExecStats::default(),
-        graph_stats: ExecStats::default(),
-        had_complex_subquery: false,
+        pred_vars,
+        route: run.route,
+        elapsed: t0.elapsed(),
+        rel_stats: run.rel_stats,
+        graph_stats: run.graph_stats,
+        had_complex_subquery: run.had_complex_subquery,
     }
+}
+
+fn empty_outcome(query: &Query, t0: Instant) -> QueryOutcome {
+    assemble(
+        query,
+        vec![],
+        t0,
+        RoutedRun {
+            route: Route::Empty,
+            results: Bindings::new(vec![]),
+            rel_stats: ExecStats::default(),
+            graph_stats: ExecStats::default(),
+            had_complex_subquery: false,
+        },
+    )
 }
 
 /// Build the encoded subquery for the complex part: it projects every
@@ -145,31 +186,50 @@ fn complex_subquery_encoded(
     eq.subquery(&qc.pattern_indexes, needed)
 }
 
-/// Process `query` on the dual store (the `RDB-GDB` variant's online path).
-pub fn process(dual: &mut DualStore, query: &Query) -> Result<QueryOutcome, CoreError> {
+/// Run the whole encoded query in the relational store.
+fn relational_run(
+    dual: &DualStore,
+    eq: &EncodedQuery,
+    had_complex_subquery: bool,
+) -> Result<RoutedRun, CoreError> {
+    let mut ctx = ExecContext::with_governor(dual.governor());
+    let results = dual.rel().execute(eq, &mut ctx)?;
+    Ok(RoutedRun {
+        route: Route::Relational,
+        results,
+        rel_stats: ctx.stats,
+        graph_stats: ExecStats::default(),
+        had_complex_subquery,
+    })
+}
+
+/// Process `query` on the dual store (the `RDB-GDB` variant's online
+/// path), staging any migrated intermediate results in the caller-owned
+/// `temp` space.
+///
+/// This is the **shared-read** execution path: `dual` is only ever read,
+/// so concurrent callers may hold `&DualStore` simultaneously as long as
+/// each brings its own [`TempSpace`] (one per worker in `kgdual-exec`).
+/// The temp space is empty again on return — intermediates are "discarded
+/// at the end of query process" (§3.3) — but its peak-unit accounting
+/// persists so callers can report the footprint of migrated intermediates.
+pub fn process_shared(
+    dual: &DualStore,
+    temp: &mut TempSpace,
+    query: &Query,
+) -> Result<QueryOutcome, CoreError> {
     let t0 = Instant::now();
     let qc = identify(query);
     let eq = match compile(query, dual.dict())? {
         Compiled::Query(eq) => eq,
-        Compiled::EmptyResult => return Ok(empty_outcome(query, t0.elapsed())),
+        Compiled::EmptyResult => return Ok(empty_outcome(query, t0)),
     };
     let pv = pred_vars(&eq);
-    let governor = dual.governor();
 
     let Some(qc) = qc else {
         // No complex subquery: relational (Algorithm 3, lines 1-2).
-        let mut ctx = ExecContext::with_governor(governor);
-        let results = dual.rel().execute(&eq, &mut ctx)?;
-        return Ok(QueryOutcome {
-            results,
-            vars: query.projected_vars(),
-            pred_vars: pv,
-            route: Route::Relational,
-            elapsed: t0.elapsed(),
-            rel_stats: ctx.stats,
-            graph_stats: ExecStats::default(),
-            had_complex_subquery: false,
-        });
+        let run = relational_run(dual, &eq, false)?;
+        return Ok(assemble(query, pv, t0, run));
     };
 
     let all_preds = eq.predicate_set();
@@ -179,18 +239,16 @@ pub fn process(dual: &mut DualStore, query: &Query) -> Result<QueryOutcome, Core
     // Case 1: the graph store covers the whole query (variable predicates
     // can never be covered — the graph holds only a share of the data).
     if !eq.has_var_pred() && dual.graph().covers(&all_preds) {
-        let mut ctx = ExecContext::with_governor(governor);
+        let mut ctx = ExecContext::with_governor(dual.governor());
         let results = dual.graph().execute(&eq, &mut ctx)?;
-        return Ok(QueryOutcome {
-            results,
-            vars: query.projected_vars(),
-            pred_vars: pv,
+        let run = RoutedRun {
             route: Route::Graph,
-            elapsed: t0.elapsed(),
+            results,
             rel_stats: ExecStats::default(),
             graph_stats: ctx.stats,
             had_complex_subquery: true,
-        });
+        };
+        return Ok(assemble(query, pv, t0, run));
     }
 
     // Case 2: the graph store covers the complex subquery. Guard against
@@ -210,47 +268,41 @@ pub fn process(dual: &mut DualStore, query: &Query) -> Result<QueryOutcome, Core
         qc_rows <= 4.0 * full_rows.max(256.0)
     };
     if dual.graph().covers(&qc_preds) && case2_safe() {
-        let mut gctx = ExecContext::with_governor(Clone::clone(&governor));
+        let mut gctx = ExecContext::with_governor(dual.governor());
         let intermediate = dual.graph().execute(&qc_eq, &mut gctx)?;
         // Migrate into the temporary relational table space (§3.3).
-        let handle = dual.temp_mut().store(intermediate);
-        let seed = dual.temp().get(handle).expect("just staged").clone();
+        let handle = temp.store(intermediate);
+        let seed = temp.get(handle).expect("just staged").clone();
         let remainder = eq.subquery(&qc.remainder_indexes(query), eq.projection.clone());
         let remainder = EncodedQuery {
             distinct: eq.distinct,
             limit: eq.limit,
             ..remainder
         };
-        let mut rctx = ExecContext::with_governor(governor);
+        let mut rctx = ExecContext::with_governor(dual.governor());
         let results = dual.rel().execute_with_seed(&remainder, &seed, &mut rctx);
         // Discard temporaries regardless of success.
-        dual.temp_mut().discard(handle);
-        let results = results?;
-        return Ok(QueryOutcome {
-            results,
-            vars: query.projected_vars(),
-            pred_vars: pv,
+        temp.discard(handle);
+        let run = RoutedRun {
             route: Route::Dual,
-            elapsed: t0.elapsed(),
+            results: results?,
             rel_stats: rctx.stats,
             graph_stats: gctx.stats,
             had_complex_subquery: true,
-        });
+        };
+        return Ok(assemble(query, pv, t0, run));
     }
 
     // Case 3: relational only.
-    let mut ctx = ExecContext::with_governor(governor);
-    let results = dual.rel().execute(&eq, &mut ctx)?;
-    Ok(QueryOutcome {
-        results,
-        vars: query.projected_vars(),
-        pred_vars: pv,
-        route: Route::Relational,
-        elapsed: t0.elapsed(),
-        rel_stats: ctx.stats,
-        graph_stats: ExecStats::default(),
-        had_complex_subquery: true,
-    })
+    let run = relational_run(dual, &eq, true)?;
+    Ok(assemble(query, pv, t0, run))
+}
+
+/// Process `query` on the dual store with a throwaway temp space — the
+/// single-query convenience form of [`process_shared`].
+pub fn process(dual: &DualStore, query: &Query) -> Result<QueryOutcome, CoreError> {
+    let mut temp = TempSpace::new();
+    process_shared(dual, &mut temp, query)
 }
 
 /// Process `query` with the relational store only (the `RDB-only`
@@ -260,21 +312,11 @@ pub fn process_relational(dual: &DualStore, query: &Query) -> Result<QueryOutcom
     let had_complex = identify(query).is_some();
     let eq = match compile(query, dual.dict())? {
         Compiled::Query(eq) => eq,
-        Compiled::EmptyResult => return Ok(empty_outcome(query, t0.elapsed())),
+        Compiled::EmptyResult => return Ok(empty_outcome(query, t0)),
     };
     let pv = pred_vars(&eq);
-    let mut ctx = ExecContext::with_governor(dual.governor());
-    let results = dual.rel().execute(&eq, &mut ctx)?;
-    Ok(QueryOutcome {
-        results,
-        vars: query.projected_vars(),
-        pred_vars: pv,
-        route: Route::Relational,
-        elapsed: t0.elapsed(),
-        rel_stats: ctx.stats,
-        graph_stats: ExecStats::default(),
-        had_complex_subquery: had_complex,
-    })
+    let run = relational_run(dual, &eq, had_complex)?;
+    Ok(assemble(query, pv, t0, run))
 }
 
 /// Process `query` with view-assisted rewriting (the `RDB-views`
@@ -289,7 +331,7 @@ pub fn process_with_views(
     let qc = identify(query);
     let eq = match compile(query, dual.dict())? {
         Compiled::Query(eq) => eq,
-        Compiled::EmptyResult => return Ok(empty_outcome(query, t0.elapsed())),
+        Compiled::EmptyResult => return Ok(empty_outcome(query, t0)),
     };
     let pv = pred_vars(&eq);
 
@@ -322,32 +364,20 @@ pub fn process_with_views(
                 let mut rctx = ExecContext::with_governor(dual.governor());
                 let results = dual.rel().execute_with_seed(&remainder, &seed, &mut rctx)?;
                 vctx.stats.merge(&rctx.stats);
-                return Ok(QueryOutcome {
-                    results,
-                    vars: query.projected_vars(),
-                    pred_vars: pv,
+                let run = RoutedRun {
                     route: Route::ViewAssisted,
-                    elapsed: t0.elapsed(),
+                    results,
                     rel_stats: vctx.stats,
                     graph_stats: ExecStats::default(),
                     had_complex_subquery: true,
-                });
+                };
+                return Ok(assemble(query, pv, t0, run));
             }
         }
     }
 
-    let mut ctx = ExecContext::with_governor(dual.governor());
-    let results = dual.rel().execute(&eq, &mut ctx)?;
-    Ok(QueryOutcome {
-        results,
-        vars: query.projected_vars(),
-        pred_vars: pv,
-        route: Route::Relational,
-        elapsed: t0.elapsed(),
-        rel_stats: ctx.stats,
-        graph_stats: ExecStats::default(),
-        had_complex_subquery: qc.is_some(),
-    })
+    let run = relational_run(dual, &eq, qc.is_some())?;
+    Ok(assemble(query, pv, t0, run))
 }
 
 #[cfg(test)]
@@ -382,9 +412,9 @@ mod tests {
 
     #[test]
     fn case3_cold_graph_routes_relational() {
-        let mut d = dual();
+        let d = dual();
         let q = parse(ADVISOR_QUERY).unwrap();
-        let out = process(&mut d, &q).unwrap();
+        let out = process(&d, &q).unwrap();
         assert_eq!(out.route, Route::Relational);
         assert!(out.had_complex_subquery);
         assert_eq!(out.results.len(), 1);
@@ -400,7 +430,7 @@ mod tests {
             d.migrate_partition(p).unwrap();
         }
         let q = parse(ADVISOR_QUERY).unwrap();
-        let out = process(&mut d, &q).unwrap();
+        let out = process(&d, &q).unwrap();
         assert_eq!(out.route, Route::Graph);
         assert_eq!(out.results.len(), 1);
         assert_eq!(out.results.row(0)[0], einstein(&d));
@@ -417,36 +447,38 @@ mod tests {
             d.migrate_partition(p).unwrap();
         }
         let q = parse(FULL_QUERY).unwrap();
-        let out = process(&mut d, &q).unwrap();
+        let mut temp = TempSpace::new();
+        let out = process_shared(&d, &mut temp, &q).unwrap();
         assert_eq!(out.route, Route::Dual);
         assert_eq!(out.results.len(), 1);
         let albert = d.dict().node_id(&Term::iri("y:Albert")).unwrap();
         assert_eq!(out.results.row(0)[0], albert);
         assert!(out.graph_stats.work_units() > 0, "subquery ran on graph");
         assert!(out.rel_stats.work_units() > 0, "remainder ran relationally");
-        assert!(d.temp().is_empty(), "temporaries discarded after the query");
+        assert!(temp.is_empty(), "temporaries discarded after the query");
+        assert!(temp.peak_units() > 0, "staging footprint was accounted");
     }
 
     #[test]
     fn routes_agree_on_results() {
         // The same query must produce identical rows via all three cases.
         let q = parse(FULL_QUERY).unwrap();
-        let mut cold = dual();
-        let r3 = process(&mut cold, &q).unwrap();
+        let cold = dual();
+        let r3 = process(&cold, &q).unwrap();
 
         let mut partial = dual();
         for pred in ["y:wasBornIn", "y:hasAcademicAdvisor"] {
             let p = partial.dict().pred_id(pred).unwrap();
             partial.migrate_partition(p).unwrap();
         }
-        let r2 = process(&mut partial, &q).unwrap();
+        let r2 = process(&partial, &q).unwrap();
 
         let mut full = dual();
         for pred in ["y:wasBornIn", "y:hasAcademicAdvisor", "y:hasGivenName"] {
             let p = full.dict().pred_id(pred).unwrap();
             full.migrate_partition(p).unwrap();
         }
-        let r1 = process(&mut full, &q).unwrap();
+        let r1 = process(&full, &q).unwrap();
         assert_eq!(r1.route, Route::Graph);
         assert_eq!(r2.route, Route::Dual);
         assert_eq!(r3.route, Route::Relational);
@@ -467,18 +499,49 @@ mod tests {
         let p = d.dict().pred_id("y:wasBornIn").unwrap();
         d.migrate_partition(p).unwrap();
         let q = parse("SELECT ?p WHERE { ?p y:hasGivenName ?g }").unwrap();
-        let out = process(&mut d, &q).unwrap();
+        let out = process(&d, &q).unwrap();
         assert_eq!(out.route, Route::Relational);
         assert!(!out.had_complex_subquery);
     }
 
     #[test]
     fn unknown_constant_is_empty_route() {
-        let mut d = dual();
+        let d = dual();
         let q = parse("SELECT ?p WHERE { ?p y:wasBornIn y:Atlantis }").unwrap();
-        let out = process(&mut d, &q).unwrap();
+        let out = process(&d, &q).unwrap();
         assert_eq!(out.route, Route::Empty);
         assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn concurrent_shared_reads_agree_with_serial() {
+        // The read-only path must be usable from multiple threads over one
+        // `&DualStore`, each with its own temp space, and agree with the
+        // serial result row for row.
+        let mut d = dual();
+        for pred in ["y:wasBornIn", "y:hasAcademicAdvisor"] {
+            let p = d.dict().pred_id(pred).unwrap();
+            d.migrate_partition(p).unwrap();
+        }
+        let q = parse(FULL_QUERY).unwrap();
+        let serial = process(&d, &q).unwrap();
+        let outs: Vec<QueryOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (d, q) = (&d, &q);
+                    scope.spawn(move || {
+                        let mut temp = TempSpace::new();
+                        process_shared(d, &mut temp, q).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in outs {
+            assert_eq!(out.route, Route::Dual);
+            assert_eq!(out.results, serial.results);
+            assert_eq!(out.total_work(), serial.total_work());
+        }
     }
 
     #[test]

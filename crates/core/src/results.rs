@@ -94,9 +94,9 @@ mod tests {
     fn decode_produces_terms() {
         let mut b = DatasetBuilder::new();
         b.add_terms(&Term::iri("y:Einstein"), "y:wasBornIn", &Term::iri("y:Ulm"));
-        let mut d = DualStore::from_dataset(b.build(), 10);
+        let d = DualStore::from_dataset(b.build(), 10);
         let q = parse("SELECT ?p ?c WHERE { ?p y:wasBornIn ?c }").unwrap();
-        let out = process(&mut d, &q).unwrap();
+        let out = process(&d, &q).unwrap();
         let rs = ResultSet::decode(&out, d.dict());
         assert_eq!(rs.len(), 1);
         assert_eq!(
@@ -112,9 +112,9 @@ mod tests {
     fn decode_predicate_variables() {
         let mut b = DatasetBuilder::new();
         b.add_terms(&Term::iri("y:A"), "y:knows", &Term::iri("y:B"));
-        let mut d = DualStore::from_dataset(b.build(), 10);
+        let d = DualStore::from_dataset(b.build(), 10);
         let q = parse("SELECT ?rel WHERE { y:A ?rel y:B }").unwrap();
-        let out = process(&mut d, &q).unwrap();
+        let out = process(&d, &q).unwrap();
         let rs = ResultSet::decode(&out, d.dict());
         assert_eq!(rs.rows[0][0], Term::iri("y:knows"));
     }

@@ -1,0 +1,442 @@
+//! The concurrent batch executor.
+//!
+//! One batch of queries fans out over a pool of scoped worker threads.
+//! All workers execute against a single shared read guard on the
+//! [`SharedStore`] — the store is immutable for the whole batch — and
+//! each worker owns its private [`ExecContext`]s and [`TempSpace`], so no
+//! online state is shared between threads. Queries are claimed from a
+//! self-scheduling index queue: an idle worker always takes the next
+//! unclaimed query, which gives the same load-balancing behaviour as work
+//! stealing for a finite batch without the deque machinery.
+//!
+//! Determinism: each query's execution depends only on the (frozen) store
+//! and the query itself, so per-query results, work units, and simulated
+//! latencies are **identical at every thread count**. Only the wall-clock
+//! reading changes with `threads` — that is the measured parallel TTI.
+
+use crate::shared::SharedStore;
+use kgdual_core::batch::{BatchReport, RouteCounts};
+use kgdual_core::{processor, DualStore, QueryOutcome, TuningOutcome};
+use kgdual_relstore::{ExecStats, TempSpace};
+use kgdual_sparql::Query;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which processor entry point the executor drives.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The dual-store routed path (`RDB-GDB` online phase).
+    #[default]
+    Routed,
+    /// Relational-only execution (the `RDB-only` baseline). The
+    /// `RDB-views` baseline is *not* offered here: its online phase
+    /// mutates the view-advisor frequency state, so it stays serial.
+    RelationalOnly,
+}
+
+/// Self-scheduling claim queue over a batch's query indexes.
+///
+/// `claim()` hands out indexes `0..len` exactly once each, in order.
+/// Workers loop on it until the batch drains; a worker stuck on a heavy
+/// query simply stops claiming while the others absorb the remainder.
+struct ClaimQueue {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl ClaimQueue {
+    fn new(len: usize) -> Self {
+        ClaimQueue {
+            next: AtomicUsize::new(0),
+            len,
+        }
+    }
+
+    fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.len).then_some(i)
+    }
+}
+
+/// What one worker accumulated over the queries it claimed.
+#[derive(Default)]
+struct WorkerReport {
+    outcomes: Vec<(usize, QueryOutcome)>,
+    errors: usize,
+    temp_peak_units: usize,
+}
+
+/// Everything measured about one concurrently executed batch.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelBatchReport {
+    /// Batch index (0-based), assigned by [`crate::ParallelRunner`].
+    pub batch_index: usize,
+    /// Queries submitted.
+    pub queries: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Store epoch the batch executed under (design version).
+    pub epoch: u64,
+    /// Wall-clock TTI of the concurrent submission: time from batch
+    /// submission to the last worker finishing.
+    pub wall: Duration,
+    /// Calibrated simulated TTI: sum of per-query simulated latencies.
+    /// Deterministic and thread-count-invariant, it models the *serial*
+    /// cost of the batch on the paper's MySQL/Neo4j substrate pair and is
+    /// reported alongside `wall` so speedup is visible against a stable
+    /// denominator.
+    pub sim_tti: Duration,
+    /// Aggregated relational-store work, equal to the serial path's sum.
+    pub rel_stats: ExecStats,
+    /// Aggregated graph-store work, equal to the serial path's sum.
+    pub graph_stats: ExecStats,
+    /// Result rows across all queries.
+    pub result_rows: u64,
+    /// Routing breakdown.
+    pub routes: RouteCounts,
+    /// Queries that failed (stays 0 in healthy runs).
+    pub errors: usize,
+    /// Largest per-worker peak of §3.3 temp-space staging, in storage
+    /// units. With one worker this equals the serial peak; with N workers
+    /// the *sum* of per-worker peaks bounds the transient footprint.
+    pub temp_peak_units: usize,
+    /// Outcome of the offline tuning phase attached to this batch by the
+    /// runner (zero when the executor is used directly).
+    pub tuning: TuningOutcome,
+    /// A byte digest of every query's **sorted** result rows, in
+    /// submission order (failed queries contribute a sentinel). Two runs
+    /// of the same batch on the same design produce byte-identical
+    /// digests regardless of thread count; the stress tests and the
+    /// acceptance check compare exactly this.
+    pub results_digest: Vec<u8>,
+    /// Per-query outcomes in submission order (`None` for failed
+    /// queries). Retaining every result set across batches is memory
+    /// proportional to the whole workload's output, so this stays empty
+    /// unless [`BatchExecutor::with_outcomes`] opted in.
+    pub outcomes: Vec<Option<QueryOutcome>>,
+}
+
+impl ParallelBatchReport {
+    /// Deterministic total work units across both stores.
+    pub fn total_work(&self) -> u64 {
+        self.rel_stats.work_units() + self.graph_stats.work_units()
+    }
+
+    /// Flatten into the serial runner's [`BatchReport`] shape so existing
+    /// figure/table plumbing can consume parallel runs: `tti` carries the
+    /// parallel wall clock, everything else the aggregated totals.
+    pub fn to_batch_report(&self) -> BatchReport {
+        BatchReport {
+            batch_index: self.batch_index,
+            queries: self.queries,
+            tti: self.wall,
+            sim_tti: self.sim_tti,
+            total_work: self.total_work(),
+            rel_work: self.rel_stats.work_units(),
+            graph_work: self.graph_stats.work_units(),
+            result_rows: self.result_rows,
+            routes: self.routes,
+            tuning: self.tuning,
+            errors: self.errors,
+        }
+    }
+}
+
+/// A concurrent batch executor with a configurable worker pool.
+#[derive(Copy, Clone, Debug)]
+pub struct BatchExecutor {
+    threads: usize,
+    mode: ExecMode,
+    keep_outcomes: bool,
+}
+
+impl BatchExecutor {
+    /// An executor with `threads` workers (0 means "one per available
+    /// core") driving the routed dual-store path.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        BatchExecutor {
+            threads,
+            mode: ExecMode::Routed,
+            keep_outcomes: false,
+        }
+    }
+
+    /// Switch the processor entry point (e.g. the `RDB-only` baseline).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Keep the full per-query [`QueryOutcome`]s in the report
+    /// (`outcomes`). Off by default: the aggregated totals and the
+    /// results digest cover the common consumers, and retained result
+    /// sets grow with the workload's entire output.
+    pub fn with_outcomes(mut self, keep: bool) -> Self {
+        self.keep_outcomes = keep;
+        self
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    fn run_one(
+        &self,
+        dual: &DualStore,
+        temp: &mut TempSpace,
+        query: &Query,
+    ) -> Result<QueryOutcome, kgdual_core::CoreError> {
+        match self.mode {
+            ExecMode::Routed => processor::process_shared(dual, temp, query),
+            ExecMode::RelationalOnly => processor::process_relational(dual, query),
+        }
+    }
+
+    /// Execute one batch concurrently under a single shared-read epoch.
+    ///
+    /// The read guard is acquired once, before the workers spawn, and
+    /// held until the last of them joins: the physical design is frozen
+    /// for the whole batch, and a concurrent [`SharedStore::reconfigure`]
+    /// waits at the write acquire (the epoch barrier).
+    pub fn execute_batch(&self, store: &SharedStore, queries: &[Query]) -> ParallelBatchReport {
+        let t0 = Instant::now();
+        let dual = store.read();
+        // Read the epoch under the guard: reconfigure() bumps it before
+        // releasing the write lock, so it cannot move while readers hold
+        // the store, and the report attributes the batch to the design it
+        // actually ran under.
+        let epoch = store.epoch();
+        let queue = ClaimQueue::new(queries.len());
+        let workers = self.threads.min(queries.len()).max(1);
+
+        let worker_reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (dual, queue) = (&*dual, &queue);
+                    scope.spawn(move || {
+                        let mut report = WorkerReport::default();
+                        let mut temp = TempSpace::new();
+                        while let Some(i) = queue.claim() {
+                            match self.run_one(dual, &mut temp, &queries[i]) {
+                                Ok(out) => report.outcomes.push((i, out)),
+                                Err(_) => report.errors += 1,
+                            }
+                        }
+                        report.temp_peak_units = temp.peak_units();
+                        report
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query worker must not panic"))
+                .collect()
+        });
+        let wall = t0.elapsed();
+        drop(dual);
+
+        // Post-batch aggregation: merge per-worker stats into totals that
+        // match the serial path's sums exactly, and restore submission
+        // order for the per-query outcomes.
+        let mut report = ParallelBatchReport {
+            queries: queries.len(),
+            threads: workers,
+            epoch,
+            wall,
+            outcomes: vec![None; queries.len()],
+            ..Default::default()
+        };
+        for w in worker_reports {
+            report.errors += w.errors;
+            report.temp_peak_units = report.temp_peak_units.max(w.temp_peak_units);
+            for (i, out) in w.outcomes {
+                report.rel_stats.merge(&out.rel_stats);
+                report.graph_stats.merge(&out.graph_stats);
+                report.result_rows += out.results.len() as u64;
+                report.sim_tti += out.simulated_latency();
+                report.routes.record(out.route);
+                report.outcomes[i] = Some(out);
+            }
+        }
+        report.results_digest = digest(&report.outcomes);
+        if !self.keep_outcomes {
+            report.outcomes = Vec::new();
+        }
+        report
+    }
+}
+
+/// Serialize each query's sorted result rows, in submission order, into
+/// the report's comparison digest (failed queries contribute a sentinel).
+fn digest(outcomes: &[Option<QueryOutcome>]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Some(out) => {
+                let mut rows = out.results.clone();
+                rows.sort_rows();
+                bytes.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+                for r in 0..rows.len() {
+                    for cell in rows.row(r) {
+                        bytes.extend_from_slice(&cell.0.to_le_bytes());
+                    }
+                }
+            }
+            None => bytes.extend_from_slice(&u64::MAX.to_le_bytes()),
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_core::DualStore;
+    use kgdual_model::{DatasetBuilder, Term};
+    use kgdual_sparql::parse;
+
+    fn shared(budget: usize) -> SharedStore {
+        let mut b = DatasetBuilder::new();
+        for i in 0..60 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                "y:bornIn",
+                &Term::iri(format!("y:c{}", i % 6)),
+            );
+        }
+        for i in 0..30 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                "y:advisor",
+                &Term::iri(format!("y:p{}", i + 30)),
+            );
+        }
+        SharedStore::new(DualStore::from_dataset(b.build(), budget))
+    }
+
+    fn batch() -> Vec<Query> {
+        let complex =
+            parse("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }").unwrap();
+        let simple = parse("SELECT ?p WHERE { ?p y:bornIn ?c }").unwrap();
+        let mut queries = Vec::new();
+        for _ in 0..6 {
+            queries.push(complex.clone());
+            queries.push(simple.clone());
+        }
+        queries
+    }
+
+    #[test]
+    fn claim_queue_hands_out_each_index_once() {
+        let q = ClaimQueue::new(5);
+        let got: Vec<usize> = std::iter::from_fn(|| q.claim()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.claim(), None, "drained queue stays drained");
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert!(BatchExecutor::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_itself_across_thread_counts() {
+        let store = shared(1000);
+        store.reconfigure(|dual| {
+            for pred in ["y:bornIn", "y:advisor"] {
+                let p = dual.dict().pred_id(pred).unwrap();
+                dual.migrate_partition(p).unwrap();
+            }
+        });
+        let queries = batch();
+        let serial = BatchExecutor::new(1).execute_batch(&store, &queries);
+        let parallel = BatchExecutor::new(4).execute_batch(&store, &queries);
+        assert_eq!(serial.errors, 0);
+        assert_eq!(parallel.errors, 0);
+        assert_eq!(parallel.threads, 4);
+        assert_eq!(serial.total_work(), parallel.total_work());
+        assert_eq!(serial.sim_tti, parallel.sim_tti);
+        assert_eq!(serial.result_rows, parallel.result_rows);
+        assert_eq!(serial.routes, parallel.routes);
+        assert_eq!(serial.results_digest, parallel.results_digest);
+        assert!(
+            serial.outcomes.is_empty() && parallel.outcomes.is_empty(),
+            "outcome retention is opt-in"
+        );
+        assert!(serial.routes.graph > 0, "complex queries hit the graph");
+    }
+
+    #[test]
+    fn relational_only_mode_never_touches_graph() {
+        let store = shared(1000);
+        store.reconfigure(|dual| {
+            for pred in ["y:bornIn", "y:advisor"] {
+                let p = dual.dict().pred_id(pred).unwrap();
+                dual.migrate_partition(p).unwrap();
+            }
+        });
+        let report = BatchExecutor::new(3)
+            .with_mode(ExecMode::RelationalOnly)
+            .execute_batch(&store, &batch());
+        assert_eq!(report.graph_stats.work_units(), 0);
+        assert_eq!(report.routes.graph, 0);
+        assert!(report.rel_stats.work_units() > 0);
+    }
+
+    #[test]
+    fn worker_pool_is_capped_by_batch_size() {
+        let store = shared(100);
+        let queries = vec![parse("SELECT ?p WHERE { ?p y:bornIn ?c }").unwrap()];
+        let report = BatchExecutor::new(8).execute_batch(&store, &queries);
+        assert_eq!(report.threads, 1, "one query needs one worker");
+        assert_eq!(report.queries, 1);
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn with_outcomes_retains_per_query_outcomes() {
+        let store = shared(100);
+        let queries = batch();
+        let report = BatchExecutor::new(2)
+            .with_outcomes(true)
+            .execute_batch(&store, &queries);
+        assert_eq!(report.outcomes.len(), queries.len());
+        let rows: u64 = report
+            .outcomes
+            .iter()
+            .map(|o| o.as_ref().unwrap().results.len() as u64)
+            .sum();
+        assert_eq!(rows, report.result_rows);
+    }
+
+    #[test]
+    fn report_flattens_to_batch_report() {
+        let store = shared(100);
+        let report = BatchExecutor::new(2).execute_batch(&store, &batch());
+        let flat = report.to_batch_report();
+        assert_eq!(flat.queries, report.queries);
+        assert_eq!(flat.total_work, report.total_work());
+        assert_eq!(flat.sim_tti, report.sim_tti);
+        assert_eq!(flat.result_rows, report.result_rows);
+    }
+
+    #[test]
+    fn empty_batch_is_a_clean_noop() {
+        let store = shared(100);
+        let report = BatchExecutor::new(4).execute_batch(&store, &[]);
+        assert_eq!(report.queries, 0);
+        assert_eq!(report.total_work(), 0);
+        assert!(report.results_digest.is_empty());
+    }
+}

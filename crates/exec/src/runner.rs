@@ -1,0 +1,218 @@
+//! The parallel workload runner: online batches between tuning epochs.
+//!
+//! Mirrors `kgdual_core::batch::WorkloadRunner`, but the online phase of
+//! each batch fans out over the [`BatchExecutor`]'s worker pool while the
+//! offline phase runs inside [`SharedStore::reconfigure`] — the epoch
+//! barrier that keeps the paper's online/offline separation intact under
+//! concurrency. The tuner sees exactly the same store state and batch
+//! content as it would in a serial run (online execution is read-only, so
+//! nothing a worker does can perturb the design DOTIL trains against),
+//! which is why Q-matrix updates and migration decisions are identical at
+//! every thread count.
+
+use crate::executor::{BatchExecutor, ParallelBatchReport};
+use crate::shared::SharedStore;
+use kgdual_core::batch::TuningSchedule;
+use kgdual_core::PhysicalTuner;
+use kgdual_sparql::Query;
+use std::time::Duration;
+
+/// Runs workloads batch by batch with concurrent online phases and
+/// exclusive tuning epochs.
+pub struct ParallelRunner {
+    /// When tuning happens relative to batches (same semantics as the
+    /// serial runner).
+    pub schedule: TuningSchedule,
+    /// The executor driving each batch's online phase.
+    pub executor: BatchExecutor,
+}
+
+impl ParallelRunner {
+    /// A runner with the given schedule and executor.
+    pub fn new(schedule: TuningSchedule, executor: BatchExecutor) -> Self {
+        ParallelRunner { schedule, executor }
+    }
+
+    /// Run all batches, returning one report per batch. Tuning runs under
+    /// the write lock between batches; queries run under a shared read
+    /// guard within each batch.
+    pub fn run(
+        &self,
+        store: &SharedStore,
+        tuner: &mut dyn PhysicalTuner,
+        batches: &[Vec<Query>],
+    ) -> Vec<ParallelBatchReport> {
+        let mut reports = Vec::with_capacity(batches.len());
+
+        if self.schedule == TuningSchedule::OnceUpfrontWithAll {
+            let all: Vec<Query> = batches.iter().flatten().cloned().collect();
+            store.reconfigure(|dual| tuner.tune(dual, &all));
+        }
+
+        for (i, batch) in batches.iter().enumerate() {
+            if self.schedule == TuningSchedule::BeforeEachBatchWithUpcoming {
+                store.reconfigure(|dual| tuner.tune(dual, batch));
+            }
+
+            let mut report = self.executor.execute_batch(store, batch);
+            report.batch_index = i;
+
+            if self.schedule == TuningSchedule::AfterEachBatch {
+                report.tuning = store.reconfigure(|dual| tuner.tune(dual, batch));
+            }
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// Total parallel wall-clock TTI across reports.
+    pub fn total_wall(reports: &[ParallelBatchReport]) -> Duration {
+        reports.iter().map(|r| r.wall).sum()
+    }
+
+    /// Total simulated TTI across reports (thread-count-invariant).
+    pub fn total_sim_tti(reports: &[ParallelBatchReport]) -> Duration {
+        reports.iter().map(|r| r.sim_tti).sum()
+    }
+
+    /// Total online work units across reports.
+    pub fn total_work(reports: &[ParallelBatchReport]) -> u64 {
+        reports.iter().map(|r| r.total_work()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_core::{DualStore, NoopTuner, TuningOutcome};
+    use kgdual_model::{DatasetBuilder, Term};
+    use kgdual_sparql::parse;
+
+    fn store() -> SharedStore {
+        let mut b = DatasetBuilder::new();
+        for i in 0..20 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                "y:bornIn",
+                &Term::iri(format!("y:c{}", i % 4)),
+            );
+            if i < 10 {
+                b.add_terms(
+                    &Term::iri(format!("y:p{i}")),
+                    "y:advisor",
+                    &Term::iri(format!("y:p{}", i + 10)),
+                );
+            }
+        }
+        SharedStore::new(DualStore::from_dataset(b.build(), 1000))
+    }
+
+    fn batches() -> Vec<Vec<Query>> {
+        let complex =
+            parse("SELECT ?p WHERE { ?p y:bornIn ?c . ?p y:advisor ?a . ?a y:bornIn ?c }").unwrap();
+        let simple = parse("SELECT ?p WHERE { ?p y:bornIn ?c }").unwrap();
+        vec![vec![complex.clone(), simple.clone()], vec![complex, simple]]
+    }
+
+    /// A tuner that migrates every partition it sees in the batch.
+    struct GreedyAll;
+    impl PhysicalTuner for GreedyAll {
+        fn name(&self) -> &str {
+            "greedy-all"
+        }
+        fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome {
+            let mut out = TuningOutcome::default();
+            for q in batch {
+                for pred in q.predicate_set() {
+                    if let Some(p) = dual.dict().pred_id(pred) {
+                        if !dual.graph().is_loaded(p) && dual.migrate_partition(p).is_ok() {
+                            out.migrated += 1;
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn after_batch_schedule_shifts_routes_to_graph() {
+        let store = store();
+        let runner = ParallelRunner::new(TuningSchedule::AfterEachBatch, BatchExecutor::new(2));
+        let reports = runner.run(&store, &mut GreedyAll, &batches());
+        assert_eq!(reports.len(), 2);
+        // Batch 0 runs cold under epoch 0; the tuner migrates between
+        // batches; batch 1 hits the graph under epoch 1.
+        assert_eq!(reports[0].epoch, 0);
+        assert_eq!(reports[0].routes.graph, 0);
+        assert!(reports[0].tuning.migrated > 0);
+        assert_eq!(reports[1].epoch, 1);
+        assert!(reports[1].routes.graph > 0);
+        assert!(ParallelRunner::total_work(&reports) > 0);
+        let _ = ParallelRunner::total_wall(&reports);
+        let _ = ParallelRunner::total_sim_tti(&reports);
+    }
+
+    #[test]
+    fn ideal_schedule_tunes_before_first_batch() {
+        let store = store();
+        let runner = ParallelRunner::new(
+            TuningSchedule::BeforeEachBatchWithUpcoming,
+            BatchExecutor::new(2),
+        );
+        let reports = runner.run(&store, &mut GreedyAll, &batches());
+        assert!(reports[0].routes.graph > 0, "already tuned for batch 0");
+        assert_eq!(reports[0].epoch, 1);
+    }
+
+    #[test]
+    fn one_off_schedule_tunes_once_upfront() {
+        let store = store();
+        let runner = ParallelRunner::new(TuningSchedule::OnceUpfrontWithAll, BatchExecutor::new(2));
+        let reports = runner.run(&store, &mut GreedyAll, &batches());
+        assert!(reports[0].routes.graph > 0);
+        assert_eq!(reports[0].tuning.migrated, 0, "no per-batch tuning");
+        assert_eq!(reports[1].epoch, 1, "single upfront epoch");
+    }
+
+    #[test]
+    fn never_schedule_stays_relational() {
+        let store = store();
+        let runner = ParallelRunner::new(TuningSchedule::Never, BatchExecutor::new(2));
+        let reports = runner.run(&store, &mut NoopTuner, &batches());
+        assert_eq!(reports[1].routes.graph, 0);
+        assert_eq!(reports[1].epoch, 0, "no tuning, no epochs");
+    }
+
+    #[test]
+    fn serial_runner_and_parallel_runner_agree() {
+        // The serial WorkloadRunner over a StoreVariant and the parallel
+        // runner over a SharedStore must report identical deterministic
+        // totals for the same workload.
+        use kgdual_core::batch::WorkloadRunner;
+        use kgdual_core::StoreVariant;
+
+        let mut variant = StoreVariant::rdb_gdb(
+            {
+                let store = store();
+                store.into_inner()
+            },
+            Box::new(GreedyAll),
+        );
+        let serial = WorkloadRunner::default()
+            .run(&mut variant, &batches())
+            .unwrap();
+
+        let store = store();
+        let runner = ParallelRunner::new(TuningSchedule::AfterEachBatch, BatchExecutor::new(4));
+        let parallel = runner.run(&store, &mut GreedyAll, &batches());
+
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.total_work, p.total_work());
+            assert_eq!(s.sim_tti, p.sim_tti);
+            assert_eq!(s.result_rows, p.result_rows);
+            assert_eq!(s.routes, p.routes);
+            assert_eq!(s.tuning.migrated, p.tuning.migrated);
+        }
+    }
+}

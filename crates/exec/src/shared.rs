@@ -1,0 +1,139 @@
+//! Shared-read / exclusive-reconfigure ownership of a [`DualStore`].
+//!
+//! The dual-store design `D = ⟨T_R, T_G⟩` is read-only during the online
+//! phase — §4.2 of the paper confines all design changes (migration,
+//! eviction, tuning) to the offline phase between batches. [`SharedStore`]
+//! turns that phase discipline into a lock discipline: query workers hold
+//! the read side of one `RwLock` for the duration of a batch, and the
+//! tuner takes the write side in [`SharedStore::reconfigure`], which also
+//! advances a monotonically increasing **epoch**. A design change can
+//! therefore never interleave with an in-flight query: the write acquire
+//! is the batch barrier.
+
+use kgdual_core::DualStore;
+use parking_lot::{RwLock, RwLockReadGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`DualStore`] shared between concurrent query workers (readers) and
+/// the physical tuner (exclusive writer).
+#[derive(Debug)]
+pub struct SharedStore {
+    store: RwLock<DualStore>,
+    epoch: AtomicU64,
+}
+
+impl SharedStore {
+    /// Take ownership of a dual store, starting at epoch 0.
+    pub fn new(dual: DualStore) -> Self {
+        SharedStore {
+            store: RwLock::new(dual),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current reconfiguration epoch: the number of exclusive design
+    /// phases that have completed. Two reads of the store under the same
+    /// epoch observed the same physical design.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Acquire shared read access for query execution. Many readers may
+    /// hold this simultaneously; a pending [`reconfigure`] blocks until
+    /// all guards drop.
+    ///
+    /// [`reconfigure`]: SharedStore::reconfigure
+    pub fn read(&self) -> RwLockReadGuard<'_, DualStore> {
+        self.store.read()
+    }
+
+    /// Run one exclusive reconfiguration phase (tuning, migration, data
+    /// updates) and advance the epoch. Blocks until every in-flight batch
+    /// has released its read guard, so design changes land *between*
+    /// batches, never mid-flight.
+    pub fn reconfigure<R>(&self, f: impl FnOnce(&mut DualStore) -> R) -> R {
+        let mut guard = self.store.write();
+        let out = f(&mut guard);
+        // Publish the new design before readers can reacquire.
+        self.epoch.fetch_add(1, Ordering::Release);
+        out
+    }
+
+    /// Unwrap the store (end of experiment).
+    pub fn into_inner(self) -> DualStore {
+        self.store.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_model::{DatasetBuilder, Term};
+
+    fn store() -> SharedStore {
+        let mut b = DatasetBuilder::new();
+        for i in 0..8 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                "y:bornIn",
+                &Term::iri(format!("y:c{}", i % 2)),
+            );
+        }
+        SharedStore::new(DualStore::from_dataset(b.build(), 100))
+    }
+
+    #[test]
+    fn epoch_advances_only_on_reconfigure() {
+        let s = store();
+        assert_eq!(s.epoch(), 0);
+        {
+            let _r1 = s.read();
+            let _r2 = s.read();
+            assert_eq!(s.epoch(), 0, "reads do not advance the epoch");
+        }
+        let migrated = s.reconfigure(|dual| {
+            let p = dual.dict().pred_id("y:bornIn").unwrap();
+            dual.migrate_partition(p).is_ok()
+        });
+        assert!(migrated);
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.read().graph().used(), 8);
+    }
+
+    #[test]
+    fn reconfigure_waits_for_readers() {
+        // A reader held on another thread must delay the write side; the
+        // readers-then-writer ordering is what makes mid-batch design
+        // changes impossible.
+        let s = store();
+        let entered = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let guard = s.read();
+            let writer = scope.spawn(|| {
+                s.reconfigure(|_| {
+                    entered.store(true, Ordering::SeqCst);
+                });
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !entered.load(Ordering::SeqCst),
+                "reconfigure must not run while a read guard is live"
+            );
+            drop(guard);
+            writer.join().unwrap();
+        });
+        assert!(entered.load(Ordering::SeqCst));
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn into_inner_returns_the_store() {
+        let s = store();
+        s.reconfigure(|dual| {
+            let p = dual.dict().pred_id("y:bornIn").unwrap();
+            dual.migrate_partition(p).unwrap();
+        });
+        let dual = s.into_inner();
+        assert_eq!(dual.graph().used(), 8);
+    }
+}

@@ -487,7 +487,7 @@ mod tests {
             seed: 7,
         }
         .generate();
-        let mut dual = kgdual_core::DualStore::from_dataset(ds, 0);
+        let dual = kgdual_core::DualStore::from_dataset(ds, 0);
         let g = WatDivGen {
             users: 2_000,
             seed: 7,
@@ -502,7 +502,7 @@ mod tests {
         ] {
             for t in g.templates(family) {
                 total += 1;
-                let out = kgdual_core::processor::process(&mut dual, &t.original()).unwrap();
+                let out = kgdual_core::processor::process(&dual, &t.original()).unwrap();
                 if !out.results.is_empty() {
                     non_empty += 1;
                 }

@@ -367,12 +367,12 @@ mod tests {
             ..Default::default()
         }
         .generate();
-        let mut dual = kgdual_core::DualStore::from_dataset(ds, 0);
+        let dual = kgdual_core::DualStore::from_dataset(ds, 0);
         let q = kgdual_sparql::parse(
             "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c }",
         )
         .unwrap();
-        let out = kgdual_core::processor::process(&mut dual, &q).unwrap();
+        let out = kgdual_core::processor::process(&dual, &q).unwrap();
         assert!(
             out.results.len() > 10,
             "same-city advisor pairs must exist, got {}",

@@ -38,7 +38,7 @@ fn main() {
     )
     .expect("query parses");
 
-    let out = kgdual::processor::process(&mut dual, &query).expect("query runs");
+    let out = kgdual::processor::process(&dual, &query).expect("query runs");
     println!(
         "cold store : route={:?}, {} result(s), {} work units",
         out.route,
@@ -63,7 +63,7 @@ fn main() {
     }
 
     // 5. The same query now routes to the graph store.
-    let out = kgdual::processor::process(&mut dual, &query).expect("query runs");
+    let out = kgdual::processor::process(&dual, &query).expect("query runs");
     println!(
         "warm store : route={:?}, {} result(s), {} work units",
         out.route,

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Capture the committed benchmark baselines under docs/baselines/.
+#
+# Runs every fig*/table* regenerator binary and both criterion benches at
+# the pinned scale/seed and saves their stdout, plus the deterministic
+# TSV that the regression check (scripts/check_baselines.sh and
+# crates/bench/tests/baseline_regression.rs) compares against.
+#
+# Wall-clock columns in the captured outputs are machine-dependent and
+# informational only; the regression check compares only the
+# deterministic table (work units, simulated TTI, result rows).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-0.002}"
+SEED="${SEED:-42}"
+REPS="${REPS:-2}"
+OUT=docs/baselines
+mkdir -p "$OUT"
+
+ARGS=(--scale "$SCALE" --seed "$SEED" --reps "$REPS")
+BINS=(
+  table1_store_comparison
+  fig3_fig4_batches
+  fig5_totals
+  table5_param_tuning
+  fig6_cold_start
+  table6_resource_slowdown
+  fig7_resource_consumption
+  fig8_tuner_comparison
+)
+
+cargo build --release --bins -p kgdual-bench
+
+for bin in "${BINS[@]}"; do
+  echo "== $bin =="
+  cargo run --release -q -p kgdual-bench --bin "$bin" -- "${ARGS[@]}" \
+    > "$OUT/$bin.txt"
+done
+
+echo "== capture_baselines (deterministic TSV) =="
+cargo run --release -q -p kgdual-bench --bin capture_baselines -- "${ARGS[@]}" \
+  > "$OUT/deterministic.tsv"
+
+echo "== criterion benches =="
+cargo bench 2>/dev/null | grep '^bench ' > "$OUT/criterion.txt"
+
+echo "baselines written to $OUT/"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Flag regressions against the committed deterministic baseline.
+#
+# Re-runs the capture_baselines binary at the parameters pinned in the
+# committed TSV's header and diffs the output. Work units, simulated TTI,
+# and result rows are exact operator counts, so any diff is a real
+# behaviour change: either an intended improvement (re-run
+# scripts/capture_baselines.sh and commit the new numbers with the PR
+# that earns them) or a regression to investigate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE=docs/baselines/deterministic.tsv
+[ -f "$BASE" ] || { echo "missing $BASE — run scripts/capture_baselines.sh first"; exit 1; }
+
+header=$(head -1 "$BASE")
+scale=$(sed -E 's/.*scale=([0-9.]+).*/\1/' <<<"$header")
+seed=$(sed -E 's/.*seed=([0-9]+).*/\1/' <<<"$header")
+reps=$(sed -E 's/.*reps=([0-9]+).*/\1/' <<<"$header")
+
+fresh=$(mktemp)
+trap 'rm -f "$fresh"' EXIT
+cargo run --release -q -p kgdual-bench --bin capture_baselines -- \
+  --scale "$scale" --seed "$seed" --reps "$reps" > "$fresh"
+
+if diff -u "$BASE" "$fresh"; then
+  echo "OK: deterministic baselines unchanged"
+else
+  echo
+  echo "BASELINE DRIFT: deterministic totals differ from $BASE (see diff above)."
+  echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
+  exit 1
+fi

@@ -86,4 +86,119 @@ mod tests {
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
     }
+
+    // Contention tests: `kgdual-exec` rests its shared-read online phase
+    // and exclusive reconfiguration epochs on this shim, so the
+    // reader-sharing and writer-exclusion semantics are load-bearing, not
+    // decorative. These run under CI's release-mode job where the
+    // optimizer would expose a shim that merely pretended to lock.
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn rwlock_admits_concurrent_readers() {
+        // All readers must be inside the lock at the same time: each one
+        // waits at a barrier *while holding* the read guard, which only
+        // resolves if the lock really is shared.
+        const READERS: usize = 8;
+        let lock = RwLock::new(7u64);
+        let barrier = Barrier::new(READERS);
+        let peak = AtomicUsize::new(0);
+        let inside = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..READERS {
+                scope.spawn(|| {
+                    let guard = lock.read();
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    barrier.wait();
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    assert_eq!(*guard, 7);
+                });
+            }
+        });
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            READERS,
+            "every reader must hold the lock simultaneously"
+        );
+    }
+
+    #[test]
+    fn rwlock_writer_excludes_readers_and_writers() {
+        // Many writers hammer a two-field invariant; any reader observing
+        // a torn update or any lost increment means exclusion failed.
+        const WRITERS: usize = 4;
+        const READS: usize = 200;
+        const INCREMENTS: usize = 250;
+        let lock = RwLock::new((0u64, 0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                scope.spawn(|| {
+                    for _ in 0..INCREMENTS {
+                        let mut g = lock.write();
+                        g.0 += 1;
+                        // A second reader/writer entering now would see
+                        // the fields disagree.
+                        std::hint::spin_loop();
+                        g.1 += 1;
+                    }
+                });
+            }
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..READS {
+                        let g = lock.read();
+                        assert_eq!(g.0, g.1, "reader observed a torn write");
+                    }
+                });
+            }
+        });
+        let g = lock.read();
+        assert_eq!(g.0, (WRITERS * INCREMENTS) as u64, "lost increments");
+        assert_eq!(g.1, (WRITERS * INCREMENTS) as u64);
+    }
+
+    #[test]
+    fn rwlock_writer_waits_for_readers() {
+        // The epoch-barrier property: a writer must block until existing
+        // read guards drop.
+        let lock = RwLock::new(0u64);
+        let write_done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let guard = lock.read();
+            scope.spawn(|| {
+                *lock.write() = 1;
+                write_done.store(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert_eq!(
+                write_done.load(Ordering::SeqCst),
+                0,
+                "writer must not proceed under a live read guard"
+            );
+            assert_eq!(*guard, 0);
+            drop(guard);
+        });
+        assert_eq!(*lock.read(), 1, "writer ran after the reader released");
+    }
+
+    #[test]
+    fn mutex_serializes_contending_increments() {
+        const THREADS: usize = 8;
+        const INCREMENTS: usize = 500;
+        let m = Mutex::new(0u64);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..INCREMENTS {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), (THREADS * INCREMENTS) as u64);
+    }
 }

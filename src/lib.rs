@@ -28,13 +28,13 @@
 //!      ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c }",
 //! )
 //! .unwrap();
-//! let out = kgdual::processor::process(&mut dual, &q).unwrap();
+//! let out = kgdual::processor::process(&dual, &q).unwrap();
 //! assert_eq!(out.results.len(), 1);
 //!
 //! // Let DOTIL accelerate it: tune on the observed workload, re-run.
 //! let mut tuner = Dotil::new();
 //! tuner.tune(&mut dual, &[q.clone()]);
-//! let out = kgdual::processor::process(&mut dual, &q).unwrap();
+//! let out = kgdual::processor::process(&dual, &q).unwrap();
 //! assert_eq!(out.route, Route::Graph);
 //! ```
 //!
@@ -49,9 +49,11 @@
 //! | [`core`] | identifier, query processor, dual-store manager |
 //! | [`dotil`] | the Q-learning tuner and baseline tuners |
 //! | [`workloads`] | synthetic YAGO/WatDiv/Bio2RDF-like generators |
+//! | [`exec`] | concurrent batch executor over a shared-read store |
 
 pub use kgdual_core as core;
 pub use kgdual_dotil as dotil;
+pub use kgdual_exec as exec;
 pub use kgdual_graphstore as graphstore;
 pub use kgdual_model as model;
 pub use kgdual_relstore as relstore;
@@ -67,6 +69,7 @@ pub mod prelude {
         QueryOutcome, ResultSet, Route, StoreVariant, TuningOutcome, WorkloadRunner,
     };
     pub use kgdual_dotil::{Dotil, DotilConfig, FrequencyTuner, IdealTuner, OneOffTuner};
+    pub use kgdual_exec::{BatchExecutor, ParallelRunner, SharedStore};
     pub use kgdual_graphstore::GraphStore;
     pub use kgdual_model::{Dataset, DatasetBuilder, Dictionary, NodeId, PredId, Term, Triple};
     pub use kgdual_relstore::{Bindings, ExecContext, RelStore, ViewCatalog};

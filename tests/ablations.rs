@@ -75,10 +75,10 @@ fn d6_guard_prevents_case2_blowup() {
          ?p y:wasBornIn y:City0 . ?q y:wasBornIn y:City0 }",
     )
     .unwrap();
-    let mut guarded = build(true);
-    let mut unguarded = build(false);
-    let g = kgdual::processor::process(&mut guarded, &q).unwrap();
-    let u = kgdual::processor::process(&mut unguarded, &q).unwrap();
+    let guarded = build(true);
+    let unguarded = build(false);
+    let g = kgdual::processor::process(&guarded, &q).unwrap();
+    let u = kgdual::processor::process(&unguarded, &q).unwrap();
     let (mut a, mut b) = (g.results.clone(), u.results.clone());
     a.sort_rows();
     b.sort_rows();

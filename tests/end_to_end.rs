@@ -93,14 +93,14 @@ fn tuning_preserves_results_while_changing_routes() {
         "SELECT ?p WHERE { ?p y:wasBornIn ?c . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?c }",
     )
     .unwrap();
-    let before = kgdual::processor::process(&mut dual, &q).unwrap();
+    let before = kgdual::processor::process(&dual, &q).unwrap();
     assert_eq!(before.route, Route::Relational);
 
     let mut tuner = Dotil::new();
     let outcome = tuner.tune(&mut dual, std::slice::from_ref(&q));
     assert!(outcome.migrated > 0);
 
-    let after = kgdual::processor::process(&mut dual, &q).unwrap();
+    let after = kgdual::processor::process(&dual, &q).unwrap();
     assert_eq!(after.route, Route::Graph);
     let (mut a, mut b) = (before.results.clone(), after.results.clone());
     a.sort_rows();
@@ -162,10 +162,7 @@ fn updates_stay_consistent_across_stores() {
     .unwrap();
     Dotil::new().tune(&mut dual, std::slice::from_ref(&q));
 
-    let baseline = kgdual::processor::process(&mut dual, &q)
-        .unwrap()
-        .results
-        .len();
+    let baseline = kgdual::processor::process(&dual, &q).unwrap().results.len();
     for (s, p, o) in [
         ("bio:DrugX", "bio:targets", "bio:ProteinA"),
         ("bio:DrugX", "bio:targets", "bio:ProteinB"),
@@ -173,10 +170,7 @@ fn updates_stay_consistent_across_stores() {
     ] {
         dual.insert_terms(&Term::iri(s), p, &Term::iri(o)).unwrap();
     }
-    let grown = kgdual::processor::process(&mut dual, &q)
-        .unwrap()
-        .results
-        .len();
+    let grown = kgdual::processor::process(&dual, &q).unwrap().results.len();
     assert!(
         grown > baseline,
         "inserted motif must appear: {grown} vs {baseline}"
@@ -186,10 +180,7 @@ fn updates_stay_consistent_across_stores() {
     let p = dual.dict().pred_id("bio:interactsWith").unwrap();
     let o = dual.dict().node_id(&Term::iri("bio:ProteinB")).unwrap();
     assert_eq!(dual.delete(Triple::new(s, p, o)), 1);
-    let shrunk = kgdual::processor::process(&mut dual, &q)
-        .unwrap()
-        .results
-        .len();
+    let shrunk = kgdual::processor::process(&dual, &q).unwrap().results.len();
     assert_eq!(shrunk, baseline, "retraction must restore the baseline");
 }
 
@@ -198,9 +189,9 @@ fn updates_stay_consistent_across_stores() {
 fn prelude_quickstart_compiles_and_runs() {
     let mut b = DatasetBuilder::new();
     b.add_terms(&Term::iri("ex:a"), "ex:p", &Term::iri("ex:b"));
-    let mut dual = DualStore::from_dataset(b.build(), 10);
+    let dual = DualStore::from_dataset(b.build(), 10);
     let q = parse("SELECT ?x WHERE { ?x ex:p ?y }").unwrap();
-    let out = kgdual::processor::process(&mut dual, &q).unwrap();
+    let out = kgdual::processor::process(&dual, &q).unwrap();
     assert_eq!(out.results.len(), 1);
     let rs = ResultSet::decode(&out, dual.dict());
     assert_eq!(rs.rows[0][0], Term::iri("ex:a"));

@@ -111,7 +111,7 @@ proptest! {
         let src = render_query(&patterns);
         let query = parse(&src).unwrap();
         let baseline = kgdual::processor::process_relational(&dual, &query).unwrap();
-        let routed = kgdual::processor::process(&mut dual, &query).unwrap();
+        let routed = kgdual::processor::process(&dual, &query).unwrap();
         prop_assert_eq!(
             fingerprint(&baseline.results),
             fingerprint(&routed.results),
