@@ -1,5 +1,34 @@
 //! Minimal command-line argument parsing for the harness binaries.
 
+/// Which graph-store substrate the harness runs on (`--backend`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Per-node sorted adjacency lists (the default).
+    #[default]
+    Adjacency,
+    /// Per-predicate compressed sparse rows.
+    Csr,
+}
+
+impl BackendKind {
+    /// Parse a `--backend` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "adjacency" => Some(BackendKind::Adjacency),
+            "csr" => Some(BackendKind::Csr),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling, for harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Adjacency => "adjacency",
+            BackendKind::Csr => "csr",
+        }
+    }
+}
+
 /// Common harness options.
 #[derive(Clone, Debug)]
 pub struct BenchArgs {
@@ -16,6 +45,8 @@ pub struct BenchArgs {
     /// 1 (the default) means serial; >1 makes the batch binaries report
     /// parallel wall-clock TTI alongside the serial measurement.
     pub threads: usize,
+    /// Graph-store substrate: `--backend {adjacency,csr}`.
+    pub backend: BackendKind,
     /// Remaining free-form flags (`--key value`).
     pub extra: Vec<(String, String)>,
 }
@@ -28,6 +59,7 @@ impl Default for BenchArgs {
             reps: 2,
             order: "ordered".to_owned(),
             threads: 1,
+            backend: BackendKind::default(),
             extra: Vec::new(),
         }
     }
@@ -58,6 +90,10 @@ impl BenchArgs {
                 "reps" => out.reps = value.parse().unwrap_or(out.reps).max(1),
                 "order" => out.order = value,
                 "threads" => out.threads = value.parse().unwrap_or(out.threads).max(1),
+                "backend" => match BackendKind::parse(&value) {
+                    Some(b) => out.backend = b,
+                    None => eprintln!("unknown --backend `{value}` (want adjacency|csr)"),
+                },
                 _ => out.extra.push((key.to_owned(), value)),
             }
         }
@@ -110,6 +146,16 @@ mod tests {
     #[test]
     fn threads_minimum_one() {
         assert_eq!(parse("--threads 0").threads, 1);
+    }
+
+    #[test]
+    fn backend_flag_parses_and_defaults() {
+        assert_eq!(parse("").backend, BackendKind::Adjacency);
+        assert_eq!(parse("--backend csr").backend, BackendKind::Csr);
+        assert_eq!(parse("--backend adjacency").backend, BackendKind::Adjacency);
+        // Unknown values keep the default rather than aborting a sweep.
+        assert_eq!(parse("--backend bogus").backend, BackendKind::Adjacency);
+        assert_eq!(BackendKind::Csr.name(), "csr");
     }
 
     #[test]

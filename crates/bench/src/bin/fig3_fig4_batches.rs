@@ -19,8 +19,8 @@ fn main() {
         "Figure 3"
     };
     println!(
-        "{figure}: per-batch simulated TTI (s, calibrated; wall-clock total alongside), {} workloads, scale {}\n",
-        args.order, args.scale
+        "{figure}: per-batch simulated TTI (s, calibrated; wall-clock total alongside), {} workloads, scale {}, {} backend\n",
+        args.order, args.scale, args.backend.name()
     );
 
     let variants = [

@@ -13,8 +13,9 @@ use kgdual_bench::{
 fn main() {
     let mut args = BenchArgs::parse();
     println!(
-        "Figure 5: total simulated TTI (s) per workload and store variant, scale {}\n",
-        args.scale
+        "Figure 5: total simulated TTI (s) per workload and store variant, scale {}, {} backend\n",
+        args.scale,
+        args.backend.name()
     );
 
     let variants = [

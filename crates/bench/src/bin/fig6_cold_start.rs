@@ -13,8 +13,9 @@ fn main() {
     // Cold start is about the FIRST run; do not warm up.
     args.reps = 1;
     println!(
-        "Figure 6: graph-store share of online work per batch (cold start), scale {}\n",
-        args.scale
+        "Figure 6: graph-store share of online work per batch (cold start), scale {}, {} backend\n",
+        args.scale,
+        args.backend.name()
     );
 
     for order in ["ordered", "random"] {

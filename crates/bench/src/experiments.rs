@@ -8,6 +8,7 @@ use kgdual_core::{
 };
 use kgdual_dotil::{Dotil, DotilConfig, FrequencyTuner, IdealTuner, OneOffTuner};
 use kgdual_exec::{BatchExecutor, ExecMode, ParallelRunner, SharedStore};
+use kgdual_graphstore::{AdjacencyBackend, CsrBackend, GraphBackend};
 use kgdual_sparql::Query;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -115,25 +116,25 @@ impl SharedDotil {
     }
 }
 
-impl PhysicalTuner for SharedDotil {
+impl<B: GraphBackend> PhysicalTuner<B> for SharedDotil {
     fn name(&self) -> &str {
         "dotil"
     }
 
-    fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome {
+    fn tune(&mut self, dual: &mut DualStore<B>, batch: &[Query]) -> TuningOutcome {
         self.0.lock().tune(dual, batch)
     }
 }
 
 /// Build a fresh store variant over (a clone of) `dataset` with graph/view
-/// budget `budget` triples.
-pub fn build_variant(
+/// budget `budget` triples, on the chosen graph-store backend.
+pub fn build_variant<B: GraphBackend>(
     kind: VariantKind,
     dataset: kgdual_model::Dataset,
     budget: usize,
     dotil_cfg: DotilConfig,
-) -> StoreVariant {
-    let dual = DualStore::from_dataset(dataset, budget);
+) -> StoreVariant<B> {
+    let dual = DualStore::from_dataset_in(dataset, budget);
     match kind {
         VariantKind::RdbOnly => StoreVariant::rdb_only(dual),
         VariantKind::RdbViews => StoreVariant::rdb_views(dual),
@@ -175,6 +176,22 @@ pub fn run_variant_comparison(
     variants: &[VariantKind],
     args: &BenchArgs,
 ) -> Vec<VariantResult> {
+    match args.backend {
+        crate::args::BackendKind::Adjacency => {
+            run_variant_comparison_in::<AdjacencyBackend>(kind, variants, args)
+        }
+        crate::args::BackendKind::Csr => {
+            run_variant_comparison_in::<CsrBackend>(kind, variants, args)
+        }
+    }
+}
+
+/// [`run_variant_comparison`] on an explicit graph-store backend.
+pub fn run_variant_comparison_in<B: GraphBackend>(
+    kind: WorkloadKind,
+    variants: &[VariantKind],
+    args: &BenchArgs,
+) -> Vec<VariantResult> {
     let dataset = build_dataset(kind, args);
     let workload = build_workload(kind, args);
     let batches = build_batches(&workload, &args.order, args.seed);
@@ -182,7 +199,7 @@ pub fn run_variant_comparison(
 
     let mut out = Vec::with_capacity(variants.len());
     for &vk in variants {
-        let mut variant = build_variant(vk, dataset.clone(), budget, DotilConfig::default());
+        let mut variant = build_variant::<B>(vk, dataset.clone(), budget, DotilConfig::default());
         let runner = WorkloadRunner::new(vk.schedule());
         let mut kept: Vec<Vec<f64>> = Vec::new();
         let mut last_reports: Vec<BatchReport> = Vec::new();
@@ -257,6 +274,19 @@ impl ParallelTti {
 /// follow the harness convention: `args.reps` runs over a persistent
 /// store, the first dropped as warm-up when more than one.
 pub fn run_parallel_comparison(kind: WorkloadKind, args: &BenchArgs) -> Vec<ParallelTti> {
+    match args.backend {
+        crate::args::BackendKind::Adjacency => {
+            run_parallel_comparison_in::<AdjacencyBackend>(kind, args)
+        }
+        crate::args::BackendKind::Csr => run_parallel_comparison_in::<CsrBackend>(kind, args),
+    }
+}
+
+/// [`run_parallel_comparison`] on an explicit graph-store backend.
+pub fn run_parallel_comparison_in<B: GraphBackend>(
+    kind: WorkloadKind,
+    args: &BenchArgs,
+) -> Vec<ParallelTti> {
     let dataset = build_dataset(kind, args);
     let workload = build_workload(kind, args);
     let batches = build_batches(&workload, &args.order, args.seed);
@@ -269,8 +299,8 @@ pub fn run_parallel_comparison(kind: WorkloadKind, args: &BenchArgs) -> Vec<Para
     let mut out = Vec::with_capacity(configs.len());
     for (name, mode) in configs {
         let measure = |threads: usize| -> (u64, u64, f64, f64) {
-            let store = SharedStore::new(DualStore::from_dataset(dataset.clone(), budget));
-            let mut tuner: Box<dyn PhysicalTuner> = match mode {
+            let store = SharedStore::new(DualStore::<B>::from_dataset_in(dataset.clone(), budget));
+            let mut tuner: Box<dyn PhysicalTuner<B>> = match mode {
                 ExecMode::Routed => Box::new(Dotil::with_config(DotilConfig::default())),
                 ExecMode::RelationalOnly => Box::new(kgdual_core::NoopTuner),
             };

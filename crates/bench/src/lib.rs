@@ -16,17 +16,20 @@
 //!
 //! Every binary accepts `--scale <fraction-of-paper-size>`, `--seed <u64>`
 //! and `--reps <n>`; paper-scale runs are possible but the defaults are
-//! sized for minutes, not hours.
+//! sized for minutes, not hours. The workload binaries additionally take
+//! `--backend {adjacency,csr}` to select the graph-store substrate (the
+//! deterministic metrics are backend-invariant by construction; what
+//! changes is wall clock and the import cost model).
 
 pub mod args;
 pub mod experiments;
 pub mod setup;
 pub mod table;
 
-pub use args::BenchArgs;
+pub use args::{BackendKind, BenchArgs};
 pub use experiments::{
-    run_parallel_comparison, run_variant_comparison, ParallelTti, SharedDotil, VariantKind,
-    WorkloadKind,
+    run_parallel_comparison, run_parallel_comparison_in, run_variant_comparison,
+    run_variant_comparison_in, ParallelTti, SharedDotil, VariantKind, WorkloadKind,
 };
 pub use setup::{build_batches, build_dataset, build_workload};
 pub use table::TablePrinter;

@@ -9,6 +9,7 @@ use crate::error::CoreError;
 use crate::processor::Route;
 use crate::tuner::TuningOutcome;
 use crate::variant::StoreVariant;
+use kgdual_graphstore::GraphBackend;
 use kgdual_sparql::Query;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -119,10 +120,11 @@ impl WorkloadRunner {
         WorkloadRunner { schedule }
     }
 
-    /// Run all batches, returning one report per batch.
-    pub fn run(
+    /// Run all batches, returning one report per batch. Works on any
+    /// graph-store substrate.
+    pub fn run<B: GraphBackend>(
         &self,
-        variant: &mut StoreVariant,
+        variant: &mut StoreVariant<B>,
         batches: &[Vec<Query>],
     ) -> Result<Vec<BatchReport>, CoreError> {
         let mut reports = Vec::with_capacity(batches.len());

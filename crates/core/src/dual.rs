@@ -1,7 +1,16 @@
 //! The dual-store manager: physical design `D = ⟨T_R, T_G⟩`.
+//!
+//! The graph side is pluggable: [`DualStore<B>`] is generic over any
+//! [`GraphBackend`] (default: the adjacency-list [`AdjacencyBackend`]),
+//! so alternative substrates — e.g. the CSR backend, or an adapter to a
+//! real native store — slot under the same query processor and tuner
+//! loop. The `B = AdjacencyBackend` default keeps every pre-existing call
+//! site (`DualStore::from_dataset(ds, 100)`) source-compatible; generic
+//! construction goes through the `*_in` constructors
+//! (`DualStore::<CsrBackend>::from_dataset_in(ds, 100)`).
 
 use crate::error::CoreError;
-use kgdual_graphstore::GraphStore;
+use kgdual_graphstore::{AdjacencyBackend, GraphBackend};
 use kgdual_model::{Dataset, Dictionary, PredId, Term, Triple};
 use kgdual_relstore::{PlannerConfig, RelStore, ResourceGovernor};
 use std::sync::Arc;
@@ -30,18 +39,46 @@ pub struct DualDesign {
 /// deletes — take `&mut self`, which is what makes the shared-read /
 /// exclusive-reconfigure split of `kgdual-exec` sound by construction.
 #[derive(Debug)]
-pub struct DualStore {
+pub struct DualStore<B: GraphBackend = AdjacencyBackend> {
     dict: Dictionary,
     rel: RelStore,
-    graph: GraphStore,
+    graph: B,
     governor: Arc<ResourceGovernor>,
     case2_guard: bool,
 }
 
-impl DualStore {
+/// Default-backend constructors. These live on the concrete type so that
+/// `DualStore::from_dataset(ds, 100)` keeps inferring
+/// `B = AdjacencyBackend` at every pre-existing call site; the generic
+/// `*_in` equivalents below serve alternative backends.
+impl DualStore<AdjacencyBackend> {
     /// Build from a dataset with graph budget `B_G` given in triples.
     pub fn from_dataset(ds: Dataset, budget: usize) -> Self {
-        Self::from_dataset_with(
+        Self::from_dataset_in(ds, budget)
+    }
+
+    /// Build with an explicit budget as a *ratio* of the dataset size
+    /// (`r_{B_G}` in the paper's Table 4; default there is 25%).
+    pub fn from_dataset_ratio(ds: Dataset, ratio: f64) -> Self {
+        Self::from_dataset_ratio_in(ds, ratio)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn from_dataset_with(
+        ds: Dataset,
+        budget: usize,
+        planner: PlannerConfig,
+        governor: ResourceGovernor,
+    ) -> Self {
+        Self::from_dataset_with_in(ds, budget, planner, governor)
+    }
+}
+
+impl<B: GraphBackend> DualStore<B> {
+    /// Build from a dataset with graph budget `B_G` given in triples, on
+    /// the chosen backend: `DualStore::<CsrBackend>::from_dataset_in(..)`.
+    pub fn from_dataset_in(ds: Dataset, budget: usize) -> Self {
+        Self::from_dataset_with_in(
             ds,
             budget,
             PlannerConfig::default(),
@@ -49,15 +86,14 @@ impl DualStore {
         )
     }
 
-    /// Build with an explicit budget as a *ratio* of the dataset size
-    /// (`r_{B_G}` in the paper's Table 4; default there is 25%).
-    pub fn from_dataset_ratio(ds: Dataset, ratio: f64) -> Self {
+    /// Ratio-budget constructor on the chosen backend (`r_{B_G}`, Table 4).
+    pub fn from_dataset_ratio_in(ds: Dataset, ratio: f64) -> Self {
         let budget = (ds.len() as f64 * ratio).floor() as usize;
-        Self::from_dataset(ds, budget)
+        Self::from_dataset_in(ds, budget)
     }
 
-    /// Fully parameterized constructor.
-    pub fn from_dataset_with(
+    /// Fully parameterized constructor on the chosen backend.
+    pub fn from_dataset_with_in(
         ds: Dataset,
         budget: usize,
         planner: PlannerConfig,
@@ -69,7 +105,7 @@ impl DualStore {
         DualStore {
             dict,
             rel,
-            graph: GraphStore::new(budget),
+            graph: B::with_budget(budget),
             governor: Arc::new(governor),
             case2_guard: true,
         }
@@ -96,8 +132,8 @@ impl DualStore {
         &self.rel
     }
 
-    /// The graph store.
-    pub fn graph(&self) -> &GraphStore {
+    /// The graph store backend.
+    pub fn graph(&self) -> &B {
         &self.graph
     }
 
@@ -111,12 +147,12 @@ impl DualStore {
         self.governor = Arc::new(governor);
     }
 
-    /// Current physical design.
+    /// Current physical design. Partitions come back ascending by
+    /// predicate id — the `GraphBackend::resident_partitions` contract —
+    /// so designs compare byte for byte across substrates.
     pub fn design(&self) -> DualDesign {
-        let mut parts: Vec<(PredId, usize)> = self.graph.resident_partitions().collect();
-        parts.sort_by_key(|&(p, _)| p);
         DualDesign {
-            graph_partitions: parts,
+            graph_partitions: self.graph.resident_partitions(),
             budget: self.graph.budget(),
             used: self.graph.used(),
             total_triples: self.rel.total_triples(),

@@ -31,6 +31,7 @@
 use crate::dual::DualStore;
 use crate::error::CoreError;
 use crate::identifier::{identify, ComplexSubquery};
+use kgdual_graphstore::GraphBackend;
 use kgdual_relstore::{Bindings, ExecContext, ExecStats, TempSpace, ViewCatalog};
 use kgdual_sparql::{compile, Compiled, EncodedQuery, PredSlot, Query, Var, VarId};
 use std::time::{Duration, Instant};
@@ -187,8 +188,8 @@ fn complex_subquery_encoded(
 }
 
 /// Run the whole encoded query in the relational store.
-fn relational_run(
-    dual: &DualStore,
+fn relational_run<B: GraphBackend>(
+    dual: &DualStore<B>,
     eq: &EncodedQuery,
     had_complex_subquery: bool,
 ) -> Result<RoutedRun, CoreError> {
@@ -213,8 +214,8 @@ fn relational_run(
 /// The temp space is empty again on return — intermediates are "discarded
 /// at the end of query process" (§3.3) — but its peak-unit accounting
 /// persists so callers can report the footprint of migrated intermediates.
-pub fn process_shared(
-    dual: &DualStore,
+pub fn process_shared<B: GraphBackend>(
+    dual: &DualStore<B>,
     temp: &mut TempSpace,
     query: &Query,
 ) -> Result<QueryOutcome, CoreError> {
@@ -300,14 +301,20 @@ pub fn process_shared(
 
 /// Process `query` on the dual store with a throwaway temp space — the
 /// single-query convenience form of [`process_shared`].
-pub fn process(dual: &DualStore, query: &Query) -> Result<QueryOutcome, CoreError> {
+pub fn process<B: GraphBackend>(
+    dual: &DualStore<B>,
+    query: &Query,
+) -> Result<QueryOutcome, CoreError> {
     let mut temp = TempSpace::new();
     process_shared(dual, &mut temp, query)
 }
 
 /// Process `query` with the relational store only (the `RDB-only`
 /// baseline).
-pub fn process_relational(dual: &DualStore, query: &Query) -> Result<QueryOutcome, CoreError> {
+pub fn process_relational<B: GraphBackend>(
+    dual: &DualStore<B>,
+    query: &Query,
+) -> Result<QueryOutcome, CoreError> {
     let t0 = Instant::now();
     let had_complex = identify(query).is_some();
     let eq = match compile(query, dual.dict())? {
@@ -322,8 +329,8 @@ pub fn process_relational(dual: &DualStore, query: &Query) -> Result<QueryOutcom
 /// Process `query` with view-assisted rewriting (the `RDB-views`
 /// baseline): if the complex subquery matches a materialized view, answer
 /// it from the view and join the remainder relationally.
-pub fn process_with_views(
-    dual: &DualStore,
+pub fn process_with_views<B: GraphBackend>(
+    dual: &DualStore<B>,
     views: &ViewCatalog,
     query: &Query,
 ) -> Result<QueryOutcome, CoreError> {

@@ -7,6 +7,7 @@
 //! runner calls in the offline phase between batches.
 
 use crate::dual::DualStore;
+use kgdual_graphstore::{AdjacencyBackend, GraphBackend};
 use kgdual_sparql::Query;
 use serde::{Deserialize, Serialize};
 
@@ -27,17 +28,25 @@ pub struct TuningOutcome {
 }
 
 /// A physical design tuner invoked between batches.
-pub trait PhysicalTuner {
+///
+/// Generic over the graph-store substrate: a tuner drives the design of a
+/// `DualStore<B>` through the [`GraphBackend`] contract only (residency,
+/// budget, migrate/evict), so one tuner implementation serves every
+/// backend — `impl<B: GraphBackend> PhysicalTuner<B> for MyTuner` is the
+/// usual shape (DOTIL and the baselines in `kgdual-dotil` do exactly
+/// that). The `B = AdjacencyBackend` default keeps concrete
+/// `impl PhysicalTuner for MyTuner` blocks source-compatible.
+pub trait PhysicalTuner<B: GraphBackend = AdjacencyBackend> {
     /// Human-readable name (used in experiment output).
     fn name(&self) -> &str;
 
     /// Offline phase: observe the most recent batch (the marked complex
     /// queries are inside `batch`) and adjust `T_G`.
-    fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome;
+    fn tune(&mut self, dual: &mut DualStore<B>, batch: &[Query]) -> TuningOutcome;
 
     /// Optional warm-up with historical queries (the paper warms DOTIL up
     /// to soften the Q-learning cold start). Default: one tuning pass.
-    fn warm_up(&mut self, dual: &mut DualStore, history: &[Query]) -> TuningOutcome {
+    fn warm_up(&mut self, dual: &mut DualStore<B>, history: &[Query]) -> TuningOutcome {
         self.tune(dual, history)
     }
 }
@@ -46,12 +55,12 @@ pub trait PhysicalTuner {
 #[derive(Default, Debug, Clone, Copy)]
 pub struct NoopTuner;
 
-impl PhysicalTuner for NoopTuner {
+impl<B: GraphBackend> PhysicalTuner<B> for NoopTuner {
     fn name(&self) -> &str {
         "noop"
     }
 
-    fn tune(&mut self, _dual: &mut DualStore, _batch: &[Query]) -> TuningOutcome {
+    fn tune(&mut self, _dual: &mut DualStore<B>, _batch: &[Query]) -> TuningOutcome {
         TuningOutcome::default()
     }
 }
@@ -71,7 +80,7 @@ mod tests {
         let out = t.tune(&mut dual, &[]);
         assert_eq!(out, TuningOutcome::default());
         assert_eq!(dual.graph().used(), 0);
-        assert_eq!(t.name(), "noop");
+        assert_eq!(PhysicalTuner::<AdjacencyBackend>::name(&t), "noop");
         // Default warm_up delegates to tune.
         let out = t.warm_up(&mut dual, &[]);
         assert_eq!(out.migrated, 0);

@@ -11,41 +11,46 @@ use crate::error::CoreError;
 use crate::identifier::identify;
 use crate::processor::{self, QueryOutcome};
 use crate::tuner::{PhysicalTuner, TuningOutcome};
+use kgdual_graphstore::{AdjacencyBackend, GraphBackend};
 use kgdual_relstore::ViewCatalog;
 use kgdual_sparql::Query;
 
 /// One of the paper's store variants, ready to process queries.
-pub enum StoreVariant {
+///
+/// Generic over the graph-store substrate, like everything downstream of
+/// [`DualStore<B>`]; the default keeps concrete `StoreVariant` mentions
+/// source-compatible.
+pub enum StoreVariant<B: GraphBackend = AdjacencyBackend> {
     /// Plain relational store.
     RdbOnly {
         /// The underlying store pair (graph side unused).
-        dual: DualStore,
+        dual: DualStore<B>,
     },
     /// Relational store with materialized views.
     RdbViews {
         /// The underlying store pair (graph side unused).
-        dual: DualStore,
+        dual: DualStore<B>,
         /// View catalog sharing the graph store's budget.
         views: ViewCatalog,
     },
     /// The dual-store structure with a physical design tuner.
     RdbGdb {
         /// The dual store.
-        dual: DualStore,
+        dual: DualStore<B>,
         /// The tuner invoked in offline phases.
-        tuner: Box<dyn PhysicalTuner + Send>,
+        tuner: Box<dyn PhysicalTuner<B> + Send>,
     },
 }
 
-impl StoreVariant {
+impl<B: GraphBackend> StoreVariant<B> {
     /// Construct `RDB-only`.
-    pub fn rdb_only(dual: DualStore) -> Self {
+    pub fn rdb_only(dual: DualStore<B>) -> Self {
         StoreVariant::RdbOnly { dual }
     }
 
     /// Construct `RDB-views`; the catalog budget equals the dual store's
     /// graph budget, matching the paper's fair-comparison setup.
-    pub fn rdb_views(dual: DualStore) -> Self {
+    pub fn rdb_views(dual: DualStore<B>) -> Self {
         let budget = dual.graph().budget();
         StoreVariant::RdbViews {
             dual,
@@ -54,7 +59,7 @@ impl StoreVariant {
     }
 
     /// Construct `RDB-GDB` with the given tuner.
-    pub fn rdb_gdb(dual: DualStore, tuner: Box<dyn PhysicalTuner + Send>) -> Self {
+    pub fn rdb_gdb(dual: DualStore<B>, tuner: Box<dyn PhysicalTuner<B> + Send>) -> Self {
         StoreVariant::RdbGdb { dual, tuner }
     }
 
@@ -68,7 +73,7 @@ impl StoreVariant {
     }
 
     /// The underlying dual store.
-    pub fn dual(&self) -> &DualStore {
+    pub fn dual(&self) -> &DualStore<B> {
         match self {
             StoreVariant::RdbOnly { dual }
             | StoreVariant::RdbViews { dual, .. }
@@ -77,7 +82,7 @@ impl StoreVariant {
     }
 
     /// Mutable access to the underlying dual store.
-    pub fn dual_mut(&mut self) -> &mut DualStore {
+    pub fn dual_mut(&mut self) -> &mut DualStore<B> {
         match self {
             StoreVariant::RdbOnly { dual }
             | StoreVariant::RdbViews { dual, .. }

@@ -4,6 +4,7 @@
 //! [`kgdual_core::batch::TuningSchedule`]).
 
 use kgdual_core::{identify, DualStore, PhysicalTuner, TuningOutcome};
+use kgdual_graphstore::GraphBackend;
 use kgdual_model::fx::FxHashMap;
 use kgdual_model::PredId;
 use kgdual_sparql::Query;
@@ -12,11 +13,11 @@ use kgdual_sparql::Query;
 /// everything unranked, then walk the ranking best-first, evicting
 /// worse-ranked residents whenever that frees enough budget for a better
 /// partition.
-fn plan_residency(dual: &mut DualStore, desired: &[PredId]) -> TuningOutcome {
+fn plan_residency<B: GraphBackend>(dual: &mut DualStore<B>, desired: &[PredId]) -> TuningOutcome {
     let mut outcome = TuningOutcome::default();
     let rank_of = |p: PredId| desired.iter().position(|&d| d == p);
 
-    let resident: Vec<(PredId, usize)> = dual.graph().resident_partitions().collect();
+    let resident: Vec<(PredId, usize)> = dual.graph().resident_partitions();
     for (p, sz) in resident {
         if rank_of(p).is_none() {
             dual.evict_partition(p);
@@ -38,6 +39,7 @@ fn plan_residency(dual: &mut DualStore, desired: &[PredId]) -> TuningOutcome {
             let mut worse: Vec<(PredId, usize, usize)> = dual
                 .graph()
                 .resident_partitions()
+                .into_iter()
                 .filter_map(|(rp, rsz)| rank_of(rp).map(|r| (rp, rsz, r)))
                 .filter(|&(_, _, r)| r > rank)
                 .collect();
@@ -57,8 +59,7 @@ fn plan_residency(dual: &mut DualStore, desired: &[PredId]) -> TuningOutcome {
         if dual.migrate_partition(p).is_ok() {
             outcome.migrated += 1;
             outcome.triples_in += sz as u64;
-            outcome.offline_work +=
-                sz as u64 * kgdual_graphstore::store::BULK_IMPORT_COST_PER_TRIPLE;
+            outcome.offline_work += sz as u64 * dual.graph().bulk_import_cost_per_triple();
         }
     }
     outcome
@@ -66,7 +67,10 @@ fn plan_residency(dual: &mut DualStore, desired: &[PredId]) -> TuningOutcome {
 
 /// Count how often each partition appears in the batch's complex
 /// subqueries.
-fn complex_partition_counts(dual: &DualStore, batch: &[Query]) -> FxHashMap<PredId, u64> {
+fn complex_partition_counts<B: GraphBackend>(
+    dual: &DualStore<B>,
+    batch: &[Query],
+) -> FxHashMap<PredId, u64> {
     let mut counts: FxHashMap<PredId, u64> = FxHashMap::default();
     for query in batch {
         let Some(qc) = identify(query) else { continue };
@@ -83,7 +87,10 @@ fn complex_partition_counts(dual: &DualStore, batch: &[Query]) -> FxHashMap<Pred
 
 /// Rank partitions by benefit density: hits per triple of budget, then
 /// raw hits, then id for determinism.
-fn rank_by_density(dual: &DualStore, counts: &FxHashMap<PredId, u64>) -> Vec<PredId> {
+fn rank_by_density<B: GraphBackend>(
+    dual: &DualStore<B>,
+    counts: &FxHashMap<PredId, u64>,
+) -> Vec<PredId> {
     let mut ranked: Vec<(PredId, u64, f64)> = counts
         .iter()
         .map(|(&p, &hits)| {
@@ -111,12 +118,12 @@ impl OneOffTuner {
     }
 }
 
-impl PhysicalTuner for OneOffTuner {
+impl<B: GraphBackend> PhysicalTuner<B> for OneOffTuner {
     fn name(&self) -> &str {
         "one-off"
     }
 
-    fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome {
+    fn tune(&mut self, dual: &mut DualStore<B>, batch: &[Query]) -> TuningOutcome {
         if self.tuned {
             return TuningOutcome::default();
         }
@@ -148,12 +155,12 @@ impl FrequencyTuner {
     }
 }
 
-impl PhysicalTuner for FrequencyTuner {
+impl<B: GraphBackend> PhysicalTuner<B> for FrequencyTuner {
     fn name(&self) -> &str {
         "lru"
     }
 
-    fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome {
+    fn tune(&mut self, dual: &mut DualStore<B>, batch: &[Query]) -> TuningOutcome {
         for (p, hits) in complex_partition_counts(dual, batch) {
             *self.history.entry(p).or_insert(0) += hits;
         }
@@ -179,12 +186,12 @@ impl IdealTuner {
     }
 }
 
-impl PhysicalTuner for IdealTuner {
+impl<B: GraphBackend> PhysicalTuner<B> for IdealTuner {
     fn name(&self) -> &str {
         "ideal"
     }
 
-    fn tune(&mut self, dual: &mut DualStore, upcoming: &[Query]) -> TuningOutcome {
+    fn tune(&mut self, dual: &mut DualStore<B>, upcoming: &[Query]) -> TuningOutcome {
         let counts = complex_partition_counts(dual, upcoming);
         let ranked = rank_by_density(dual, &counts);
         plan_residency(dual, &ranked)

@@ -10,6 +10,7 @@
 //! and governor contention the paper studies in §6.3.3 are real too.
 
 use kgdual_core::DualStore;
+use kgdual_graphstore::GraphBackend;
 use kgdual_relstore::{ExecContext, ExecError};
 use kgdual_sparql::EncodedQuery;
 
@@ -38,8 +39,8 @@ impl CostPair {
 ///
 /// Both runs share the dual store's governor, so configured IO/CPU limits
 /// throttle them exactly like the online query path.
-pub fn measure(
-    dual: &DualStore,
+pub fn measure<B: GraphBackend>(
+    dual: &DualStore<B>,
     qc: &EncodedQuery,
     lambda: f64,
 ) -> Result<CostPair, kgdual_core::CoreError> {

@@ -4,6 +4,7 @@ use crate::config::DotilConfig;
 use crate::counterfactual;
 use crate::qmatrix::QMatrix;
 use kgdual_core::{identify, DualStore, PhysicalTuner, TuningOutcome};
+use kgdual_graphstore::GraphBackend;
 use kgdual_model::fx::FxHashMap;
 use kgdual_model::PredId;
 use kgdual_sparql::{compile, Compiled, EncodedQuery, Query, Selection, TriplePattern};
@@ -85,8 +86,8 @@ impl Dotil {
     /// Compile a complex subquery's patterns into an executable query
     /// projecting all of its variables, plus the per-partition reward
     /// proportions `δ(P_i)`.
-    fn prepare(
-        dual: &DualStore,
+    fn prepare<B: GraphBackend>(
+        dual: &DualStore<B>,
         patterns: &[TriplePattern],
     ) -> Option<(EncodedQuery, Vec<(PredId, f64)>)> {
         let query = Query {
@@ -128,9 +129,9 @@ impl Dotil {
     /// 1 would re-measure each copy; the costs are identical, so replaying
     /// the Q-update preserves the learning dynamics at a fraction of the
     /// training cost).
-    fn learn(
+    fn learn<B: GraphBackend>(
         &mut self,
-        dual: &DualStore,
+        dual: &DualStore<B>,
         qc: &EncodedQuery,
         proportions: &[(PredId, f64)],
         groups: &[RoleGroup<'_>],
@@ -169,12 +170,12 @@ impl Default for Dotil {
     }
 }
 
-impl PhysicalTuner for Dotil {
+impl<B: GraphBackend> PhysicalTuner<B> for Dotil {
     fn name(&self) -> &str {
         "dotil"
     }
 
-    fn tune(&mut self, dual: &mut DualStore, batch: &[Query]) -> TuningOutcome {
+    fn tune(&mut self, dual: &mut DualStore<B>, batch: &[Query]) -> TuningOutcome {
         let mut outcome = TuningOutcome::default();
 
         // Group the batch by complex-subquery shape: a template and its
@@ -262,6 +263,7 @@ impl PhysicalTuner for Dotil {
                 let mut candidates: Vec<(PredId, usize, f64)> = dual
                     .graph()
                     .resident_partitions()
+                    .into_iter()
                     .filter(|(p, _)| !tc.contains(p))
                     .map(|(p, sz)| (p, sz, self.q_matrix(p).eviction_key()))
                     .collect();
@@ -325,8 +327,7 @@ impl PhysicalTuner for Dotil {
                 }
                 continue;
             }
-            outcome.offline_work +=
-                needed as u64 * kgdual_graphstore::store::BULK_IMPORT_COST_PER_TRIPLE;
+            outcome.offline_work += needed as u64 * dual.graph().bulk_import_cost_per_triple();
 
             // Lines 30-31: one measurement, both role updates. The first
             // copy pays the transfer action; the remaining `count - 1`
@@ -355,8 +356,12 @@ impl PhysicalTuner for Dotil {
         // batch with no complex shapes says nothing about drift, so it
         // does not age anyone.
         if !active.is_empty() {
-            let resident: Vec<PredId> =
-                dual.graph().resident_partitions().map(|(p, _)| p).collect();
+            let resident: Vec<PredId> = dual
+                .graph()
+                .resident_partitions()
+                .into_iter()
+                .map(|(p, _)| p)
+                .collect();
             for p in resident {
                 if active.contains(&p) {
                     self.stale.remove(&p);

@@ -17,6 +17,7 @@
 use crate::shared::SharedStore;
 use kgdual_core::batch::{BatchReport, RouteCounts};
 use kgdual_core::{processor, DualStore, QueryOutcome, TuningOutcome};
+use kgdual_graphstore::GraphBackend;
 use kgdual_relstore::{ExecStats, TempSpace};
 use kgdual_sparql::Query;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -191,9 +192,9 @@ impl BatchExecutor {
         self.mode
     }
 
-    fn run_one(
+    fn run_one<B: GraphBackend>(
         &self,
-        dual: &DualStore,
+        dual: &DualStore<B>,
         temp: &mut TempSpace,
         query: &Query,
     ) -> Result<QueryOutcome, kgdual_core::CoreError> {
@@ -209,7 +210,11 @@ impl BatchExecutor {
     /// held until the last of them joins: the physical design is frozen
     /// for the whole batch, and a concurrent [`SharedStore::reconfigure`]
     /// waits at the write acquire (the epoch barrier).
-    pub fn execute_batch(&self, store: &SharedStore, queries: &[Query]) -> ParallelBatchReport {
+    pub fn execute_batch<B: GraphBackend>(
+        &self,
+        store: &SharedStore<B>,
+        queries: &[Query],
+    ) -> ParallelBatchReport {
         let t0 = Instant::now();
         let dual = store.read();
         // Read the epoch under the guard: reconfigure() bumps it before

@@ -14,6 +14,7 @@ use crate::executor::{BatchExecutor, ParallelBatchReport};
 use crate::shared::SharedStore;
 use kgdual_core::batch::TuningSchedule;
 use kgdual_core::PhysicalTuner;
+use kgdual_graphstore::GraphBackend;
 use kgdual_sparql::Query;
 use std::time::Duration;
 
@@ -36,10 +37,10 @@ impl ParallelRunner {
     /// Run all batches, returning one report per batch. Tuning runs under
     /// the write lock between batches; queries run under a shared read
     /// guard within each batch.
-    pub fn run(
+    pub fn run<B: GraphBackend>(
         &self,
-        store: &SharedStore,
-        tuner: &mut dyn PhysicalTuner,
+        store: &SharedStore<B>,
+        tuner: &mut dyn PhysicalTuner<B>,
         batches: &[Vec<Query>],
     ) -> Vec<ParallelBatchReport> {
         let mut reports = Vec::with_capacity(batches.len());

@@ -11,20 +11,24 @@
 //! is the batch barrier.
 
 use kgdual_core::DualStore;
+use kgdual_graphstore::{AdjacencyBackend, GraphBackend};
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A [`DualStore`] shared between concurrent query workers (readers) and
 /// the physical tuner (exclusive writer).
+///
+/// Generic over the graph-store substrate; the `AdjacencyBackend` default
+/// keeps concrete `SharedStore` mentions source-compatible.
 #[derive(Debug)]
-pub struct SharedStore {
-    store: RwLock<DualStore>,
+pub struct SharedStore<B: GraphBackend = AdjacencyBackend> {
+    store: RwLock<DualStore<B>>,
     epoch: AtomicU64,
 }
 
-impl SharedStore {
+impl<B: GraphBackend> SharedStore<B> {
     /// Take ownership of a dual store, starting at epoch 0.
-    pub fn new(dual: DualStore) -> Self {
+    pub fn new(dual: DualStore<B>) -> Self {
         SharedStore {
             store: RwLock::new(dual),
             epoch: AtomicU64::new(0),
@@ -43,7 +47,7 @@ impl SharedStore {
     /// all guards drop.
     ///
     /// [`reconfigure`]: SharedStore::reconfigure
-    pub fn read(&self) -> RwLockReadGuard<'_, DualStore> {
+    pub fn read(&self) -> RwLockReadGuard<'_, DualStore<B>> {
         self.store.read()
     }
 
@@ -51,7 +55,7 @@ impl SharedStore {
     /// updates) and advance the epoch. Blocks until every in-flight batch
     /// has released its read guard, so design changes land *between*
     /// batches, never mid-flight.
-    pub fn reconfigure<R>(&self, f: impl FnOnce(&mut DualStore) -> R) -> R {
+    pub fn reconfigure<R>(&self, f: impl FnOnce(&mut DualStore<B>) -> R) -> R {
         let mut guard = self.store.write();
         let out = f(&mut guard);
         // Publish the new design before readers can reacquire.
@@ -60,7 +64,7 @@ impl SharedStore {
     }
 
     /// Unwrap the store (end of experiment).
-    pub fn into_inner(self) -> DualStore {
+    pub fn into_inner(self) -> DualStore<B> {
         self.store.into_inner()
     }
 }

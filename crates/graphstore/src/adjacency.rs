@@ -7,8 +7,12 @@
 //! complexity of graph traversal [is] positively related to the traversal
 //! range but irrelevant to the entire graph size").
 
+use crate::topology::Topology;
 use kgdual_model::fx::{FxHashMap, FxHashSet};
 use kgdual_model::{NodeId, PredId};
+use std::borrow::Cow;
+
+pub use crate::topology::PartitionStats;
 
 /// Out/in edge lists of one node, each sorted by `(pred, neighbour)`.
 #[derive(Default, Debug, Clone)]
@@ -17,43 +21,14 @@ struct NodeAdj {
     inc: Vec<(PredId, NodeId)>,
 }
 
-/// Per-partition cardinalities, kept current on every mutation. The
-/// matcher's degree-aware pattern ordering depends on these.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
-pub struct PartitionStats {
-    /// Edge count.
-    pub edges: usize,
-    /// Distinct subjects.
-    pub distinct_s: usize,
-    /// Distinct objects.
-    pub distinct_o: usize,
-}
-
-impl PartitionStats {
-    /// Average out-degree of a subject in this partition.
-    pub fn out_degree(&self) -> f64 {
-        if self.distinct_s == 0 {
-            0.0
-        } else {
-            self.edges as f64 / self.distinct_s as f64
-        }
-    }
-
-    /// Average in-degree of an object in this partition.
-    pub fn in_degree(&self) -> f64 {
-        if self.distinct_o == 0 {
-            0.0
-        } else {
-            self.edges as f64 / self.distinct_o as f64
-        }
-    }
-}
-
 /// The adjacency index plus per-predicate edge seed lists.
 #[derive(Default, Debug)]
 pub struct AdjacencyIndex {
     nodes: FxHashMap<NodeId, NodeAdj>,
-    /// All `(s, o)` edges of each loaded predicate; the matcher's seed scan.
+    /// All `(s, o)` edges of each loaded predicate, kept in ascending
+    /// `(s, o)` order; the matcher's seed scan. The ordering is part of
+    /// the [`Topology`] contract (LIMIT queries exit mid-scan, so every
+    /// substrate must enumerate seeds identically).
     seeds: FxHashMap<PredId, Vec<(NodeId, NodeId)>>,
     stats: FxHashMap<PredId, PartitionStats>,
     edges: usize,
@@ -71,7 +46,8 @@ impl AdjacencyIndex {
         self.edges
     }
 
-    /// Edges of one predicate (empty slice if not loaded).
+    /// Edges of one predicate in ascending `(s, o)` order (empty slice if
+    /// not loaded).
     pub fn seed_edges(&self, pred: PredId) -> &[(NodeId, NodeId)] {
         self.seeds.get(&pred).map_or(&[], Vec::as_slice)
     }
@@ -122,12 +98,15 @@ impl AdjacencyIndex {
             adj.out.sort_unstable();
             adj.inc.sort_unstable();
         }
-        self.seeds.entry(pred).or_default().extend_from_slice(pairs);
+        let seed = self.seeds.entry(pred).or_default();
+        seed.extend_from_slice(pairs);
+        seed.sort_unstable();
         self.edges += pairs.len();
         self.refresh_stats(pred);
     }
 
-    /// Insert a single edge, keeping adjacency lists sorted.
+    /// Insert a single edge, keeping adjacency lists and the seed list
+    /// sorted.
     pub fn insert_edge(&mut self, s: NodeId, pred: PredId, o: NodeId) {
         let out = &mut self.nodes.entry(s).or_default().out;
         let pos = out.partition_point(|&e| e < (pred, o));
@@ -135,7 +114,9 @@ impl AdjacencyIndex {
         let inc = &mut self.nodes.entry(o).or_default().inc;
         let pos = inc.partition_point(|&e| e < (pred, s));
         inc.insert(pos, (pred, s));
-        self.seeds.entry(pred).or_default().push((s, o));
+        let seed = self.seeds.entry(pred).or_default();
+        let pos = seed.partition_point(|&e| e < (s, o));
+        seed.insert(pos, (s, o));
         self.edges += 1;
         self.refresh_stats(pred);
     }
@@ -216,6 +197,56 @@ impl AdjacencyIndex {
         self.nodes
             .get(&s)
             .is_some_and(|adj| adj.out.binary_search(&(pred, o)).is_ok())
+    }
+}
+
+/// The matcher's view of the adjacency index: neighbour slices are held
+/// contiguously, so every lookup is borrow-only.
+impl Topology for AdjacencyIndex {
+    fn edge_count(&self) -> usize {
+        AdjacencyIndex::edge_count(self)
+    }
+
+    fn partition_stats(&self, pred: PredId) -> PartitionStats {
+        AdjacencyIndex::partition_stats(self, pred)
+    }
+
+    fn preds(&self) -> Vec<PredId> {
+        let mut preds: Vec<PredId> = AdjacencyIndex::preds(self).collect();
+        preds.sort_unstable();
+        preds
+    }
+
+    fn out_neighbours(
+        &self,
+        s: NodeId,
+        pred: PredId,
+    ) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        AdjacencyIndex::out_neighbours(self, s, pred)
+            .iter()
+            .map(|&(_, n)| n)
+    }
+
+    fn in_neighbours(&self, o: NodeId, pred: PredId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        AdjacencyIndex::in_neighbours(self, o, pred)
+            .iter()
+            .map(|&(_, n)| n)
+    }
+
+    fn out_all(&self, s: NodeId) -> Cow<'_, [(PredId, NodeId)]> {
+        Cow::Borrowed(AdjacencyIndex::out_all(self, s))
+    }
+
+    fn in_all(&self, o: NodeId) -> Cow<'_, [(PredId, NodeId)]> {
+        Cow::Borrowed(AdjacencyIndex::in_all(self, o))
+    }
+
+    fn seed_len(&self, pred: PredId) -> usize {
+        self.seed_edges(pred).len()
+    }
+
+    fn seed_edges(&self, pred: PredId) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        AdjacencyIndex::seed_edges(self, pred).iter().copied()
     }
 }
 

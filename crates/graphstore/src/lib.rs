@@ -12,18 +12,43 @@
 //!    Complex queries are answered by a backtracking matcher
 //!    ([`matcher`]) that extends one binding at a time through adjacency
 //!    lookups — no intermediate-result materialization.
-//! 2. **A hard storage budget** (`B_G`): [`store::GraphStore`] refuses to
-//!    load a partition that would exceed its configured triple budget,
-//!    mirroring the storage constraints the paper cites for native graph
-//!    databases.
+//! 2. **A hard storage budget** (`B_G`): every backend refuses to load a
+//!    partition that would exceed its configured triple budget, mirroring
+//!    the storage constraints the paper cites for native graph databases.
 //! 3. **Costly imports**: bulk-loading a partition and single-edge updates
 //!    are charged a per-triple import cost, reflecting Neo4j's cumbersome
 //!    importing process. The dual store performs migrations in the offline
 //!    tuning phase precisely because of this.
+//!
+//! # Pluggable backends
+//!
+//! The substrate itself is pluggable: [`backend::GraphBackend`] captures
+//! the contract the rest of the system uses (budget accounting, partition
+//! load/evict, edge insert/delete, pattern execution), and the matcher is
+//! generic over [`topology::Topology`], the neighbour/seed/statistics view
+//! it traverses. Two backends ship here:
+//!
+//! * [`AdjacencyBackend`] (= [`GraphStore`], the default) — per-node
+//!   sorted adjacency lists; cheap single-edge updates.
+//! * [`CsrBackend`] ([`csr`]) — compact per-predicate sorted offset
+//!   arrays, rebuilt on partition load; cheap sequential scans, costly
+//!   single-edge updates.
+//!
+//! Both charge identical query work for identical store content (the
+//! matcher derives every charge from reported sizes), so DOTIL's learned
+//! designs — and every deterministic harness metric — are
+//! substrate-independent. See [`backend`] for how to implement a custom
+//! backend.
 
 pub mod adjacency;
+pub mod backend;
+pub mod csr;
 pub mod matcher;
 pub mod store;
+pub mod topology;
 
 pub use adjacency::AdjacencyIndex;
-pub use store::{GraphExecError, GraphStore, GraphStoreError, ImportStats};
+pub use backend::GraphBackend;
+pub use csr::CsrBackend;
+pub use store::{AdjacencyBackend, GraphExecError, GraphStore, GraphStoreError, ImportStats};
+pub use topology::{PartitionStats, Topology};

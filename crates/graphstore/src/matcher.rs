@@ -1,4 +1,4 @@
-//! Backtracking BGP matcher over index-free adjacency.
+//! Backtracking BGP matcher over any [`Topology`].
 //!
 //! Where the relational executor materializes whole intermediate relations
 //! (scan → hash join), this matcher extends **one binding at a time**: pick
@@ -6,19 +6,22 @@
 //! assignments through adjacency lookups from already-bound nodes. Work is
 //! bounded by candidate edges of the seed predicate times the degrees along
 //! the traversal — independent of how large the rest of the graph is.
+//!
+//! The matcher is generic over [`Topology`], the substrate-agnostic
+//! neighbour/seed/statistics contract: the adjacency-list and CSR backends
+//! share this one implementation, and because every work-unit charge is
+//! derived from reported *sizes* (not substrate internals), two substrates
+//! holding the same edges charge identical work for the same query.
 
-use crate::adjacency::AdjacencyIndex;
 use crate::store::GraphExecError;
+use crate::topology::Topology;
 use kgdual_model::{NodeId, PredId};
 use kgdual_relstore::{Bindings, ExecContext, ExecError};
 use kgdual_sparql::{EncPattern, EncodedQuery, PredSlot, Slot, VarId};
 
-/// Execute a compiled BGP against the adjacency index.
-///
-/// `seed` optionally pre-binds some variables (used when a dual-store plan
-/// pushes partial bindings into the graph side; also exercised by tests).
-pub(crate) fn execute(
-    index: &AdjacencyIndex,
+/// Execute a compiled BGP against a graph topology.
+pub fn execute<T: Topology>(
+    index: &T,
     q: &EncodedQuery,
     ctx: &mut ExecContext,
 ) -> Result<Bindings, GraphExecError> {
@@ -48,7 +51,7 @@ pub(crate) fn execute(
 /// count when neither is. Hub predicates (a prize with hundreds of
 /// winners) are thereby deferred until both endpoints are pinned and they
 /// degrade to cheap existence probes.
-fn order_patterns(index: &AdjacencyIndex, q: &EncodedQuery) -> Vec<usize> {
+fn order_patterns<T: Topology>(index: &T, q: &EncodedQuery) -> Vec<usize> {
     let estimate = |pat: &EncPattern, bound: &[VarId]| -> f64 {
         let s_bound =
             matches!(pat.s, Slot::Const(_)) || pat.s.as_var().is_some_and(|v| bound.contains(&v));
@@ -117,9 +120,48 @@ fn slot_value(slot: Slot, assignment: &[Option<NodeId>]) -> Option<NodeId> {
     }
 }
 
+/// Seed-scan chunk size: cost is charged per chunk, and a satisfied LIMIT
+/// is noticed at chunk boundaries — identical accounting on every
+/// substrate.
+const CHUNK: usize = 4096;
+
+/// Enumerate one predicate's seed edges chunk by chunk, charging each
+/// chunk before recursing into it.
 #[allow(clippy::too_many_arguments)]
-fn extend(
-    index: &AdjacencyIndex,
+fn scan_seed<T: Topology>(
+    index: &T,
+    q: &EncodedQuery,
+    order: &[usize],
+    depth: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    out: &mut Bindings,
+    stop_at: usize,
+    ctx: &mut ExecContext,
+    p: PredId,
+) -> Result<(), GraphExecError> {
+    let mut seed = index.seed_edges(p);
+    let mut buf: Vec<(NodeId, NodeId)> = Vec::with_capacity(CHUNK.min(index.seed_len(p)));
+    loop {
+        if out.len() >= stop_at {
+            return Ok(());
+        }
+        buf.clear();
+        buf.extend(seed.by_ref().take(CHUNK));
+        if buf.is_empty() {
+            return Ok(());
+        }
+        charge(ctx.charge_scan(buf.len() as u64))?;
+        for &(s, o) in &buf {
+            bind_and_recurse(
+                index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
+            )?;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend<T: Topology>(
+    index: &T,
     q: &EncodedQuery,
     order: &[usize],
     depth: usize,
@@ -158,11 +200,7 @@ fn extend(
             charge(ctx.charge_probe(1))?;
             // Respect edge multiplicity (bag semantics must agree with the
             // relational executor when parallel edges exist).
-            let count = index
-                .out_neighbours(s, p)
-                .iter()
-                .filter(|&&(_, n)| n == o)
-                .count();
+            let count = index.out_neighbours(s, p).filter(|&n| n == o).count();
             for _ in 0..count {
                 bind_and_recurse(
                     index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
@@ -174,7 +212,7 @@ fn extend(
             // Enumerate predicates between two bound nodes.
             let all = index.out_all(s);
             charge(ctx.charge_probe(all.len() as u64))?;
-            for &(p, n2) in all {
+            for &(p, n2) in all.iter() {
                 if n2 == o {
                     bind_and_recurse(
                         index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
@@ -185,7 +223,7 @@ fn extend(
         (Some(s), None, Some(p)) => {
             let neigh = index.out_neighbours(s, p);
             charge(ctx.charge_probe(neigh.len() as u64 + 1))?;
-            for &(_, o) in neigh {
+            for o in neigh {
                 bind_and_recurse(
                     index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
                 )?;
@@ -194,7 +232,7 @@ fn extend(
         (None, Some(o), Some(p)) => {
             let neigh = index.in_neighbours(o, p);
             charge(ctx.charge_probe(neigh.len() as u64 + 1))?;
-            for &(_, s) in neigh {
+            for s in neigh {
                 bind_and_recurse(
                     index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
                 )?;
@@ -203,7 +241,7 @@ fn extend(
         (Some(s), None, None) => {
             let all = index.out_all(s);
             charge(ctx.charge_probe(all.len() as u64 + 1))?;
-            for &(p, o) in all {
+            for &(p, o) in all.iter() {
                 bind_and_recurse(
                     index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
                 )?;
@@ -212,46 +250,21 @@ fn extend(
         (None, Some(o), None) => {
             let all = index.in_all(o);
             charge(ctx.charge_probe(all.len() as u64 + 1))?;
-            for &(p, s) in all {
+            for &(p, s) in all.iter() {
                 bind_and_recurse(
                     index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
                 )?;
             }
         }
         (None, None, Some(p)) => {
-            // Seed scan over the partition's edges; stop as soon as a
+            // Seed scan over the partition's edges; stops as soon as a
             // LIMIT is satisfied.
-            let seed = index.seed_edges(p);
-            const CHUNK: usize = 4096;
-            for chunk in seed.chunks(CHUNK) {
-                if out.len() >= stop_at {
-                    break;
-                }
-                charge(ctx.charge_scan(chunk.len() as u64))?;
-                for &(s, o) in chunk {
-                    bind_and_recurse(
-                        index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
-                    )?;
-                }
-            }
+            scan_seed(index, q, order, depth, assignment, out, stop_at, ctx, p)?;
         }
         (None, None, None) => {
             // Fully unbound with a variable predicate: union of all seeds.
-            let preds: Vec<PredId> = index.preds().collect();
-            for p in preds {
-                let seed = index.seed_edges(p);
-                const CHUNK: usize = 4096;
-                for chunk in seed.chunks(CHUNK) {
-                    if out.len() >= stop_at {
-                        break;
-                    }
-                    charge(ctx.charge_scan(chunk.len() as u64))?;
-                    for &(s, o) in chunk {
-                        bind_and_recurse(
-                            index, q, order, depth, assignment, out, stop_at, ctx, s, p, o,
-                        )?;
-                    }
-                }
+            for p in index.preds() {
+                scan_seed(index, q, order, depth, assignment, out, stop_at, ctx, p)?;
             }
         }
     }
@@ -261,8 +274,8 @@ fn extend(
 /// Bind this pattern's variables to `(s, p, o)` (checking self-consistency),
 /// recurse, then unbind what we bound.
 #[allow(clippy::too_many_arguments)]
-fn bind_and_recurse(
-    index: &AdjacencyIndex,
+fn bind_and_recurse<T: Topology>(
+    index: &T,
     q: &EncodedQuery,
     order: &[usize],
     depth: usize,

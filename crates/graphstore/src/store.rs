@@ -1,6 +1,7 @@
 //! The graph store: budgeted partition residency + query execution.
 
 use crate::adjacency::AdjacencyIndex;
+use crate::backend::GraphBackend;
 use crate::matcher;
 use kgdual_model::fx::FxHashMap;
 use kgdual_model::{NodeId, PredId, Triple};
@@ -44,6 +45,15 @@ pub enum GraphStoreError {
     },
     /// The partition is already resident (loads are whole-partition).
     AlreadyLoaded(PredId),
+    /// A backend-specific failure outside the shared vocabulary. Custom
+    /// [`GraphBackend`](crate::GraphBackend) implementations box their
+    /// native errors here so `CoreError` stays backend-agnostic.
+    Backend {
+        /// The backend that failed (its `backend_name()`).
+        backend: &'static str,
+        /// Substrate-specific detail, already rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for GraphStoreError {
@@ -59,6 +69,9 @@ impl std::fmt::Display for GraphStoreError {
             ),
             GraphStoreError::AlreadyLoaded(pred) => {
                 write!(f, "partition {pred} is already loaded")
+            }
+            GraphStoreError::Backend { backend, detail } => {
+                write!(f, "{backend} backend: {detail}")
             }
         }
     }
@@ -108,6 +121,11 @@ impl std::error::Error for GraphExecError {}
 /// The native graph store: holds a budget-constrained subset of the
 /// knowledge graph's triple partitions (`T_G` in the paper) and answers
 /// complex subqueries over them by traversal.
+///
+/// This is the **adjacency-list backend** — the default substrate behind
+/// `DualStore<B>`, aliased as [`AdjacencyBackend`]. Its inherent methods
+/// are mirrored one-for-one by its [`GraphBackend`] implementation, so
+/// concrete call sites keep working without the trait in scope.
 #[derive(Debug, Default)]
 pub struct GraphStore {
     index: AdjacencyIndex,
@@ -254,6 +272,83 @@ impl GraphStore {
             }
         }
         matcher::execute(&self.index, q, ctx)
+    }
+}
+
+/// The default graph substrate of `DualStore<B>`: per-node sorted
+/// adjacency lists (index-free adjacency), the stand-in for the paper's
+/// Neo4j deployment.
+pub type AdjacencyBackend = GraphStore;
+
+impl GraphBackend for GraphStore {
+    fn with_budget(budget: usize) -> Self {
+        GraphStore::new(budget)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "adjacency"
+    }
+
+    fn budget(&self) -> usize {
+        GraphStore::budget(self)
+    }
+
+    fn used(&self) -> usize {
+        GraphStore::used(self)
+    }
+
+    fn available(&self) -> usize {
+        GraphStore::available(self)
+    }
+
+    fn is_loaded(&self, pred: PredId) -> bool {
+        GraphStore::is_loaded(self, pred)
+    }
+
+    fn covers(&self, preds: &[PredId]) -> bool {
+        GraphStore::covers(self, preds)
+    }
+
+    fn resident_partitions(&self) -> Vec<(PredId, usize)> {
+        let mut parts: Vec<(PredId, usize)> = GraphStore::resident_partitions(self).collect();
+        parts.sort_unstable_by_key(|&(p, _)| p);
+        parts
+    }
+
+    fn partition_len(&self, pred: PredId) -> usize {
+        GraphStore::partition_len(self, pred)
+    }
+
+    fn import_stats(&self) -> ImportStats {
+        GraphStore::import_stats(self)
+    }
+
+    fn bulk_import_cost_per_triple(&self) -> u64 {
+        BULK_IMPORT_COST_PER_TRIPLE
+    }
+
+    fn load_partition(
+        &mut self,
+        pred: PredId,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<(), GraphStoreError> {
+        GraphStore::load_partition(self, pred, pairs)
+    }
+
+    fn evict_partition(&mut self, pred: PredId) -> usize {
+        GraphStore::evict_partition(self, pred)
+    }
+
+    fn insert_edge(&mut self, t: Triple) -> Result<bool, GraphStoreError> {
+        GraphStore::insert_edge(self, t)
+    }
+
+    fn delete_edge(&mut self, t: Triple) -> usize {
+        GraphStore::delete_edge(self, t)
+    }
+
+    fn execute(&self, q: &EncodedQuery, ctx: &mut ExecContext) -> Result<Bindings, GraphExecError> {
+        GraphStore::execute(self, q, ctx)
     }
 }
 

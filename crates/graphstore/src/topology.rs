@@ -1,0 +1,128 @@
+//! The matcher's substrate-agnostic view of a graph store.
+//!
+//! The backtracking matcher ([`crate::matcher`]) needs exactly four things
+//! from a substrate: neighbour lookups from a bound node, per-predicate
+//! seed enumeration, cardinality statistics for its degree-aware pattern
+//! ordering, and the total edge count. [`Topology`] captures that contract
+//! so the one matcher serves every [`crate::GraphBackend`] — the
+//! adjacency-list index ([`crate::AdjacencyIndex`]) and the CSR index
+//! ([`crate::CsrBackend`]) plug in the same traversal semantics over very
+//! different memory layouts.
+//!
+//! # Cost-parity contract
+//!
+//! The matcher charges work units from the *sizes* the topology reports
+//! (neighbour-list lengths, seed lengths), never from how the substrate
+//! computes them. Two topologies holding the same edge multiset therefore
+//! produce **identical work units** for the same query — the property the
+//! backend-equivalence suite pins down, and the reason DOTIL's learned
+//! designs are substrate-independent.
+
+use kgdual_model::{NodeId, PredId};
+
+/// Per-partition cardinalities, kept current on every mutation. The
+/// matcher's degree-aware pattern ordering depends on these.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Edge count.
+    pub edges: usize,
+    /// Distinct subjects.
+    pub distinct_s: usize,
+    /// Distinct objects.
+    pub distinct_o: usize,
+}
+
+impl PartitionStats {
+    /// Average out-degree of a subject in this partition.
+    pub fn out_degree(&self) -> f64 {
+        if self.distinct_s == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.distinct_s as f64
+        }
+    }
+
+    /// Average in-degree of an object in this partition.
+    pub fn in_degree(&self) -> f64 {
+        if self.distinct_o == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.distinct_o as f64
+        }
+    }
+}
+
+/// What the backtracking matcher reads from a graph substrate.
+///
+/// Neighbour iterators are [`ExactSizeIterator`]s because the matcher
+/// charges a lookup's cost (`len + 1` probes) *before* enumerating it,
+/// mirroring how a real store pays for the whole adjacency page. The
+/// `*_all` variants (variable-predicate patterns) may have to stitch
+/// per-predicate rows together, so they return a [`std::borrow::Cow`]:
+/// borrowed when the substrate holds the pairs contiguously, owned when it
+/// must assemble them.
+///
+/// # Enumeration-order contract
+///
+/// Enumeration order is *canonical*, not substrate-defined: [`preds`]
+/// ascends by predicate id, [`seed_edges`] ascends by `(s, o)` (duplicate
+/// edges adjacent), neighbour lists ascend by node id, and the `*_all`
+/// variants ascend by `(pred, node)`. LIMIT queries exit mid-enumeration,
+/// so two substrates enumerating in different orders would return
+/// different (individually correct) result subsets and charge different
+/// work — canonical order is what makes *every* deterministic metric
+/// backend-invariant, truncated queries included.
+///
+/// [`preds`]: Topology::preds
+/// [`seed_edges`]: Topology::seed_edges
+pub trait Topology {
+    /// Total edges currently stored.
+    fn edge_count(&self) -> usize;
+
+    /// Cardinality statistics of one predicate's partition (zero if not
+    /// loaded).
+    fn partition_stats(&self, pred: PredId) -> PartitionStats;
+
+    /// Loaded predicates, in ascending id order.
+    fn preds(&self) -> Vec<PredId>;
+
+    /// Out-neighbours of `s` via `pred`, ascending, with edge multiplicity.
+    fn out_neighbours(&self, s: NodeId, pred: PredId)
+        -> impl ExactSizeIterator<Item = NodeId> + '_;
+
+    /// In-neighbours of `o` via `pred`, ascending, with edge multiplicity.
+    fn in_neighbours(&self, o: NodeId, pred: PredId) -> impl ExactSizeIterator<Item = NodeId> + '_;
+
+    /// All out-edges of `s` regardless of predicate (variable-predicate
+    /// patterns).
+    fn out_all(&self, s: NodeId) -> std::borrow::Cow<'_, [(PredId, NodeId)]>;
+
+    /// All in-edges of `o` regardless of predicate.
+    fn in_all(&self, o: NodeId) -> std::borrow::Cow<'_, [(PredId, NodeId)]>;
+
+    /// Number of edges in one predicate's partition (0 if not loaded).
+    fn seed_len(&self, pred: PredId) -> usize;
+
+    /// All `(s, o)` edges of one predicate in ascending `(s, o)` order
+    /// (duplicates adjacent) — the matcher's seed scan.
+    fn seed_edges(&self, pred: PredId) -> impl Iterator<Item = (NodeId, NodeId)> + '_;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_handle_empty_partitions() {
+        let st = PartitionStats::default();
+        assert_eq!(st.out_degree(), 0.0);
+        assert_eq!(st.in_degree(), 0.0);
+        let st = PartitionStats {
+            edges: 6,
+            distinct_s: 2,
+            distinct_o: 3,
+        };
+        assert!((st.out_degree() - 3.0).abs() < 1e-12);
+        assert!((st.in_degree() - 2.0).abs() < 1e-12);
+    }
+}
