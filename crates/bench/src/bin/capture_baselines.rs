@@ -8,7 +8,9 @@
 //! regressions) by re-running this binary and diffing — see
 //! `scripts/check_baselines.sh` and `crates/bench/tests/baseline_regression.rs`.
 
-use kgdual_bench::{run_variant_comparison, BenchArgs, VariantKind, WorkloadKind};
+use kgdual_bench::{
+    run_restart_comparison, run_variant_comparison, BenchArgs, VariantKind, WorkloadKind,
+};
 
 /// The workload set captured in the baseline (figure 3/4 panels plus the
 /// combined WatDiv mix of figure 5).
@@ -50,5 +52,21 @@ fn main() {
                 rows
             );
         }
+    }
+
+    // The Fig 6 restart experiment (design persistence): cold vs
+    // warm-restart vs oracle, single pass each (see fig6_cold_start
+    // --restart true). The driver itself asserts restart equivalence;
+    // the totals pinned here keep the warm-restart advantage from
+    // silently eroding.
+    let mut restart_args = args;
+    restart_args.reps = 1;
+    restart_args.order = "ordered".to_owned();
+    for c in run_restart_comparison(WorkloadKind::Yago, &restart_args) {
+        let sim_ns: u128 = c.reports.iter().map(|b| b.sim_tti.as_nanos()).sum();
+        println!(
+            "YAGO-restart\t{}\t{}\t{}\t{}",
+            c.name, c.total_work, sim_ns, c.result_rows
+        );
     }
 }

@@ -124,6 +124,14 @@ impl<B: GraphBackend> PhysicalTuner<B> for SharedDotil {
     fn tune(&mut self, dual: &mut DualStore<B>, batch: &[Query]) -> TuningOutcome {
         self.0.lock().tune(dual, batch)
     }
+
+    fn export_state(&self) -> Option<Vec<u8>> {
+        Some(self.0.lock().export_state_bytes())
+    }
+
+    fn import_state(&mut self, state: &[u8]) -> Result<(), kgdual_model::DesignError> {
+        self.0.lock().import_state_bytes(state)
+    }
 }
 
 /// Build a fresh store variant over (a clone of) `dataset` with graph/view
@@ -231,6 +239,131 @@ pub fn run_variant_comparison_in<B: GraphBackend>(
         });
     }
     out
+}
+
+/// One column of the Fig 6 restart experiment.
+#[derive(Clone, Debug)]
+pub struct RestartColumn {
+    /// Column name (`cold`, `warm-restart`, `oracle`).
+    pub name: &'static str,
+    /// Per-batch reports of the measured run.
+    pub reports: Vec<BatchReport>,
+    /// Total deterministic work units.
+    pub total_work: u64,
+    /// Total simulated TTI (seconds), the deterministic comparison metric.
+    pub sim_tti_secs: f64,
+    /// Total result rows (must agree across all columns).
+    pub result_rows: u64,
+    /// Graph-store share of online work in the *first* batch — the
+    /// cold-start signature (≈0 cold, high after a warm restart).
+    pub first_batch_graph_share: f64,
+}
+
+fn restart_column(name: &'static str, reports: Vec<BatchReport>) -> RestartColumn {
+    RestartColumn {
+        name,
+        total_work: WorkloadRunner::total_work(&reports),
+        sim_tti_secs: WorkloadRunner::total_sim_tti(&reports).as_secs_f64(),
+        result_rows: reports.iter().map(|r| r.result_rows).sum(),
+        first_batch_graph_share: reports.first().map_or(0.0, BatchReport::graph_work_share),
+        reports,
+    }
+}
+
+/// The Fig 6 **restart** experiment: does persisting the learned design
+/// actually erase the cold start?
+///
+/// Three single-pass runs over the same workload:
+///
+/// * `cold` — fresh store, fresh DOTIL (the paper's Fig 6 setting).
+/// * `warm-restart` — the cold run's learned design + tuner state is
+///   checkpointed, a **fresh** store over the same dataset restores it
+///   (residency replayed through the backend), and the workload runs
+///   again: what a restarted process sees with persistence.
+/// * `oracle` — the ideal next-batch tuner, the floor no online tuner
+///   beats.
+///
+/// As a built-in restart-equivalence gate, the driver also runs a second
+/// uninterrupted pass on the cold store and asserts the warm-restart run
+/// matches it on every deterministic metric: a restored process is
+/// indistinguishable from one that never exited.
+pub fn run_restart_comparison(kind: WorkloadKind, args: &BenchArgs) -> Vec<RestartColumn> {
+    match args.backend {
+        crate::args::BackendKind::Adjacency => {
+            run_restart_comparison_in::<AdjacencyBackend>(kind, args)
+        }
+        crate::args::BackendKind::Csr => run_restart_comparison_in::<CsrBackend>(kind, args),
+    }
+}
+
+/// [`run_restart_comparison`] on an explicit graph-store backend.
+pub fn run_restart_comparison_in<B: GraphBackend>(
+    kind: WorkloadKind,
+    args: &BenchArgs,
+) -> Vec<RestartColumn> {
+    let dataset = build_dataset(kind, args);
+    let workload = build_workload(kind, args);
+    let batches = build_batches(&workload, &args.order, args.seed);
+    let budget = (dataset.len() as f64 * 0.25) as usize;
+    let runner = WorkloadRunner::new(TuningSchedule::AfterEachBatch);
+
+    // Cold start: one pass from nothing, learning as it goes.
+    let mut cold = build_variant::<B>(
+        VariantKind::RdbGdbDotil,
+        dataset.clone(),
+        budget,
+        DotilConfig::default(),
+    );
+    let cold_reports = runner.run(&mut cold, &batches).expect("cold run failed");
+
+    // Persist the learned design + DOTIL state, then restart: a fresh
+    // store over the same dataset, a fresh tuner, state rehydrated.
+    let snapshot = kgdual_core::persist::save_checkpoint(cold.dual(), cold.tuner(), 0);
+    let mut warm = build_variant::<B>(
+        VariantKind::RdbGdbDotil,
+        dataset.clone(),
+        budget,
+        DotilConfig::default(),
+    );
+    {
+        let (dual, tuner) = warm.dual_and_tuner_mut();
+        let tuner = tuner.map(|t| t as &mut dyn PhysicalTuner<B>);
+        kgdual_core::persist::restore_checkpoint(dual, tuner, &snapshot)
+            .expect("restart restore must succeed on the same dataset");
+    }
+    let warm_reports = runner.run(&mut warm, &batches).expect("warm run failed");
+
+    // Restart-equivalence gate: the uninterrupted process's second pass
+    // must be indistinguishable from the restarted one.
+    let resumed_reports = runner
+        .run(&mut cold, &batches)
+        .expect("uninterrupted second pass failed");
+    for (w, u) in warm_reports.iter().zip(&resumed_reports) {
+        assert_eq!(
+            (w.total_work, w.sim_tti, w.result_rows, w.routes),
+            (u.total_work, u.sim_tti, u.result_rows, u.routes),
+            "batch {}: a restored store must be deterministically \
+             indistinguishable from one that never restarted",
+            w.batch_index
+        );
+    }
+
+    // Oracle: the ideal mode, for the floor column.
+    let mut oracle = build_variant::<B>(
+        VariantKind::RdbGdbIdeal,
+        dataset,
+        budget,
+        DotilConfig::default(),
+    );
+    let oracle_reports = WorkloadRunner::new(TuningSchedule::BeforeEachBatchWithUpcoming)
+        .run(&mut oracle, &batches)
+        .expect("oracle run failed");
+
+    vec![
+        restart_column("cold", cold_reports),
+        restart_column("warm-restart", warm_reports),
+        restart_column("oracle", oracle_reports),
+    ]
 }
 
 /// One variant's serial-vs-parallel TTI measurement.

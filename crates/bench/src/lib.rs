@@ -28,8 +28,9 @@ pub mod table;
 
 pub use args::{BackendKind, BenchArgs};
 pub use experiments::{
-    run_parallel_comparison, run_parallel_comparison_in, run_variant_comparison,
-    run_variant_comparison_in, ParallelTti, SharedDotil, VariantKind, WorkloadKind,
+    run_parallel_comparison, run_parallel_comparison_in, run_restart_comparison,
+    run_restart_comparison_in, run_variant_comparison, run_variant_comparison_in, ParallelTti,
+    RestartColumn, SharedDotil, VariantKind, WorkloadKind,
 };
 pub use setup::{build_batches, build_dataset, build_workload};
 pub use table::TablePrinter;

@@ -137,6 +137,13 @@ impl<B: GraphBackend> DualStore<B> {
         &self.graph
     }
 
+    /// Mutable backend access for design restore (crate-internal: going
+    /// around [`Self::migrate_partition`]/[`Self::evict_partition`] could
+    /// desynchronize `T_G` from `T_R`).
+    pub(crate) fn graph_mut(&mut self) -> &mut B {
+        &mut self.graph
+    }
+
     /// The shared resource governor.
     pub fn governor(&self) -> Arc<ResourceGovernor> {
         Arc::clone(&self.governor)
@@ -218,6 +225,30 @@ impl<B: GraphBackend> DualStore<B> {
     /// Mutable dictionary access (loading additional data).
     pub fn dict_mut(&mut self) -> &mut Dictionary {
         &mut self.dict
+    }
+
+    /// Serialize the current physical design (`T_G` residency, budget
+    /// accounting, dataset fingerprint) into a versioned design snapshot.
+    /// Tuner state rides along when the checkpoint is taken through
+    /// [`crate::persist::save_checkpoint`]; this method persists the
+    /// design alone.
+    pub fn save_design(&self) -> bytes::Bytes {
+        crate::persist::save_checkpoint::<B>(self, None, 0)
+    }
+
+    /// Restore a design snapshot produced by [`Self::save_design`] (or
+    /// [`crate::persist::save_checkpoint`]) onto this store. The snapshot
+    /// is fully decoded and validated first — wrong dataset, wrong budget,
+    /// truncation, and future versions all return a typed
+    /// [`DesignError`](kgdual_model::DesignError) without mutating
+    /// anything — then residency is replayed partition by partition
+    /// through the backend, which rebuilds its native index and bills its
+    /// own bulk-import price.
+    pub fn restore_design(
+        &mut self,
+        snapshot: &[u8],
+    ) -> Result<crate::persist::RestoreReport, kgdual_model::DesignError> {
+        crate::persist::restore_checkpoint::<B>(self, None, snapshot)
     }
 }
 

@@ -20,12 +20,15 @@
 //! in the offline phase between batches, exactly as §4.2 prescribes.
 //! [`variant`] packages the paper's three store variants (`RDB-only`,
 //! `RDB-views`, `RDB-GDB`) behind one interface for the evaluation
-//! harness.
+//! harness. [`persist`] checkpoints the learned design (and the tuner's
+//! trained state) so a restarted store resumes where it left off instead
+//! of re-paying the Fig 6 cold start.
 
 pub mod batch;
 pub mod dual;
 pub mod error;
 pub mod identifier;
+pub mod persist;
 pub mod processor;
 pub mod results;
 pub mod tuner;
@@ -35,6 +38,7 @@ pub use batch::{BatchReport, WorkloadRunner};
 pub use dual::{DualDesign, DualStore};
 pub use error::CoreError;
 pub use identifier::{identify, ComplexSubquery};
+pub use persist::{restore_checkpoint, save_checkpoint, RestoreReport};
 pub use processor::{process, process_relational, process_shared, process_with_views};
 pub use processor::{QueryOutcome, Route};
 pub use results::ResultSet;

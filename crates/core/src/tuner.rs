@@ -8,6 +8,7 @@
 
 use crate::dual::DualStore;
 use kgdual_graphstore::{AdjacencyBackend, GraphBackend};
+use kgdual_model::DesignError;
 use kgdual_sparql::Query;
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +49,27 @@ pub trait PhysicalTuner<B: GraphBackend = AdjacencyBackend> {
     /// to soften the Q-learning cold start). Default: one tuning pass.
     fn warm_up(&mut self, dual: &mut DualStore<B>, history: &[Query]) -> TuningOutcome {
         self.tune(dual, history)
+    }
+
+    /// Serialize the tuner's learned state (Q-matrices, counters, …) for a
+    /// design checkpoint ([`crate::persist`]). `None` — the default —
+    /// means the tuner is stateless and a checkpoint records only the
+    /// physical design.
+    fn export_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore state previously produced by
+    /// [`export_state`](PhysicalTuner::export_state). Implementations must
+    /// be **atomic**: decode and validate the whole payload before
+    /// mutating any state, so a corrupt checkpoint leaves the tuner
+    /// exactly as it was. The default refuses (stateless tuners have
+    /// nothing to restore into).
+    fn import_state(&mut self, _state: &[u8]) -> Result<(), DesignError> {
+        Err(DesignError::Mismatch(format!(
+            "tuner `{}` does not support state import",
+            self.name()
+        )))
     }
 }
 

@@ -90,6 +90,31 @@ impl<B: GraphBackend> StoreVariant<B> {
         }
     }
 
+    /// The tuner, when this variant has one (`RDB-GDB` only). Checkpoint
+    /// callers pass this to [`crate::persist::save_checkpoint`] so the
+    /// tuner's learned state rides along with the design.
+    pub fn tuner(&self) -> Option<&dyn PhysicalTuner<B>> {
+        match self {
+            StoreVariant::RdbGdb { tuner, .. } => Some(&**tuner),
+            _ => None,
+        }
+    }
+
+    /// Split mutable access to the dual store and (for `RDB-GDB`) the
+    /// tuner — the borrow shape [`crate::persist::restore_checkpoint`]
+    /// needs to rehydrate both sides of a checkpoint at once.
+    pub fn dual_and_tuner_mut(
+        &mut self,
+    ) -> (
+        &mut DualStore<B>,
+        Option<&mut (dyn PhysicalTuner<B> + Send)>,
+    ) {
+        match self {
+            StoreVariant::RdbOnly { dual } | StoreVariant::RdbViews { dual, .. } => (dual, None),
+            StoreVariant::RdbGdb { dual, tuner } => (dual, Some(&mut **tuner)),
+        }
+    }
+
     /// Process one query online.
     pub fn process(&mut self, query: &Query) -> Result<QueryOutcome, CoreError> {
         match self {

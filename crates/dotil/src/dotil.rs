@@ -5,11 +5,16 @@ use crate::counterfactual;
 use crate::qmatrix::QMatrix;
 use kgdual_core::{identify, DualStore, PhysicalTuner, TuningOutcome};
 use kgdual_graphstore::GraphBackend;
+use kgdual_model::design::{FieldReader, FieldWriter};
 use kgdual_model::fx::FxHashMap;
-use kgdual_model::PredId;
+use kgdual_model::{DesignError, PredId};
 use kgdual_sparql::{compile, Compiled, EncodedQuery, Query, Selection, TriplePattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Version byte of DOTIL's persisted-state payload (inside the design
+/// snapshot's tuner section).
+const DOTIL_STATE_VERSION: u8 = 1;
 
 /// `(partition, state, action)` triples updated together, with a repeat
 /// count replaying the update for identical batch copies.
@@ -36,6 +41,11 @@ pub struct Dotil {
     /// eviction (see the desirability guard in `tune`).
     stale: FxHashMap<PredId, u32>,
     rng: StdRng,
+    /// Cold-start coin flips drawn so far. The RNG advances one draw per
+    /// flip, so persisting this count lets a restored tuner fast-forward a
+    /// freshly seeded generator to the exact stream position — restart
+    /// equivalence for the exploration randomness.
+    coin_flips: u64,
     trainings: u64,
 }
 
@@ -52,6 +62,7 @@ impl Dotil {
             stale: FxHashMap::default(),
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
+            coin_flips: 0,
             trainings: 0,
         }
     }
@@ -81,6 +92,122 @@ impl Dotil {
     /// Number of `LearningProc` invocations so far.
     pub fn trainings(&self) -> u64 {
         self.trainings
+    }
+
+    /// Serialize the tuner's complete learned state for a design
+    /// checkpoint: hyperparameters (so `keep_equity_ttl` and the reward
+    /// scaling survive restart), every Q-matrix, the staleness ages behind
+    /// the keep-equity guard, the training counter, and the cold-start
+    /// coin-flip count (the RNG stream position). Maps are written in
+    /// ascending predicate order, so identical state yields identical
+    /// bytes.
+    pub fn export_state_bytes(&self) -> Vec<u8> {
+        let mut w = FieldWriter::new();
+        w.put_u8(DOTIL_STATE_VERSION);
+        w.put_f64(self.cfg.alpha);
+        w.put_f64(self.cfg.gamma);
+        w.put_f64(self.cfg.lambda);
+        w.put_f64(self.cfg.prob);
+        w.put_f64(self.cfg.reward_scale);
+        w.put_u64(self.cfg.seed);
+        w.put_u32(self.cfg.keep_equity_ttl);
+        w.put_u64(self.trainings);
+        w.put_u64(self.coin_flips);
+        let mut q: Vec<(PredId, QMatrix)> = self.q.iter().map(|(&p, &m)| (p, m)).collect();
+        q.sort_unstable_by_key(|&(p, _)| p);
+        w.put_u32(q.len() as u32);
+        for (pred, m) in q {
+            w.put_u32(pred.0);
+            for cell in m.cells() {
+                w.put_f64(cell);
+            }
+        }
+        let mut stale: Vec<(PredId, u32)> = self.stale.iter().map(|(&p, &a)| (p, a)).collect();
+        stale.sort_unstable_by_key(|&(p, _)| p);
+        w.put_u32(stale.len() as u32);
+        for (pred, age) in stale {
+            w.put_u32(pred.0);
+            w.put_u32(age);
+        }
+        w.into_bytes().to_vec()
+    }
+
+    /// Restore state produced by [`Self::export_state_bytes`]. Atomic: the
+    /// whole payload is decoded and validated before any field changes, so
+    /// a corrupt blob leaves the tuner untouched. The RNG is re-seeded
+    /// from the restored config and fast-forwarded past the recorded
+    /// coin flips, so the restored tuner's future decisions are
+    /// draw-for-draw identical to an uninterrupted run's.
+    pub fn import_state_bytes(&mut self, state: &[u8]) -> Result<(), DesignError> {
+        let mut r = FieldReader::new(state);
+        let version = r.get_u8()?;
+        if version != DOTIL_STATE_VERSION {
+            return Err(DesignError::UnsupportedVersion {
+                found: version as u16,
+                supported: DOTIL_STATE_VERSION as u16,
+            });
+        }
+        let cfg = DotilConfig {
+            alpha: r.get_f64()?,
+            gamma: r.get_f64()?,
+            lambda: r.get_f64()?,
+            prob: r.get_f64()?,
+            reward_scale: r.get_f64()?,
+            seed: r.get_u64()?,
+            keep_equity_ttl: r.get_u32()?,
+        };
+        let trainings = r.get_u64()?;
+        let coin_flips = r.get_u64()?;
+        // The fast-forward below replays one RNG draw per recorded flip;
+        // bound the count so a forged/bit-flipped payload cannot spin the
+        // import into an effective hang. Real runs record one flip per
+        // cold-start decision — many orders of magnitude below this cap.
+        const MAX_COIN_FLIPS: u64 = 100_000_000;
+        if coin_flips > MAX_COIN_FLIPS {
+            return Err(DesignError::Corrupt(format!(
+                "implausible coin-flip count {coin_flips} (cap {MAX_COIN_FLIPS})"
+            )));
+        }
+        let n_q = r.get_u32()? as usize;
+        let mut q = FxHashMap::default();
+        for _ in 0..n_q {
+            let pred = PredId(r.get_u32()?);
+            let cells = [r.get_f64()?, r.get_f64()?, r.get_f64()?, r.get_f64()?];
+            if q.insert(pred, QMatrix::from_cells(cells)).is_some() {
+                return Err(DesignError::Corrupt(format!(
+                    "duplicate Q-matrix for partition {pred}"
+                )));
+            }
+        }
+        let n_stale = r.get_u32()? as usize;
+        let mut stale = FxHashMap::default();
+        for _ in 0..n_stale {
+            let pred = PredId(r.get_u32()?);
+            let age = r.get_u32()?;
+            if stale.insert(pred, age).is_some() {
+                return Err(DesignError::Corrupt(format!(
+                    "duplicate staleness entry for partition {pred}"
+                )));
+            }
+        }
+        if r.remaining() != 0 {
+            return Err(DesignError::Corrupt(
+                "DOTIL state has trailing bytes".into(),
+            ));
+        }
+
+        // Fully decoded — now (and only now) apply.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for _ in 0..coin_flips {
+            let _ = rng.next_u64(); // one draw per recorded coin flip
+        }
+        self.cfg = cfg;
+        self.q = q;
+        self.stale = stale;
+        self.trainings = trainings;
+        self.coin_flips = coin_flips;
+        self.rng = rng;
+        Ok(())
     }
 
     /// Compile a complex subquery's patterns into an executable query
@@ -175,6 +302,14 @@ impl<B: GraphBackend> PhysicalTuner<B> for Dotil {
         "dotil"
     }
 
+    fn export_state(&self) -> Option<Vec<u8>> {
+        Some(self.export_state_bytes())
+    }
+
+    fn import_state(&mut self, state: &[u8]) -> Result<(), DesignError> {
+        self.import_state_bytes(state)
+    }
+
     fn tune(&mut self, dual: &mut DualStore<B>, batch: &[Query]) -> TuningOutcome {
         let mut outcome = TuningOutcome::default();
 
@@ -228,6 +363,7 @@ impl<B: GraphBackend> PhysicalTuner<B> for Dotil {
             let q00: f64 = tset.iter().map(|&p| self.q_matrix(p).get(0, 0)).sum();
             let q01: f64 = tset.iter().map(|&p| self.q_matrix(p).get(0, 1)).sum();
             let transfer = if q00 == 0.0 && q01 == 0.0 {
+                self.coin_flips += 1;
                 self.rng.gen_bool(self.cfg.prob.clamp(0.0, 1.0))
             } else {
                 q01 > q00
@@ -588,6 +724,90 @@ mod tests {
             d.graph().is_loaded(born_b),
             "shape B resident after displacement"
         );
+    }
+
+    #[test]
+    fn state_roundtrip_restores_everything() {
+        let mut d = dual(1000);
+        let mut tuner = Dotil::with_config(DotilConfig {
+            prob: 1.0,
+            keep_equity_ttl: 3,
+            ..Default::default()
+        });
+        tuner.tune(&mut d, &[complex_query(), complex_query()]);
+        let state = tuner.export_state_bytes();
+
+        let mut restored = Dotil::new(); // deliberately different config
+        restored.import_state_bytes(&state).unwrap();
+        assert_eq!(restored.config(), tuner.config(), "config survives");
+        assert_eq!(restored.trainings(), tuner.trainings());
+        assert_eq!(restored.q_matrix_sum(), tuner.q_matrix_sum());
+        let born = d.dict().pred_id("y:bornIn").unwrap();
+        assert_eq!(restored.q_matrix(born), tuner.q_matrix(born));
+        // Deterministic bytes: exporting the restored state reproduces the
+        // original payload exactly.
+        assert_eq!(restored.export_state_bytes(), state);
+    }
+
+    #[test]
+    fn restored_tuner_continues_identically() {
+        // Train, checkpoint mid-stream, and let both the original and the
+        // restored tuner continue on identical fresh stores: every future
+        // decision (incl. cold-start coin flips) must match draw for draw.
+        let batch: Vec<Query> = vec![complex_query()];
+        let mut d1 = dual(1000);
+        let mut original = Dotil::with_config(DotilConfig::default());
+        original.tune(&mut d1, &batch);
+        let state = original.export_state_bytes();
+        let design_at_ckpt = d1.design();
+
+        let mut restored = Dotil::new();
+        restored.import_state_bytes(&state).unwrap();
+        let mut d2 = dual(1000);
+        // Rebuild the store to the checkpointed design by replay.
+        for (p, _) in &design_at_ckpt.graph_partitions {
+            d2.migrate_partition(*p).unwrap();
+        }
+        for _ in 0..4 {
+            let o1 = original.tune(&mut d1, &batch);
+            let o2 = restored.tune(&mut d2, &batch);
+            assert_eq!(o1, o2, "continued tuning must be identical");
+            assert_eq!(d1.design(), d2.design());
+        }
+        assert_eq!(original.q_matrix_sum(), restored.q_matrix_sum());
+    }
+
+    #[test]
+    fn corrupt_state_is_rejected_without_mutation() {
+        let mut d = dual(1000);
+        let mut tuner = Dotil::with_config(DotilConfig {
+            prob: 1.0,
+            ..Default::default()
+        });
+        tuner.tune(&mut d, &[complex_query()]);
+        let state = tuner.export_state_bytes();
+        let sum_before = tuner.q_matrix_sum();
+
+        for cut in 0..state.len() {
+            if tuner.import_state_bytes(&state[..cut]).is_ok() {
+                panic!("truncated state at {cut} bytes must be rejected");
+            }
+            assert_eq!(tuner.q_matrix_sum(), sum_before, "no mutation on error");
+        }
+        let mut versioned = state.clone();
+        versioned[0] = 99;
+        assert!(matches!(
+            tuner.import_state_bytes(&versioned),
+            Err(DesignError::UnsupportedVersion { .. })
+        ));
+        let mut trailing = state.clone();
+        trailing.push(0);
+        assert!(matches!(
+            tuner.import_state_bytes(&trailing),
+            Err(DesignError::Corrupt(_))
+        ));
+        // The pristine payload still imports after all rejections.
+        tuner.import_state_bytes(&state).unwrap();
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl QMatrix {
         [self.q[0][0], self.q[0][1], self.q[1][0], self.q[1][1]]
     }
 
+    /// Rebuild a matrix from its [`cells`](Self::cells) (design-snapshot
+    /// restore). Exact inverse: `from_cells(m.cells()) == m`.
+    pub fn from_cells(cells: [f64; 4]) -> Self {
+        QMatrix {
+            q: [[cells[0], cells[1]], [cells[2], cells[3]]],
+        }
+    }
+
     /// Eviction sort key (Algorithm 1, line 21): `Q(1,1) − Q(1,0)`,
     /// descending — partitions whose keep-value is lowest go first.
     pub fn eviction_key(&self) -> f64 {
@@ -70,6 +78,14 @@ mod tests {
         let m = QMatrix::new();
         assert_eq!(m.cells(), [0.0; 4]);
         assert_eq!(m.eviction_key(), 0.0);
+    }
+
+    #[test]
+    fn from_cells_inverts_cells() {
+        let mut m = QMatrix::new();
+        m.update(0, 1, 10.0, 0.5, 0.7);
+        m.update(1, 0, 4.0, 0.5, 0.7);
+        assert_eq!(QMatrix::from_cells(m.cells()), m);
     }
 
     #[test]

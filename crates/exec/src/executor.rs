@@ -3,7 +3,8 @@
 //! One batch of queries fans out over a pool of scoped worker threads.
 //! All workers execute against a single shared read guard on the
 //! [`SharedStore`] — the store is immutable for the whole batch — and
-//! each worker owns its private [`ExecContext`]s and [`TempSpace`], so no
+//! each worker owns its private [`ExecContext`](kgdual_relstore::ExecContext)s
+//! and [`TempSpace`], so no
 //! online state is shared between threads. Queries are claimed from a
 //! self-scheduling index queue: an idle worker always takes the next
 //! unclaimed query, which gives the same load-balancing behaviour as work

@@ -10,8 +10,10 @@
 //! therefore never interleave with an in-flight query: the write acquire
 //! is the batch barrier.
 
-use kgdual_core::DualStore;
+use bytes::Bytes;
+use kgdual_core::{persist, DualStore, PhysicalTuner, RestoreReport};
 use kgdual_graphstore::{AdjacencyBackend, GraphBackend};
+use kgdual_model::DesignError;
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -66,6 +68,42 @@ impl<B: GraphBackend> SharedStore<B> {
     /// Unwrap the store (end of experiment).
     pub fn into_inner(self) -> DualStore<B> {
         self.store.into_inner()
+    }
+
+    /// Quiesce the store and capture a design checkpoint.
+    ///
+    /// Takes the **write** lock — the same barrier as
+    /// [`reconfigure`](SharedStore::reconfigure) — so the checkpoint waits
+    /// for every in-flight batch to release its read guard and can never
+    /// observe a half-executed online phase. Unlike `reconfigure` it does
+    /// not advance the epoch: a checkpoint changes no design. The current
+    /// epoch is recorded in the snapshot so a restarted store resumes the
+    /// same tuning-trail position. Intended between batches (where the
+    /// write lock is free); calling it mid-batch simply blocks until the
+    /// batch drains.
+    pub fn checkpoint(&self, tuner: Option<&dyn PhysicalTuner<B>>) -> Bytes {
+        let guard = self.store.write();
+        persist::save_checkpoint(&guard, tuner, self.epoch())
+    }
+
+    /// Restore a checkpoint produced by [`checkpoint`](SharedStore::checkpoint)
+    /// (or [`kgdual_core::persist::save_checkpoint`]) under the write
+    /// lock, rehydrating the design, optionally the tuner, and the
+    /// recorded reconfiguration epoch. Decode and validation errors leave
+    /// the store, tuner, and epoch untouched; the epoch only moves on
+    /// success. (For the one non-atomic corner — a *custom* backend
+    /// failing natively mid-replay — see the atomicity note on
+    /// [`kgdual_core::persist::restore_checkpoint`]: the design resets to
+    /// cold, the tuner keeps its imported state, the epoch stays put.)
+    pub fn restore(
+        &self,
+        tuner: Option<&mut dyn PhysicalTuner<B>>,
+        snapshot: &[u8],
+    ) -> Result<RestoreReport, DesignError> {
+        let mut guard = self.store.write();
+        let report = persist::restore_checkpoint(&mut guard, tuner, snapshot)?;
+        self.epoch.store(report.epoch, Ordering::Release);
+        Ok(report)
     }
 }
 

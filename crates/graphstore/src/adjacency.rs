@@ -4,7 +4,7 @@
 //! `(predicate, neighbour)` so that a predicate's slice is a binary-search
 //! range. Neighbour lookup is `O(log deg + matches)` regardless of the
 //! total graph size — the property the paper leans on ("the time
-//! complexity of graph traversal [is] positively related to the traversal
+//! complexity of graph traversal \[is\] positively related to the traversal
 //! range but irrelevant to the entire graph size").
 
 use crate::topology::Topology;

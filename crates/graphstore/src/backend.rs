@@ -124,6 +124,19 @@ pub trait GraphBackend: Send + Sync + std::fmt::Debug {
     /// Evict a partition (the tuner's `evict` operation); returns its size.
     fn evict_partition(&mut self, pred: PredId) -> usize;
 
+    /// Evict every resident partition, returning the number of triples
+    /// dropped. Design restore uses this to reset `T_G` before replaying a
+    /// persisted residency set; backends with a cheaper wholesale-clear
+    /// path may override the partition-by-partition default.
+    fn evict_all(&mut self) -> usize {
+        let resident = self.resident_partitions();
+        let mut dropped = 0;
+        for (pred, _) in resident {
+            dropped += self.evict_partition(pred);
+        }
+        dropped
+    }
+
     /// Online single-edge insert into a resident partition (update
     /// propagation keeps mirrored partitions fresh). Returns `false` when
     /// the partition is not resident (a no-op, not an error).

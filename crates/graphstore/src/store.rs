@@ -46,7 +46,7 @@ pub enum GraphStoreError {
     /// The partition is already resident (loads are whole-partition).
     AlreadyLoaded(PredId),
     /// A backend-specific failure outside the shared vocabulary. Custom
-    /// [`GraphBackend`](crate::GraphBackend) implementations box their
+    /// [`GraphBackend`] implementations box their
     /// native errors here so `CoreError` stays backend-agnostic.
     Backend {
         /// The backend that failed (its `backend_name()`).

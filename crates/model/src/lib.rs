@@ -14,11 +14,15 @@
 //! * [`fx`] — a fast, non-cryptographic hasher used for the id-keyed hash
 //!   maps on every hot path (the default SipHash is needlessly slow for
 //!   dense integer keys).
+//! * [`design`] — the versioned section container that design snapshots
+//!   (persisted physical designs + tuner state, see `kgdual-core`) are
+//!   encoded in, sibling to the dataset [`snapshot`] format.
 //!
 //! The crate is deliberately free of any query or storage logic; it is the
 //! shared vocabulary of the workspace.
 
 pub mod dataset;
+pub mod design;
 pub mod dict;
 pub mod error;
 pub mod fx;
@@ -29,6 +33,7 @@ pub mod term;
 pub mod triple;
 
 pub use dataset::{Dataset, DatasetBuilder, DatasetStats};
+pub use design::{DesignError, DESIGN_MAGIC, DESIGN_VERSION};
 pub use dict::Dictionary;
 pub use error::ModelError;
 pub use fx::{FxHashMap, FxHashSet};

@@ -146,7 +146,7 @@ impl ViewCatalog {
     /// Record one observed complex subquery (online phase).
     ///
     /// The catalog materializes **two-pattern join fragments** — the
-    /// paper's "intermediate results of [the] most frequent subqueries".
+    /// paper's "intermediate results of \[the\] most frequent subqueries".
     /// Each variable-sharing pattern pair of the observed subquery counts
     /// as one candidate; answering later reuses a fragment as the seed of
     /// the remaining joins. Fragment views are cheap enough to fit the

@@ -34,7 +34,11 @@ cargo build --release --bins -p kgdual-bench
 
 for bin in "${BINS[@]}"; do
   echo "== $bin =="
-  cargo run --release -q -p kgdual-bench --bin "$bin" -- "${ARGS[@]}" \
+  extra=()
+  # fig6 also captures the design-persistence restart comparison (cold vs
+  # warm-restart vs oracle), which asserts restart equivalence in-binary.
+  [ "$bin" = fig6_cold_start ] && extra=(--restart true)
+  cargo run --release -q -p kgdual-bench --bin "$bin" -- "${ARGS[@]}" "${extra[@]}" \
     > "$OUT/$bin.txt"
 done
 

@@ -26,6 +26,7 @@ pub trait Buf {
     fn remaining(&self) -> usize;
     fn copy_to_bytes(&mut self, len: usize) -> Bytes;
     fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
     fn get_u32_le(&mut self) -> u32;
     fn get_u64_le(&mut self) -> u64;
 
@@ -40,6 +41,10 @@ pub trait BufMut {
 
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     fn put_u32_le(&mut self, v: u32) {
@@ -106,6 +111,10 @@ impl Buf for Bytes {
 
     fn get_u8(&mut self) -> u8 {
         self.take(1)[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
     }
 
     fn get_u32_le(&mut self) -> u32 {
