@@ -47,6 +47,12 @@ pub struct BenchArgs {
     pub threads: usize,
     /// Graph-store substrate: `--backend {adjacency,csr}`.
     pub backend: BackendKind,
+    /// Relational shards: `--shards N` (default 1, the monolithic
+    /// layout; the `KGDUAL_SHARDS` env var sets the default for test
+    /// matrices). Deterministic metrics are shard-invariant by
+    /// construction — the flag changes physical layout and intra-query
+    /// parallelism only.
+    pub shards: usize,
     /// Remaining free-form flags (`--key value`).
     pub extra: Vec<(String, String)>,
 }
@@ -60,20 +66,28 @@ impl Default for BenchArgs {
             order: "ordered".to_owned(),
             threads: 1,
             backend: BackendKind::default(),
+            shards: 1,
             extra: Vec::new(),
         }
     }
 }
 
 impl BenchArgs {
-    /// Parse `--key value` pairs from `std::env::args`.
+    /// Parse `--key value` pairs from `std::env::args`. The shard count
+    /// defaults from `KGDUAL_SHARDS` (so CI matrices select it without
+    /// touching every invocation); an explicit `--shards` wins.
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        let mut base = Self::default();
+        base.shards = env_shards().unwrap_or(base.shards);
+        Self::parse_into(base, std::env::args().skip(1))
     }
 
-    /// Parse from an explicit iterator (testable).
+    /// Parse from an explicit iterator (testable; no env defaults).
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut out = Self::default();
+        Self::parse_into(Self::default(), args)
+    }
+
+    fn parse_into<I: IntoIterator<Item = String>>(mut out: Self, args: I) -> Self {
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let Some(key) = flag.strip_prefix("--") else {
@@ -94,6 +108,7 @@ impl BenchArgs {
                     Some(b) => out.backend = b,
                     None => eprintln!("unknown --backend `{value}` (want adjacency|csr)"),
                 },
+                "shards" => out.shards = value.parse().unwrap_or(out.shards).max(1),
                 _ => out.extra.push((key.to_owned(), value)),
             }
         }
@@ -108,11 +123,40 @@ impl BenchArgs {
             .map(|(_, v)| v.as_str())
     }
 
+    /// A free-form flag read as a boolean (`--restart true`).
+    pub fn get_bool(&self, key: &str) -> bool {
+        self.get(key) == Some("true")
+    }
+
+    /// The standard one-line run description every harness binary prints
+    /// in its header: scale, substrate, shard count, and (when parallel)
+    /// the worker-thread count.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "scale {}, {} backend, {} shard(s)",
+            self.scale,
+            self.backend.name(),
+            self.shards
+        );
+        if self.threads > 1 {
+            out.push_str(&format!(", {} threads", self.threads));
+        }
+        out
+    }
+
     /// Triples to generate for a dataset whose paper-scale size is
     /// `paper_triples`.
     pub fn triples(&self, paper_triples: usize) -> usize {
         ((paper_triples as f64 * self.scale) as usize).max(2_000)
     }
+}
+
+/// The `KGDUAL_SHARDS` env default (None when unset or unparsable).
+fn env_shards() -> Option<usize> {
+    std::env::var("KGDUAL_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
 }
 
 #[cfg(test)]
@@ -160,10 +204,28 @@ mod tests {
 
     #[test]
     fn free_form_flags_and_lookup() {
-        let a = parse("--workload yago --foo bar");
+        let a = parse("--workload yago --foo bar --restart true --quick false");
         assert_eq!(a.get("workload"), Some("yago"));
         assert_eq!(a.get("foo"), Some("bar"));
         assert_eq!(a.get("missing"), None);
+        assert!(a.get_bool("restart"));
+        assert!(!a.get_bool("quick"));
+        assert!(!a.get_bool("missing"));
+    }
+
+    #[test]
+    fn shards_flag_parses_with_minimum_one() {
+        assert_eq!(parse("").shards, 1);
+        assert_eq!(parse("--shards 8").shards, 8);
+        assert_eq!(parse("--shards 0").shards, 1);
+    }
+
+    #[test]
+    fn describe_names_the_run_configuration() {
+        let d = parse("--scale 0.002 --backend csr --shards 4").describe();
+        assert_eq!(d, "scale 0.002, csr backend, 4 shard(s)");
+        let d = parse("--threads 8").describe();
+        assert!(d.ends_with("8 threads"), "{d}");
     }
 
     #[test]

@@ -19,8 +19,9 @@ fn main() {
         "Figure 3"
     };
     println!(
-        "{figure}: per-batch simulated TTI (s, calibrated; wall-clock total alongside), {} workloads, scale {}, {} backend\n",
-        args.order, args.scale, args.backend.name()
+        "{figure}: per-batch simulated TTI (s, calibrated; wall-clock total alongside), {} workloads, {}\n",
+        args.order,
+        args.describe()
     );
 
     let variants = [

@@ -13,9 +13,8 @@ use kgdual_bench::{
 fn main() {
     let mut args = BenchArgs::parse();
     println!(
-        "Figure 5: total simulated TTI (s) per workload and store variant, scale {}, {} backend\n",
-        args.scale,
-        args.backend.name()
+        "Figure 5: total simulated TTI (s) per workload and store variant, {}\n",
+        args.describe()
     );
 
     let variants = [

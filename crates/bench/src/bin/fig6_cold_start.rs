@@ -25,9 +25,8 @@ fn main() {
     // Cold start is about the FIRST run; do not warm up.
     args.reps = 1;
     println!(
-        "Figure 6: graph-store share of online work per batch (cold start), scale {}, {} backend\n",
-        args.scale,
-        args.backend.name()
+        "Figure 6: graph-store share of online work per batch (cold start), {}\n",
+        args.describe()
     );
 
     for order in ["ordered", "random"] {
@@ -60,7 +59,7 @@ fn main() {
         println!();
     }
 
-    if args.get("restart") != Some("true") {
+    if !args.get_bool("restart") {
         return;
     }
 

@@ -19,9 +19,8 @@ use std::time::Duration;
 fn main() {
     let args = BenchArgs::parse();
     println!(
-        "Figure 7: IO/CPU consumed by the graph store over time (40% spare IO), scale {}, {} backend\n",
-        args.scale,
-        args.backend.name()
+        "Figure 7: IO/CPU consumed by the graph store over time (40% spare IO), {}\n",
+        args.describe()
     );
     match args.backend {
         BackendKind::Adjacency => run::<AdjacencyBackend>(&args),
@@ -33,7 +32,7 @@ fn run<B: GraphBackend>(args: &BenchArgs) {
     let triples = args.triples(16_418_085);
     let dataset = YagoGen::with_target_triples(triples, args.seed).generate();
     let total = dataset.len();
-    let mut dual = DualStore::<B>::from_dataset_in(dataset, total);
+    let mut dual = DualStore::<B>::from_dataset_sharded_in(dataset, total, args.shards);
     for pred in ["y:wasBornIn", "y:hasAcademicAdvisor", "y:isMarriedTo"] {
         let p = dual.dict().pred_id(pred).expect("predicate exists");
         dual.migrate_partition(p).expect("partitions fit");

@@ -11,9 +11,8 @@ use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind,
 fn main() {
     let mut args = BenchArgs::parse();
     println!(
-        "Figure 8: total simulated TTI (s) per tuner, scale {}, {} backend\n",
-        args.scale,
-        args.backend.name()
+        "Figure 8: total simulated TTI (s) per tuner, {}\n",
+        args.describe()
     );
 
     let tuners = [

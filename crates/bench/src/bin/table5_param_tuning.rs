@@ -23,8 +23,8 @@ struct Sweep {
 fn main() {
     let args = BenchArgs::parse();
     println!(
-        "Table 5: DOTIL parameter tuning on half of the random YAGO workload, scale {}\n",
-        args.scale
+        "Table 5: DOTIL parameter tuning on half of the random YAGO workload, {}\n",
+        args.describe()
     );
 
     let dataset = build_dataset(WorkloadKind::Yago, &args);
@@ -80,7 +80,7 @@ fn main() {
             let budget = (dataset.len() as f64 * r_bg) as usize;
             let shared = SharedDotil::new(cfg);
             let mut variant = StoreVariant::rdb_gdb(
-                DualStore::from_dataset(dataset.clone(), budget),
+                DualStore::from_dataset_sharded(dataset.clone(), budget, args.shards),
                 Box::new(shared.clone()),
             );
             let runner = WorkloadRunner::new(TuningSchedule::AfterEachBatch);

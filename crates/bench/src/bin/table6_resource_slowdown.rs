@@ -20,7 +20,7 @@ fn run<B: GraphBackend>(args: &BenchArgs) {
     let triples = args.triples(16_418_085);
     let dataset = YagoGen::with_target_triples(triples, args.seed).generate();
     let total = dataset.len();
-    let mut dual = DualStore::<B>::from_dataset_in(dataset, total);
+    let mut dual = DualStore::<B>::from_dataset_sharded_in(dataset, total, args.shards);
     for pred in ["y:wasBornIn", "y:hasAcademicAdvisor", "y:isMarriedTo"] {
         let p = dual.dict().pred_id(pred).expect("predicate exists");
         dual.migrate_partition(p).expect("partitions fit");
@@ -70,9 +70,8 @@ fn run<B: GraphBackend>(args: &BenchArgs) {
 fn main() {
     let args = BenchArgs::parse();
     println!(
-        "Table 6: graph-store slowdown with limited spare resources, scale {}, {} backend\n",
-        args.scale,
-        args.backend.name()
+        "Table 6: graph-store slowdown with limited spare resources, {}\n",
+        args.describe()
     );
     match args.backend {
         BackendKind::Adjacency => run::<AdjacencyBackend>(&args),

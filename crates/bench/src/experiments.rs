@@ -135,14 +135,16 @@ impl<B: GraphBackend> PhysicalTuner<B> for SharedDotil {
 }
 
 /// Build a fresh store variant over (a clone of) `dataset` with graph/view
-/// budget `budget` triples, on the chosen graph-store backend.
+/// budget `budget` triples, on the chosen graph-store backend, with the
+/// relational store sharded `shards` ways.
 pub fn build_variant<B: GraphBackend>(
     kind: VariantKind,
     dataset: kgdual_model::Dataset,
     budget: usize,
     dotil_cfg: DotilConfig,
+    shards: usize,
 ) -> StoreVariant<B> {
-    let dual = DualStore::from_dataset_in(dataset, budget);
+    let dual = DualStore::from_dataset_sharded_in(dataset, budget, shards);
     match kind {
         VariantKind::RdbOnly => StoreVariant::rdb_only(dual),
         VariantKind::RdbViews => StoreVariant::rdb_views(dual),
@@ -207,7 +209,13 @@ pub fn run_variant_comparison_in<B: GraphBackend>(
 
     let mut out = Vec::with_capacity(variants.len());
     for &vk in variants {
-        let mut variant = build_variant::<B>(vk, dataset.clone(), budget, DotilConfig::default());
+        let mut variant = build_variant::<B>(
+            vk,
+            dataset.clone(),
+            budget,
+            DotilConfig::default(),
+            args.shards,
+        );
         let runner = WorkloadRunner::new(vk.schedule());
         let mut kept: Vec<Vec<f64>> = Vec::new();
         let mut last_reports: Vec<BatchReport> = Vec::new();
@@ -313,6 +321,7 @@ pub fn run_restart_comparison_in<B: GraphBackend>(
         dataset.clone(),
         budget,
         DotilConfig::default(),
+        args.shards,
     );
     let cold_reports = runner.run(&mut cold, &batches).expect("cold run failed");
 
@@ -324,6 +333,7 @@ pub fn run_restart_comparison_in<B: GraphBackend>(
         dataset.clone(),
         budget,
         DotilConfig::default(),
+        args.shards,
     );
     {
         let (dual, tuner) = warm.dual_and_tuner_mut();
@@ -354,6 +364,7 @@ pub fn run_restart_comparison_in<B: GraphBackend>(
         dataset,
         budget,
         DotilConfig::default(),
+        args.shards,
     );
     let oracle_reports = WorkloadRunner::new(TuningSchedule::BeforeEachBatchWithUpcoming)
         .run(&mut oracle, &batches)
@@ -432,7 +443,11 @@ pub fn run_parallel_comparison_in<B: GraphBackend>(
     let mut out = Vec::with_capacity(configs.len());
     for (name, mode) in configs {
         let measure = |threads: usize| -> (u64, u64, f64, f64) {
-            let store = SharedStore::new(DualStore::<B>::from_dataset_in(dataset.clone(), budget));
+            let store = SharedStore::new(DualStore::<B>::from_dataset_sharded_in(
+                dataset.clone(),
+                budget,
+                args.shards,
+            ));
             let mut tuner: Box<dyn PhysicalTuner<B>> = match mode {
                 ExecMode::Routed => Box::new(Dotil::with_config(DotilConfig::default())),
                 ExecMode::RelationalOnly => Box::new(kgdual_core::NoopTuner),

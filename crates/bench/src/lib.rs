@@ -17,9 +17,13 @@
 //! Every binary accepts `--scale <fraction-of-paper-size>`, `--seed <u64>`
 //! and `--reps <n>`; paper-scale runs are possible but the defaults are
 //! sized for minutes, not hours. The workload binaries additionally take
-//! `--backend {adjacency,csr}` to select the graph-store substrate (the
-//! deterministic metrics are backend-invariant by construction; what
-//! changes is wall clock and the import cost model).
+//! `--backend {adjacency,csr}` to select the graph-store substrate and
+//! `--shards <n>` (env default `KGDUAL_SHARDS`) to shard the relational
+//! store by predicate. Both axes are invisible in the deterministic
+//! metrics by construction — backend changes wall clock and the import
+//! cost model, sharding changes wall clock and intra-query parallelism.
+//! All common flags are parsed once, in [`args::BenchArgs`]; binaries
+//! print their configuration through [`args::BenchArgs::describe`].
 
 pub mod args;
 pub mod experiments;

@@ -59,7 +59,7 @@ fn plan_residency<B: GraphBackend>(dual: &mut DualStore<B>, desired: &[PredId]) 
         if dual.migrate_partition(p).is_ok() {
             outcome.migrated += 1;
             outcome.triples_in += sz as u64;
-            outcome.offline_work += sz as u64 * dual.graph().bulk_import_cost_per_triple();
+            outcome.offline_work += dual.bulk_import_units(sz as u64);
         }
     }
     outcome

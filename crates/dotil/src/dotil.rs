@@ -463,7 +463,7 @@ impl<B: GraphBackend> PhysicalTuner<B> for Dotil {
                 }
                 continue;
             }
-            outcome.offline_work += needed as u64 * dual.graph().bulk_import_cost_per_triple();
+            outcome.offline_work += dual.bulk_import_units(needed as u64);
 
             // Lines 30-31: one measurement, both role updates. The first
             // copy pays the transfer action; the remaining `count - 1`

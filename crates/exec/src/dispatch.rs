@@ -1,0 +1,157 @@
+//! Pooled execution of independent per-shard relational scans —
+//! intra-query parallelism for the sharded relational store.
+//!
+//! The sharded `RelStore` (see `kgdual_relstore::shard`) splits a
+//! variable-predicate union scan into one independent job per shard and
+//! hands the batch to whatever [`ShardDispatch`] is installed.
+//! [`PooledShardDispatch`] is the concurrent implementation: jobs are
+//! claimed from a self-scheduling index queue by up to `threads` scoped
+//! workers — the same load-balancing shape as [`crate::BatchExecutor`]'s
+//! query pool, one level down. Results are re-indexed by job before
+//! returning, so the caller's canonical-order merge (and with it every
+//! deterministic metric) is unaffected by scheduling: the pool changes
+//! wall clock only.
+//!
+//! [`crate::ParallelRunner`] installs a pool sized to its executor's
+//! worker count automatically; [`crate::SharedStore::install_shard_dispatch`]
+//! is the manual hook.
+
+use kgdual_relstore::{ShardDispatch, ShardScanPart};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A [`ShardDispatch`] that fans shard jobs over scoped worker threads.
+/// Counters make the dispatch observable for tests and diagnostics.
+///
+/// Threads are spawned per dispatch rather than kept resident: scoped
+/// spawns keep the borrow story trivial (jobs borrow the store and the
+/// caller's context) and a union scan is long relative to thread
+/// creation. The cost is transient oversubscription when several
+/// `BatchExecutor` workers hit variable-predicate scans at once — up to
+/// `executor threads × min(threads, shards)` short-lived threads.
+/// Sharing the executor's idle workers instead is a known follow-up
+/// (see ROADMAP); the determinism contract is unaffected either way.
+#[derive(Debug)]
+pub struct PooledShardDispatch {
+    threads: usize,
+    dispatches: AtomicU64,
+    jobs_run: AtomicU64,
+}
+
+impl PooledShardDispatch {
+    /// A pool running at most `threads` shard jobs concurrently (0 is
+    /// clamped to 1, which degenerates to inline execution).
+    pub fn new(threads: usize) -> Self {
+        PooledShardDispatch {
+            threads: threads.max(1),
+            dispatches: AtomicU64::new(0),
+            jobs_run: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum concurrent shard jobs.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// How many multi-shard scans have been dispatched through this pool.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Total shard jobs executed across all dispatches.
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs_run.load(Ordering::Relaxed)
+    }
+}
+
+impl ShardDispatch for PooledShardDispatch {
+    fn run_jobs(
+        &self,
+        jobs: usize,
+        job: &(dyn Fn(usize) -> ShardScanPart + Sync),
+    ) -> Vec<ShardScanPart> {
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.jobs_run.fetch_add(jobs as u64, Ordering::Relaxed);
+        if jobs <= 1 || self.threads == 1 {
+            return (0..jobs).map(job).collect();
+        }
+
+        let workers = self.threads.min(jobs);
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<(usize, ShardScanPart)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs {
+                                break;
+                            }
+                            mine.push((i, job(i)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard scan worker must not panic"))
+                .collect()
+        });
+        // Restore job order: the contract is out[i] == job(i)'s result.
+        collected.sort_by_key(|&(i, _)| i);
+        collected.into_iter().map(|(_, part)| part).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgdual_relstore::ExecStats;
+
+    fn marked(i: usize) -> ShardScanPart {
+        ShardScanPart {
+            stats: ExecStats {
+                rows_scanned: i as u64 + 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let pool = PooledShardDispatch::new(4);
+        for jobs in [1usize, 2, 3, 8, 17] {
+            let parts = pool.run_jobs(jobs, &marked);
+            let got: Vec<u64> = parts.iter().map(|p| p.stats.rows_scanned).collect();
+            let want: Vec<u64> = (1..=jobs as u64).collect();
+            assert_eq!(got, want, "{jobs} jobs");
+        }
+        assert_eq!(pool.dispatches(), 5);
+        assert_eq!(pool.jobs_run(), 1 + 2 + 3 + 8 + 17);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = PooledShardDispatch::new(0);
+        assert_eq!(pool.threads(), 1);
+        let parts = pool.run_jobs(3, &marked);
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once_under_contention() {
+        use std::sync::atomic::AtomicU64;
+        let pool = PooledShardDispatch::new(8);
+        let calls = AtomicU64::new(0);
+        let parts = pool.run_jobs(64, &|i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            marked(i)
+        });
+        assert_eq!(parts.len(), 64);
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+    }
+}

@@ -427,6 +427,50 @@ mod tests {
     }
 
     #[test]
+    fn sharded_store_with_pooled_dispatch_matches_monolithic() {
+        use crate::dispatch::PooledShardDispatch;
+        use std::sync::Arc;
+
+        let mut b = DatasetBuilder::new();
+        for i in 0..40 {
+            b.add_terms(
+                &Term::iri(format!("y:p{i}")),
+                &format!("y:pred{}", i % 7),
+                &Term::iri(format!("y:c{}", i % 5)),
+            );
+        }
+        let dataset = b.build();
+        let mono = SharedStore::new(DualStore::from_dataset(dataset.clone(), 100));
+        let sharded = SharedStore::new(DualStore::from_dataset_sharded(dataset, 100, 4));
+        let pool = Arc::new(PooledShardDispatch::new(4));
+        sharded.install_shard_dispatch(pool.clone());
+
+        // Variable-predicate queries are the multi-shard union scans the
+        // dispatcher fans out; a LIMIT case pins the merged row order.
+        let queries = vec![
+            parse("SELECT ?s WHERE { ?s ?p y:c0 }").unwrap(),
+            parse("SELECT ?s ?o WHERE { ?s ?p ?o }").unwrap(),
+            parse("SELECT ?s ?o WHERE { ?s ?p ?o } LIMIT 7").unwrap(),
+        ];
+        let exec = BatchExecutor::new(4);
+        let a = exec.execute_batch(&mono, &queries);
+        let b = exec.execute_batch(&sharded, &queries);
+        assert_eq!(a.errors, 0);
+        assert_eq!(b.errors, 0);
+        assert_eq!(a.results_digest, b.results_digest);
+        assert_eq!(a.total_work(), b.total_work());
+        assert_eq!(a.sim_tti, b.sim_tti);
+        assert_eq!(a.result_rows, b.result_rows);
+        assert!(
+            pool.dispatches() >= queries.len() as u64,
+            "every union scan must have gone through the pooled dispatcher \
+             (saw {} dispatches)",
+            pool.dispatches()
+        );
+        assert!(pool.jobs_run() >= 4 * pool.dispatches());
+    }
+
+    #[test]
     fn report_flattens_to_batch_report() {
         let store = shared(100);
         let report = BatchExecutor::new(2).execute_batch(&store, &batch());

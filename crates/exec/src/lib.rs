@@ -49,10 +49,12 @@
 //! assert_eq!(reports.len(), 1);
 //! ```
 
+pub mod dispatch;
 pub mod executor;
 pub mod runner;
 pub mod shared;
 
+pub use dispatch::PooledShardDispatch;
 pub use executor::{BatchExecutor, ExecMode, ParallelBatchReport};
 pub use runner::ParallelRunner;
 pub use shared::SharedStore;

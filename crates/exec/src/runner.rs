@@ -10,12 +10,14 @@
 //! which is why Q-matrix updates and migration decisions are identical at
 //! every thread count.
 
+use crate::dispatch::PooledShardDispatch;
 use crate::executor::{BatchExecutor, ParallelBatchReport};
 use crate::shared::SharedStore;
 use kgdual_core::batch::TuningSchedule;
 use kgdual_core::PhysicalTuner;
 use kgdual_graphstore::GraphBackend;
 use kgdual_sparql::Query;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Runs workloads batch by batch with concurrent online phases and
@@ -44,6 +46,17 @@ impl ParallelRunner {
         batches: &[Vec<Query>],
     ) -> Vec<ParallelBatchReport> {
         let mut reports = Vec::with_capacity(batches.len());
+
+        // Multi-thread executors also parallelize *inside* a query: a
+        // sharded relational store fans its per-shard union scans over a
+        // pool sized to the same worker budget. Purely behavioral (no
+        // epoch bump) and metric-invariant — single-shard stores and
+        // 1-thread runs keep the inline path.
+        if self.executor.threads() > 1 {
+            store.install_shard_dispatch(Arc::new(PooledShardDispatch::new(
+                self.executor.threads(),
+            )));
+        }
 
         if self.schedule == TuningSchedule::OnceUpfrontWithAll {
             let all: Vec<Query> = batches.iter().flatten().cloned().collect();

@@ -14,8 +14,10 @@ use bytes::Bytes;
 use kgdual_core::{persist, DualStore, PhysicalTuner, RestoreReport};
 use kgdual_graphstore::{AdjacencyBackend, GraphBackend};
 use kgdual_model::DesignError;
+use kgdual_relstore::ShardDispatch;
 use parking_lot::{RwLock, RwLockReadGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A [`DualStore`] shared between concurrent query workers (readers) and
 /// the physical tuner (exclusive writer).
@@ -68,6 +70,19 @@ impl<B: GraphBackend> SharedStore<B> {
     /// Unwrap the store (end of experiment).
     pub fn into_inner(self) -> DualStore<B> {
         self.store.into_inner()
+    }
+
+    /// Install the executor the sharded relational store fans independent
+    /// per-shard scans out with (see [`crate::PooledShardDispatch`]).
+    ///
+    /// Takes the write lock so the swap cannot interleave with an
+    /// in-flight batch, but does **not** advance the epoch: the
+    /// dispatcher changes how scans are scheduled, never what they
+    /// compute, so the physical design readers observe is unchanged.
+    /// [`crate::ParallelRunner`] calls this automatically for multi-thread
+    /// executors; it is a no-op in effect on single-shard stores.
+    pub fn install_shard_dispatch(&self, dispatch: Arc<dyn ShardDispatch>) {
+        self.store.write().set_shard_dispatch(dispatch);
     }
 
     /// Quiesce the store and capture a design checkpoint.

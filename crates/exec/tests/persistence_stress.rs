@@ -22,6 +22,18 @@ const SEED: u64 = 42;
 const TRIPLES: usize = 4_000;
 const THREADS: usize = 4;
 
+/// Relational shard count CI selects via `KGDUAL_SHARDS` (default: 1,
+/// the monolithic layout). Every deterministic assertion in this file is
+/// shard-invariant by the sharding determinism contract, so the same
+/// expectations hold on every axis value.
+fn env_shards() -> usize {
+    std::env::var("KGDUAL_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 fn on_selected_backend(run: impl Fn(&str)) {
     match std::env::var("KGDUAL_BACKEND").as_deref() {
         Ok("csr") => run("csr"),
@@ -42,7 +54,11 @@ macro_rules! dispatch {
 fn fresh_store<B: GraphBackend>() -> SharedStore<B> {
     let dataset = YagoGen::with_target_triples(TRIPLES, SEED).generate();
     let budget = dataset.len() / 4;
-    SharedStore::new(DualStore::<B>::from_dataset_in(dataset, budget))
+    SharedStore::new(DualStore::<B>::from_dataset_sharded_in(
+        dataset,
+        budget,
+        env_shards(),
+    ))
 }
 
 fn batches() -> Vec<Vec<Query>> {

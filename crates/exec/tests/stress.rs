@@ -20,6 +20,18 @@ use kgdual_workloads::{Workload, YagoGen};
 const SEED: u64 = 42;
 const TRIPLES: usize = 4_000;
 
+/// Relational shard count CI selects via `KGDUAL_SHARDS` (default: 1,
+/// the monolithic layout). Every deterministic assertion in this file is
+/// shard-invariant by the sharding determinism contract, so the same
+/// expectations hold on every axis value.
+fn env_shards() -> usize {
+    std::env::var("KGDUAL_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 /// Dispatch a generic stress scenario to the substrate CI selected via
 /// `KGDUAL_BACKEND` (default: adjacency).
 fn on_selected_backend(run: impl Fn(&str)) {
@@ -43,7 +55,11 @@ macro_rules! dispatch {
 fn fresh_store<B: GraphBackend>() -> SharedStore<B> {
     let dataset = YagoGen::with_target_triples(TRIPLES, SEED).generate();
     let budget = dataset.len() / 4;
-    SharedStore::new(DualStore::<B>::from_dataset_in(dataset, budget))
+    SharedStore::new(DualStore::<B>::from_dataset_sharded_in(
+        dataset,
+        budget,
+        env_shards(),
+    ))
 }
 
 fn batches() -> Vec<Vec<Query>> {
@@ -122,7 +138,7 @@ fn parallel_run_matches_serial<B: GraphBackend>() {
     let dataset = YagoGen::with_target_triples(TRIPLES, SEED).generate();
     let budget = dataset.len() / 4;
     let mut variant = StoreVariant::<B>::rdb_gdb(
-        DualStore::<B>::from_dataset_in(dataset, budget),
+        DualStore::<B>::from_dataset_sharded_in(dataset, budget, env_shards()),
         Box::new(Dotil::with_config(DotilConfig::default())),
     );
     let serial = WorkloadRunner::default()

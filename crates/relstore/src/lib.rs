@@ -6,7 +6,13 @@
 //! Layout follows the paper's partitioning model: one two-column
 //! `(subject, object)` table per predicate (vertical partitioning), which
 //! makes the *triple partition* the natural unit both of storage and of the
-//! tuner's physical design.
+//! tuner's physical design — and the predicate the natural sharding key:
+//! [`RelStore`] is a facade over `N` independent shard stores
+//! ([`shard`]), with a stable-hash [`router`] assigning whole partitions
+//! to shards. The shard count is invisible in every deterministic metric
+//! (multi-shard enumerations always merge in canonical ascending-predicate
+//! order); what it buys is independent per-shard scans that `kgdual-exec`
+//! fans out across its worker pool.
 //!
 //! The executor reproduces the relational behaviour the paper's argument
 //! rests on: multi-pattern (complex) queries are answered by full partition
@@ -26,6 +32,8 @@
 
 pub mod exec;
 pub mod planner;
+pub mod router;
+pub mod shard;
 pub mod store;
 pub mod table;
 pub mod temp;
@@ -36,6 +44,8 @@ pub use exec::{
     ResourceKind,
 };
 pub use planner::PlannerConfig;
+pub use router::{RouterError, ShardRouter};
+pub use shard::{RelShard, SerialDispatch, ShardDispatch, ShardScanPart, ShardedRelStore};
 pub use store::RelStore;
 pub use table::{PredTable, TableStats};
 pub use temp::TempSpace;

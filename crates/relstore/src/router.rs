@@ -1,0 +1,251 @@
+//! Predicate-to-shard routing for the sharded relational store.
+//!
+//! The relational half of the dual store is vertically partitioned by
+//! predicate (one `(subject, object)` table per predicate), which makes
+//! the predicate the natural sharding key: a shard owns whole partitions,
+//! every per-partition operation touches exactly one shard, and shard
+//! scans are independent. [`ShardRouter`] is the assignment function.
+//!
+//! # Determinism contract
+//!
+//! Routing must be **stable**: the same `(router config, predicate)` pair
+//! maps to the same shard on every platform, build, and process lifetime,
+//! because the shard layout is persisted in design snapshots
+//! (`kgdual-core::persist`) and validated on restore. The default
+//! assignment therefore uses a fixed SplitMix64 bit mix — not a
+//! `std`/hasher-dependent hash — reduced modulo the shard count.
+//!
+//! # Custom shard routing
+//!
+//! Routing policy is configured, not subclassed: build the router with
+//! [`ShardRouter::with_overrides`] to pin specific predicates to specific
+//! shards while every other predicate keeps the stable hash assignment.
+//! This is how hot partitions are isolated onto a dedicated shard (the
+//! classic skew fix for predicate-partitioned stores): route the heavy
+//! predicate — say, `rdf:type` — alone to shard 0 and let the long tail
+//! hash across the rest. Overrides are part of the persisted layout, so a
+//! restored store refuses a snapshot taken under a different policy
+//! ([`kgdual_model::DesignError::Mismatch`]) instead of silently
+//! re-routing rows. A router with `shards == 1` assigns everything to
+//! shard 0 and is the monolithic (pre-sharding) layout.
+
+use kgdual_model::PredId;
+
+/// Errors raised while building a [`ShardRouter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterError {
+    /// The same predicate was pinned twice.
+    DuplicateOverride(PredId),
+    /// An override targets a shard outside `0..shards`.
+    ShardOutOfRange {
+        /// The pinned predicate.
+        pred: PredId,
+        /// The out-of-range target shard, as given.
+        shard: usize,
+        /// The configured shard count.
+        shards: u32,
+    },
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::DuplicateOverride(pred) => {
+                write!(f, "predicate {pred} has two shard overrides")
+            }
+            RouterError::ShardOutOfRange {
+                pred,
+                shard,
+                shards,
+            } => write!(
+                f,
+                "override for predicate {pred} targets shard {shard} but only {shards} exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// SplitMix64 finalizer: a fixed, platform-independent bit mix. The shard
+/// layout is durable state, so this must never change.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Stable predicate → shard assignment: SplitMix64 modulo the shard
+/// count, with an explicit override map for pinning hot predicates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+    /// Pinned assignments, kept sorted by predicate (canonical order for
+    /// persistence and byte-for-byte config comparison).
+    overrides: Vec<(PredId, u32)>,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (0 is clamped to 1) with no
+    /// overrides. `ShardRouter::new(1)` is the monolithic layout.
+    pub fn new(shards: usize) -> Self {
+        ShardRouter {
+            shards: shards.max(1) as u32,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// A router with explicit predicate pins. Overrides are sorted into
+    /// canonical (ascending predicate) order; duplicates and out-of-range
+    /// targets are typed errors, never silent clamps.
+    pub fn with_overrides(
+        shards: usize,
+        overrides: impl IntoIterator<Item = (PredId, usize)>,
+    ) -> Result<Self, RouterError> {
+        let mut router = Self::new(shards);
+        // Range-check in usize space BEFORE narrowing to the persisted
+        // u32 representation, so a target like 1 << 32 errors instead of
+        // wrapping into range.
+        let mut pins: Vec<(PredId, u32)> = Vec::new();
+        for (pred, shard) in overrides {
+            if shard >= router.shards as usize {
+                return Err(RouterError::ShardOutOfRange {
+                    pred,
+                    shard,
+                    shards: router.shards,
+                });
+            }
+            pins.push((pred, shard as u32));
+        }
+        pins.sort_by_key(|&(p, _)| p);
+        for pair in pins.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(RouterError::DuplicateOverride(pair[0].0));
+            }
+        }
+        router.overrides = pins;
+        Ok(router)
+    }
+
+    /// The number of shards this router assigns into.
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The pinned assignments, in canonical (ascending predicate) order.
+    pub fn overrides(&self) -> &[(PredId, u32)] {
+        &self.overrides
+    }
+
+    /// The shard owning `pred`. Total (every predicate maps somewhere),
+    /// stable (pure function of the router config), and always in
+    /// `0..shard_count()`.
+    #[inline]
+    pub fn assign(&self, pred: PredId) -> usize {
+        if let Ok(i) = self.overrides.binary_search_by_key(&pred, |&(p, _)| p) {
+            return self.overrides[i].1 as usize;
+        }
+        (splitmix64(pred.0 as u64) % self.shards as u64) as usize
+    }
+}
+
+impl Default for ShardRouter {
+    /// The monolithic single-shard layout.
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_assigns_everything_to_zero() {
+        let r = ShardRouter::new(1);
+        for p in 0..100 {
+            assert_eq!(r.assign(PredId(p)), 0);
+        }
+        assert_eq!(ShardRouter::default(), r);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ShardRouter::new(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn assignment_is_total_and_stable() {
+        for shards in [2usize, 3, 8, 17] {
+            let r = ShardRouter::new(shards);
+            for p in 0..1000 {
+                let a = r.assign(PredId(p));
+                assert!(a < shards);
+                assert_eq!(a, r.assign(PredId(p)), "same input, same shard");
+                assert_eq!(a, ShardRouter::new(shards).assign(PredId(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_is_pinned_against_accidental_change() {
+        // The layout is durable state: if this test fails, the mix
+        // function changed and every persisted shard layout broke.
+        let r = ShardRouter::new(8);
+        let got: Vec<usize> = (0..8).map(|p| r.assign(PredId(p))).collect();
+        assert_eq!(got, vec![7, 1, 6, 5, 2, 2, 0, 7]);
+    }
+
+    #[test]
+    fn assignment_spreads_across_shards() {
+        let r = ShardRouter::new(4);
+        let mut counts = [0usize; 4];
+        for p in 0..400 {
+            counts[r.assign(PredId(p))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 50, "shard {i} got only {c}/400 predicates");
+        }
+    }
+
+    #[test]
+    fn overrides_win_and_sort_canonically() {
+        let r = ShardRouter::with_overrides(4, [(PredId(9), 2), (PredId(3), 0), (PredId(7), 1)])
+            .unwrap();
+        assert_eq!(r.assign(PredId(3)), 0);
+        assert_eq!(r.assign(PredId(7)), 1);
+        assert_eq!(r.assign(PredId(9)), 2);
+        assert_eq!(
+            r.overrides(),
+            &[(PredId(3), 0), (PredId(7), 1), (PredId(9), 2)]
+        );
+        // Non-pinned predicates keep the hash assignment.
+        assert_eq!(r.assign(PredId(5)), ShardRouter::new(4).assign(PredId(5)));
+    }
+
+    #[test]
+    fn bad_overrides_are_typed_errors() {
+        assert_eq!(
+            ShardRouter::with_overrides(4, [(PredId(1), 0), (PredId(1), 2)]).unwrap_err(),
+            RouterError::DuplicateOverride(PredId(1))
+        );
+        assert_eq!(
+            ShardRouter::with_overrides(2, [(PredId(1), 2)]).unwrap_err(),
+            RouterError::ShardOutOfRange {
+                pred: PredId(1),
+                shard: 2,
+                shards: 2
+            }
+        );
+        // A huge target must error, not wrap into range through the u32
+        // narrowing of the persisted representation.
+        assert!(matches!(
+            ShardRouter::with_overrides(4, [(PredId(1), usize::MAX - 3)]).unwrap_err(),
+            RouterError::ShardOutOfRange { shard, .. } if shard == usize::MAX - 3
+        ));
+        let display = format!("{}", RouterError::DuplicateOverride(PredId(1)));
+        assert!(display.contains("two shard overrides"));
+    }
+}

@@ -1,27 +1,39 @@
-//! The relational store: vertically-partitioned storage plus a BGP
-//! executor (greedy join order, hash joins, optional index nested loops).
+//! The relational store facade: predicate-sharded vertically-partitioned
+//! storage plus a BGP executor (greedy join order, hash joins, optional
+//! index nested loops).
 
-use crate::exec::{Bindings, ExecContext, ExecError};
+use crate::exec::{Bindings, ExecContext, ExecError, ExecStats};
 use crate::planner::{self, PlannerConfig};
+use crate::router::ShardRouter;
+use crate::shard::{ShardDispatch, ShardScanPart, ShardedRelStore};
 use crate::table::{PredTable, TableStats};
 use kgdual_model::fx::FxHashMap;
 use kgdual_model::{NodeId, PartitionSet, PredId, Triple};
 use kgdual_sparql::{EncPattern, EncodedQuery, PredSlot, Slot, VarId};
+use std::sync::Arc;
 
-/// The relational store: one [`PredTable`] per predicate.
+/// The relational store: one [`PredTable`] per predicate, spread across
+/// `N` predicate-keyed shards (see [`crate::shard`]; the default is the
+/// monolithic single-shard layout).
 ///
 /// Stores the *entire* knowledge graph in the dual-store design and is the
 /// only store that accepts updates directly (the paper keeps `T_R` complete
-/// regardless of what is mirrored into the graph store).
+/// regardless of what is mirrored into the graph store). The shard layout
+/// is a physical-organization choice only: every query, update, statistic,
+/// and work-unit charge is byte-identical at every shard count — sharding
+/// changes *where* a partition lives and what can run concurrently, never
+/// what is computed.
 #[derive(Debug, Default)]
 pub struct RelStore {
-    tables: Vec<PredTable>,
-    total_rows: usize,
+    sharded: ShardedRelStore,
     cfg: PlannerConfig,
+    /// Optional parallel executor for independent per-shard scans
+    /// (installed by `kgdual-exec`; `None` runs them inline).
+    dispatch: Option<Arc<dyn ShardDispatch>>,
 }
 
 impl RelStore {
-    /// An empty store with default planner settings.
+    /// An empty single-shard store with default planner settings.
     pub fn new() -> Self {
         Self::default()
     }
@@ -34,76 +46,103 @@ impl RelStore {
         }
     }
 
+    /// An empty store sharded `n` ways by the default stable-hash router.
+    pub fn with_shards(n: usize) -> Self {
+        Self::with_config_and_router(PlannerConfig::default(), ShardRouter::new(n))
+    }
+
+    /// Fully parameterized constructor: planner settings plus an explicit
+    /// shard router (hot-predicate overrides included).
+    pub fn with_config_and_router(cfg: PlannerConfig, router: ShardRouter) -> Self {
+        RelStore {
+            sharded: ShardedRelStore::new(router),
+            cfg,
+            dispatch: None,
+        }
+    }
+
     /// The planner configuration in use.
     pub fn config(&self) -> &PlannerConfig {
         &self.cfg
     }
 
+    /// The shard router in use.
+    pub fn router(&self) -> &ShardRouter {
+        self.sharded.router()
+    }
+
+    /// Number of shards (1 = the monolithic layout).
+    pub fn shard_count(&self) -> usize {
+        self.sharded.shard_count()
+    }
+
+    /// The shard owning `pred`'s partition.
+    pub fn shard_of(&self, pred: PredId) -> usize {
+        self.sharded.shard_of(pred)
+    }
+
+    /// Per-shard row counts; sums to [`Self::total_triples`].
+    pub fn shard_rows(&self) -> Vec<usize> {
+        self.sharded.shard_rows()
+    }
+
+    /// Install (or replace) the executor for independent per-shard scans.
+    /// `kgdual-exec` installs its pooled dispatcher here so
+    /// variable-predicate union scans fan out across its worker threads;
+    /// without one they run inline in canonical order. Either way the
+    /// result rows, their order, and every work-unit charge are identical
+    /// — the dispatcher changes wall clock only.
+    pub fn set_shard_dispatch(&mut self, dispatch: Arc<dyn ShardDispatch>) {
+        self.dispatch = Some(dispatch);
+    }
+
     /// Bulk-load every partition of `parts` (appends to existing tables).
     pub fn load_partition_set(&mut self, parts: &PartitionSet) {
         for part in parts.iter() {
-            self.table_mut(part.pred()).insert_batch(part.pairs());
-            self.total_rows += part.len();
+            self.sharded.insert_batch(part.pred(), part.pairs());
         }
     }
 
     /// Bulk-load one partition's pairs.
     pub fn load_partition(&mut self, pred: PredId, pairs: &[(NodeId, NodeId)]) {
-        self.table_mut(pred).insert_batch(pairs);
-        self.total_rows += pairs.len();
+        self.sharded.insert_batch(pred, pairs);
     }
 
     /// Insert a single triple (cheap append — the relational store's
     /// headline strength in the paper).
     pub fn insert(&mut self, t: Triple) {
-        self.table_mut(t.p).insert(t.s, t.o);
-        self.total_rows += 1;
+        self.sharded.insert(t.p, t.s, t.o);
     }
 
     /// Delete every copy of a triple; returns how many rows were removed.
     pub fn delete(&mut self, t: Triple) -> usize {
-        let Some(table) = self.tables.get_mut(t.p.index()) else {
-            return 0;
-        };
-        let removed = table.delete(t.s, t.o);
-        self.total_rows -= removed;
-        removed
+        self.sharded.delete(t.p, t.s, t.o)
     }
 
-    /// The table for `pred`, if it exists.
+    /// The table for `pred`, if it exists (routed to its owning shard).
     pub fn table(&self, pred: PredId) -> Option<&PredTable> {
-        self.tables.get(pred.index())
-    }
-
-    fn table_mut(&mut self, pred: PredId) -> &mut PredTable {
-        while self.tables.len() <= pred.index() {
-            self.tables.push(PredTable::new());
-        }
-        &mut self.tables[pred.index()]
+        self.sharded.table(pred)
     }
 
     /// Rows in one partition (0 if absent).
     pub fn partition_len(&self, pred: PredId) -> usize {
-        self.table(pred).map_or(0, PredTable::len)
+        self.sharded.partition_len(pred)
     }
 
     /// Total rows across all partitions.
     pub fn total_triples(&self) -> usize {
-        self.total_rows
+        self.sharded.total_triples()
     }
 
-    /// Predicates with at least one row.
+    /// Predicates with at least one row, ascending (canonical order
+    /// across shards).
     pub fn preds(&self) -> impl Iterator<Item = PredId> + '_ {
-        self.tables
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| !t.is_empty())
-            .map(|(i, _)| PredId(i as u32))
+        self.sharded.preds_sorted().into_iter()
     }
 
     /// Statistics for a partition.
     pub fn stats(&self, pred: PredId) -> Option<TableStats> {
-        self.table(pred).map(PredTable::stats)
+        self.sharded.stats(pred)
     }
 
     /// Execute a compiled query.
@@ -139,7 +178,7 @@ impl RelStore {
 
         let seed_vars: Vec<VarId> = seed.map(|s| s.vars().to_vec()).unwrap_or_default();
         let mut stats_of = |p: PredId| self.stats(p);
-        let order = planner::order_patterns(q, &seed_vars, &mut stats_of, self.total_rows);
+        let order = planner::order_patterns(q, &seed_vars, &mut stats_of, self.total_triples());
 
         let mut acc: Option<Bindings> = seed.cloned();
         for &idx in &order {
@@ -245,41 +284,7 @@ impl RelStore {
         };
 
         let emit = |s: NodeId, pred: PredId, o: NodeId, out: &mut Bindings| {
-            // Slot filters for constants.
-            if let Slot::Const(cs) = pat.s {
-                if cs != s {
-                    return false;
-                }
-            }
-            if let Slot::Const(co) = pat.o {
-                if co != o {
-                    return false;
-                }
-            }
-            if self_loop && s != o {
-                return false;
-            }
-            let mut row: [NodeId; 3] = [NodeId(0); 3];
-            let mut w = 0usize;
-            let push = |var: VarId, val: NodeId, row: &mut [NodeId; 3], w: &mut usize| {
-                if schema[..*w].contains(&var) {
-                    return;
-                }
-                row[*w] = val;
-                *w += 1;
-            };
-            if let Slot::Var(v) = pat.s {
-                push(v, s, &mut row, &mut w);
-            }
-            if let PredSlot::Var(v) = pat.p {
-                // Predicate bindings are carried as raw ids in node space.
-                push(v, NodeId(pred.0), &mut row, &mut w);
-            }
-            if let Slot::Var(v) = pat.o {
-                push(v, o, &mut row, &mut w);
-            }
-            out.push_row(&row[..w]);
-            true
+            emit_match(pat, &schema, self_loop, s, pred, o, out);
         };
 
         match pat.p {
@@ -317,20 +322,108 @@ impl RelStore {
                 }
             }
             PredSlot::Var(_) => {
-                // Union over every partition.
-                for (i, table) in self.tables.iter().enumerate() {
-                    if table.is_empty() {
-                        continue;
+                // Union over every partition, in canonical (ascending
+                // predicate) order across shards — the order a monolithic
+                // store scans its table vector in, so LIMIT-truncated
+                // results are shard-invariant.
+                if let Some(dispatch) = self.union_dispatch(ctx) {
+                    self.union_scan_parallel(&dispatch, pat, &schema, self_loop, ctx, &mut out)?;
+                } else {
+                    for (p, table) in self.sharded.tables_canonical() {
+                        ctx.stats.tables_touched += 1;
+                        scan_chunked(table.scan(), ctx, |&(s, o)| {
+                            emit(s, p, o, &mut out);
+                        })?;
                     }
-                    let p = PredId(i as u32);
-                    ctx.stats.tables_touched += 1;
-                    scan_chunked(table.scan(), ctx, |&(s, o)| {
-                        emit(s, p, o, &mut out);
-                    })?;
                 }
             }
         }
         Ok(out)
+    }
+
+    /// The dispatcher to fan a union scan out with, when installed and
+    /// safe: more than one shard and no work limit. A work-limited
+    /// context (DOTIL's λ cutoff) stops at a bound on *sequentially
+    /// accumulated* work, so counterfactual runs keep the serial path;
+    /// unlimited contexts observe only the final sums, which the parallel
+    /// merge reproduces exactly.
+    fn union_dispatch(&self, ctx: &ExecContext) -> Option<Arc<dyn ShardDispatch>> {
+        if self.sharded.shard_count() > 1 && ctx.work_limit.is_none() {
+            self.dispatch.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Fan the variable-predicate union scan out across shards: each job
+    /// scans one shard's partitions (ascending predicate) into private
+    /// row blocks with a private stats counter, sharing the caller's
+    /// governor and cancel token. The merge re-sorts the blocks into
+    /// global canonical predicate order and sums the stats, reproducing
+    /// the serial scan's rows, row order, and work-unit charges exactly —
+    /// only wall clock changes with the dispatcher's parallelism.
+    fn union_scan_parallel(
+        &self,
+        dispatch: &Arc<dyn ShardDispatch>,
+        pat: &EncPattern,
+        schema: &[VarId],
+        self_loop: bool,
+        ctx: &mut ExecContext,
+        out: &mut Bindings,
+    ) -> Result<(), ExecError> {
+        let job = |i: usize| -> ShardScanPart {
+            let mut local = ExecContext {
+                cancel: ctx.cancel.clone(),
+                governor: Arc::clone(&ctx.governor),
+                stats: ExecStats::default(),
+                work_limit: None,
+            };
+            let mut part = ShardScanPart::default();
+            for (p, table) in self.sharded.shard(i).tables() {
+                if table.is_empty() {
+                    continue;
+                }
+                local.stats.tables_touched += 1;
+                let mut block = Bindings::new(schema.to_vec());
+                let scanned = scan_chunked(table.scan(), &mut local, |&(s, o)| {
+                    emit_match(pat, schema, self_loop, s, p, o, &mut block);
+                });
+                match scanned {
+                    Ok(()) => part.per_pred.push((p, block)),
+                    Err(ExecError::Cancelled { .. }) => {
+                        // The partial work stays visible through the
+                        // stats merged below.
+                        part.cancelled = true;
+                        break;
+                    }
+                }
+            }
+            part.stats = local.stats;
+            part
+        };
+        let parts = dispatch.run_jobs(self.sharded.shard_count(), &job);
+
+        // Merge: sum per-shard stats (order-independent adds) and splice
+        // the row blocks back into canonical predicate order.
+        let mut cancelled = false;
+        let mut blocks: Vec<(PredId, Bindings)> = Vec::new();
+        for part in parts {
+            ctx.stats.merge(&part.stats);
+            cancelled |= part.cancelled;
+            blocks.extend(part.per_pred);
+        }
+        if cancelled {
+            return Err(ExecError::Cancelled {
+                partial_work: ctx.stats.work_units(),
+            });
+        }
+        blocks.sort_by_key(|&(p, _)| p);
+        for (_, block) in &blocks {
+            for row in block.rows() {
+                out.push_row(row);
+            }
+        }
+        Ok(())
     }
 
     /// Index-nested-loop extension of `acc` by one bound pattern.
@@ -433,6 +526,55 @@ impl RelStore {
         }
         Ok(out)
     }
+}
+
+/// Emit one `(s, pred, o)` candidate row of a scanned partition into
+/// `out`, applying the pattern's constant and self-loop filters. `schema`
+/// is the pattern's deduplicated variable schema in first-occurrence
+/// order (subject, predicate, object); predicate bindings are carried as
+/// raw ids in node space.
+fn emit_match(
+    pat: &EncPattern,
+    schema: &[VarId],
+    self_loop: bool,
+    s: NodeId,
+    pred: PredId,
+    o: NodeId,
+    out: &mut Bindings,
+) {
+    // Slot filters for constants.
+    if let Slot::Const(cs) = pat.s {
+        if cs != s {
+            return;
+        }
+    }
+    if let Slot::Const(co) = pat.o {
+        if co != o {
+            return;
+        }
+    }
+    if self_loop && s != o {
+        return;
+    }
+    let mut row: [NodeId; 3] = [NodeId(0); 3];
+    let mut w = 0usize;
+    let push = |var: VarId, val: NodeId, row: &mut [NodeId; 3], w: &mut usize| {
+        if schema[..*w].contains(&var) {
+            return;
+        }
+        row[*w] = val;
+        *w += 1;
+    };
+    if let Slot::Var(v) = pat.s {
+        push(v, s, &mut row, &mut w);
+    }
+    if let PredSlot::Var(v) = pat.p {
+        push(v, NodeId(pred.0), &mut row, &mut w);
+    }
+    if let Slot::Var(v) = pat.o {
+        push(v, o, &mut row, &mut w);
+    }
+    out.push_row(&row[..w]);
 }
 
 /// Scan a slice in cancellation-polling chunks, charging IO per row.
@@ -844,6 +986,119 @@ mod tests {
         assert_eq!(store.delete(Triple::new(s, p, o)), 1);
         assert_eq!(store.total_triples(), before);
         assert_eq!(store.delete(Triple::new(s, p, o)), 0);
+    }
+
+    /// Copy a store's data into a fresh store with `n` shards.
+    fn resharded(store: &RelStore, n: usize) -> RelStore {
+        let mut out = RelStore::with_shards(n);
+        for p in store.preds() {
+            out.load_partition(p, store.table(p).unwrap().scan());
+        }
+        out
+    }
+
+    #[test]
+    fn shard_count_is_invisible_in_results_and_work() {
+        let (store, dict) = academic_store();
+        let queries = [
+            "SELECT ?p WHERE { ?p y:wasBornIn ?c }",
+            "SELECT ?p WHERE { ?p y:wasBornIn y:Ulm }",
+            "SELECT ?p WHERE { ?p y:wasBornIn ?city . ?p y:hasAcademicAdvisor ?a . ?a y:wasBornIn ?city }",
+            "SELECT ?s WHERE { ?s ?pred y:Ulm }",
+            "SELECT ?s ?o WHERE { ?s ?pred ?o } LIMIT 5",
+            "SELECT DISTINCT ?c WHERE { ?p y:wasBornIn ?c }",
+        ];
+        for n in [2, 4, 8] {
+            let sharded = resharded(&store, n);
+            assert_eq!(sharded.shard_count(), n);
+            assert_eq!(sharded.total_triples(), store.total_triples());
+            assert_eq!(
+                sharded.shard_rows().iter().sum::<usize>(),
+                store.total_triples(),
+                "per-shard accounting must sum to the monolithic total"
+            );
+            for src in queries {
+                let q = parse(src).unwrap();
+                let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+                    panic!()
+                };
+                let mut c1 = ExecContext::new();
+                let r1 = store.execute(&eq, &mut c1).unwrap();
+                let mut cn = ExecContext::new();
+                let rn = sharded.execute(&eq, &mut cn).unwrap();
+                assert_eq!(r1, rn, "rows and row order must match on {src}");
+                assert_eq!(c1.stats, cn.stats, "work charges must match on {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_union_dispatch_matches_serial_scan() {
+        use crate::shard::SerialDispatch;
+        let (store, dict) = academic_store();
+        let mut sharded = resharded(&store, 4);
+        sharded.set_shard_dispatch(std::sync::Arc::new(SerialDispatch));
+        for src in [
+            "SELECT ?s WHERE { ?s ?pred y:Ulm }",
+            "SELECT ?s ?o WHERE { ?s ?pred ?o } LIMIT 3",
+            "SELECT ?s ?p2 ?o WHERE { ?s ?p2 ?o }",
+        ] {
+            let q = parse(src).unwrap();
+            let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+                panic!()
+            };
+            let mut c1 = ExecContext::new();
+            let r1 = store.execute(&eq, &mut c1).unwrap();
+            let mut cn = ExecContext::new();
+            let rn = sharded.execute(&eq, &mut cn).unwrap();
+            assert_eq!(r1, rn, "dispatched union must match serial on {src}");
+            assert_eq!(c1.stats, cn.stats, "dispatched work must match on {src}");
+        }
+    }
+
+    #[test]
+    fn parallel_union_dispatch_observes_cancellation() {
+        use crate::shard::SerialDispatch;
+        let (store, dict) = academic_store();
+        let mut sharded = resharded(&store, 4);
+        sharded.set_shard_dispatch(std::sync::Arc::new(SerialDispatch));
+        let q = parse("SELECT ?s WHERE { ?s ?pred ?o }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        let mut ctx = ExecContext::new();
+        ctx.cancel.cancel();
+        assert!(matches!(
+            sharded.execute(&eq, &mut ctx),
+            Err(ExecError::Cancelled { .. })
+        ));
+    }
+
+    #[test]
+    fn work_limited_contexts_keep_the_serial_union_path() {
+        // DOTIL's λ cutoff depends on sequentially accumulated work, so a
+        // work-limited context must not take the parallel shard path:
+        // its partial_work at the cutoff must equal the monolithic one.
+        use crate::shard::SerialDispatch;
+        let (store, dict) = academic_store();
+        let mut sharded = resharded(&store, 4);
+        sharded.set_shard_dispatch(std::sync::Arc::new(SerialDispatch));
+        let q = parse("SELECT ?s WHERE { ?s ?pred ?o }").unwrap();
+        let Compiled::Query(eq) = compile(&q, &dict).unwrap() else {
+            panic!()
+        };
+        let limit = 10;
+        let mut mono_ctx = ExecContext::with_work_limit(limit);
+        let Err(ExecError::Cancelled { partial_work: a }) = store.execute(&eq, &mut mono_ctx)
+        else {
+            panic!("limit of {limit} must cancel")
+        };
+        let mut shard_ctx = ExecContext::with_work_limit(limit);
+        let Err(ExecError::Cancelled { partial_work: b }) = sharded.execute(&eq, &mut shard_ctx)
+        else {
+            panic!("limit of {limit} must cancel")
+        };
+        assert_eq!(a, b, "λ-cutoff accounting must be shard-invariant");
     }
 
     #[test]
