@@ -41,9 +41,13 @@ pub struct BenchArgs {
     pub reps: usize,
     /// `ordered` or `random` workload version.
     pub order: String,
-    /// Worker threads for the concurrent batch executor (`kgdual-exec`).
-    /// 1 (the default) means serial; >1 makes the batch binaries report
-    /// parallel wall-clock TTI alongside the serial measurement.
+    /// Worker threads for the concurrent batch executor (`kgdual-exec`):
+    /// `--threads N` (the `KGDUAL_THREADS` env var sets the default for
+    /// test matrices, exactly like `KGDUAL_SHARDS` below). 1 (the
+    /// default) means serial; >1 makes the batch binaries report parallel
+    /// wall-clock TTI alongside the serial measurement. Every harness
+    /// binary resolves its worker count through this one field — the
+    /// scheduler pool size is never hard-coded at a call site.
     pub threads: usize,
     /// Graph-store substrate: `--backend {adjacency,csr}`.
     pub backend: BackendKind,
@@ -73,12 +77,14 @@ impl Default for BenchArgs {
 }
 
 impl BenchArgs {
-    /// Parse `--key value` pairs from `std::env::args`. The shard count
-    /// defaults from `KGDUAL_SHARDS` (so CI matrices select it without
-    /// touching every invocation); an explicit `--shards` wins.
+    /// Parse `--key value` pairs from `std::env::args`. The shard and
+    /// worker-thread counts default from `KGDUAL_SHARDS` /
+    /// `KGDUAL_THREADS` (so CI matrices select them without touching
+    /// every invocation); explicit `--shards` / `--threads` flags win.
     pub fn parse() -> Self {
         let mut base = Self::default();
         base.shards = env_shards().unwrap_or(base.shards);
+        base.threads = env_threads().unwrap_or(base.threads);
         Self::parse_into(base, std::env::args().skip(1))
     }
 
@@ -153,7 +159,16 @@ impl BenchArgs {
 
 /// The `KGDUAL_SHARDS` env default (None when unset or unparsable).
 fn env_shards() -> Option<usize> {
-    std::env::var("KGDUAL_SHARDS")
+    env_count("KGDUAL_SHARDS")
+}
+
+/// The `KGDUAL_THREADS` env default (None when unset or unparsable).
+fn env_threads() -> Option<usize> {
+    env_count("KGDUAL_THREADS")
+}
+
+fn env_count(var: &str) -> Option<usize> {
+    std::env::var(var)
         .ok()
         .and_then(|s| s.parse().ok())
         .filter(|&n| n >= 1)
@@ -238,5 +253,22 @@ mod tests {
     #[test]
     fn reps_minimum_one() {
         assert_eq!(parse("--reps 0").reps, 1);
+    }
+
+    #[test]
+    fn env_count_defaults_yield_to_explicit_flags() {
+        // `parse()` seeds the base from KGDUAL_SHARDS/KGDUAL_THREADS and
+        // then applies flags on top; an env-seeded base must survive when
+        // the flag is absent and lose when it is given.
+        let base = BenchArgs {
+            threads: 8,
+            shards: 4,
+            ..Default::default()
+        };
+        let kept = BenchArgs::parse_into(base.clone(), std::iter::empty());
+        assert_eq!((kept.threads, kept.shards), (8, 4));
+        let overridden =
+            BenchArgs::parse_into(base, ["--threads", "2", "--shards", "1"].map(str::to_owned));
+        assert_eq!((overridden.threads, overridden.shards), (2, 1));
     }
 }

@@ -1,0 +1,114 @@
+//! **BENCH_sched** — the unified-scheduler sweep: wall-clock TTI and
+//! tuning-epoch wall time across worker counts {1,2,4,8} × shard counts
+//! {1,4}, emitted as JSON on stdout (captured to
+//! `docs/baselines/BENCH_sched.json`).
+//!
+//! The sweep itself asserts the scheduler determinism contract — work
+//! units, simulated TTI, and result rows identical in every cell — so
+//! the committed capture doubles as an equivalence record. With
+//! `--assert-speedup true` (passed by `scripts/capture_baselines.sh`)
+//! the binary additionally requires the tuning epoch to be measurably
+//! faster multi-threaded than serial at each shard count: DOTIL's
+//! covered counterfactual waves really must gain from running as
+//! parallel `OfflineTuning` tasks, not merely stay correct.
+//!
+//! `--threads` / `--shards` are ignored here — the sweep fixes both
+//! axes. Wall-clock fields are machine-dependent; the baseline check
+//! (`scripts/check_baselines.sh`) strips them and compares only the
+//! deterministic fields.
+//!
+//! On a single-CPU host a parallel wall-clock win is physically
+//! impossible, so the speedup assertion self-gates on
+//! `available_parallelism` (recorded in the JSON meta as
+//! `host_parallelism` so every capture is honest about its provenance);
+//! the determinism assertions always run.
+
+use kgdual_bench::{run_sched_sweep, BenchArgs, SchedSweepPoint, WorkloadKind};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SHARDS: [usize; 2] = [1, 4];
+
+fn point_json(p: &SchedSweepPoint) -> String {
+    format!(
+        "    {{\"threads\": {}, \"shards\": {}, \
+         \"wall_tti_secs\": {:.6}, \"tuning_wall_secs\": {:.6}, \
+         \"total_work\": {}, \"sim_tti_ns\": {}, \"result_rows\": {}, \
+         \"tuning_tasks\": {}}}",
+        p.threads,
+        p.shards,
+        p.wall_tti_secs,
+        p.tuning_wall_secs,
+        p.total_work,
+        p.sim_tti_ns,
+        p.result_rows,
+        p.tuning_tasks
+    )
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    eprintln!(
+        "BENCH_sched: scheduler sweep over threads {THREADS:?} x shards {SHARDS:?}, {}",
+        args.describe()
+    );
+
+    let points = run_sched_sweep(WorkloadKind::Yago, &args);
+
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let can_speed_up = host_parallelism >= 2;
+    if args.get_bool("assert-speedup") && !can_speed_up {
+        eprintln!(
+            "  single-CPU host (available_parallelism {host_parallelism}): \
+             wall-clock speedup assertion skipped, determinism grid still enforced"
+        );
+    }
+
+    // Report (and optionally assert) the tuning-epoch speedup: the best
+    // multi-threaded tuning wall against the serial one, per shard count.
+    for shards in SHARDS {
+        let wall = |threads: usize| {
+            points
+                .iter()
+                .find(|p| p.threads == threads && p.shards == shards)
+                .expect("sweep covers the full grid")
+                .tuning_wall_secs
+        };
+        let serial = wall(1);
+        let best = THREADS[1..]
+            .iter()
+            .map(|&t| wall(t))
+            .fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "  {shards} shard(s): tuning epoch {serial:.4}s serial, {best:.4}s best \
+             multi-threaded ({:.2}x)",
+            serial / best
+        );
+        if args.get_bool("assert-speedup") && can_speed_up {
+            assert!(
+                best < serial,
+                "tuning epoch must be measurably faster multi-threaded at \
+                 {shards} shard(s): best {best:.6}s >= serial {serial:.6}s"
+            );
+        }
+    }
+
+    println!("{{");
+    println!("  \"meta\": {{");
+    println!(
+        "    \"workload\": \"YAGO\", \"scale\": {}, \"seed\": {}, \"reps\": {},",
+        args.scale, args.seed, args.reps
+    );
+    println!(
+        "    \"backend\": \"{}\", \"threads_swept\": [1, 2, 4, 8], \"shards_swept\": [1, 4],",
+        args.backend.name()
+    );
+    println!("    \"host_parallelism\": {host_parallelism}");
+    println!("  }},");
+    println!("  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        println!("{}{sep}", point_json(p));
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -13,6 +13,7 @@
 //! | `table6_resource_slowdown` | Table 6 — slowdown under limited spare IO/CPU |
 //! | `fig7_resource_consumption` | Figure 7 — IO/CPU consumed over time |
 //! | `fig8_tuner_comparison` | Figure 8 — DOTIL vs one-off vs LRU vs ideal |
+//! | `bench_sched` | `BENCH_sched.json` — scheduler sweep: wall TTI and tuning-epoch wall across threads × shards |
 //!
 //! Every binary accepts `--scale <fraction-of-paper-size>`, `--seed <u64>`
 //! and `--reps <n>`; paper-scale runs are possible but the defaults are
@@ -33,8 +34,9 @@ pub mod table;
 pub use args::{BackendKind, BenchArgs};
 pub use experiments::{
     run_parallel_comparison, run_parallel_comparison_in, run_restart_comparison,
-    run_restart_comparison_in, run_variant_comparison, run_variant_comparison_in, ParallelTti,
-    RestartColumn, SharedDotil, VariantKind, WorkloadKind,
+    run_restart_comparison_in, run_sched_sweep, run_sched_sweep_in, run_variant_comparison,
+    run_variant_comparison_in, ParallelTti, RestartColumn, SchedSweepPoint, SharedDotil,
+    VariantKind, WorkloadKind,
 };
 pub use setup::{build_batches, build_dataset, build_workload};
 pub use table::TablePrinter;

@@ -23,7 +23,7 @@ use kgdual_bench::{
 use kgdual_core::batch::{RouteCounts, TuningSchedule};
 use kgdual_core::{DualStore, PhysicalTuner, TuningOutcome};
 use kgdual_dotil::{Dotil, DotilConfig};
-use kgdual_exec::{BatchExecutor, ParallelRunner, PooledShardDispatch, SharedStore};
+use kgdual_exec::{BatchExecutor, ParallelRunner, SchedShardDispatch, SharedStore};
 use kgdual_graphstore::{AdjacencyBackend, CsrBackend, GraphBackend};
 use kgdual_model::PredId;
 use kgdual_relstore::ShardRouter;
@@ -190,7 +190,7 @@ fn parallel_shard_scans_dispatch_through_exec_and_match() {
     let sharded = SharedStore::new(DualStore::<AdjacencyBackend>::from_dataset_sharded_in(
         dataset, budget, 8,
     ));
-    let pool = Arc::new(PooledShardDispatch::new(4));
+    let pool = Arc::new(SchedShardDispatch::new(Arc::clone(exec.scheduler())));
     sharded.install_shard_dispatch(pool.clone());
     let got = exec.execute_batch(&sharded, &queries);
     assert_eq!(got.errors, 0);

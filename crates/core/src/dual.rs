@@ -171,6 +171,14 @@ impl<B: GraphBackend> DualStore<B> {
         &self.graph
     }
 
+    /// Eagerly build `T_R`'s secondary indexes and statistics, one warm
+    /// job per shard through the installed dispatch (see
+    /// [`RelStore::warm_indexes`]). A cache fill only: every query result
+    /// and work-unit charge is identical with or without warming.
+    pub fn warm_rel_indexes(&self) -> usize {
+        self.rel.warm_indexes()
+    }
+
     /// Mutable backend access for design restore (crate-internal: going
     /// around [`Self::migrate_partition`]/[`Self::evict_partition`] could
     /// desynchronize `T_G` from `T_R`).

@@ -43,4 +43,9 @@ pub use processor::{process, process_relational, process_shared, process_with_vi
 pub use processor::{QueryOutcome, Route};
 pub use results::ResultSet;
 pub use tuner::{NoopTuner, PhysicalTuner, TuningOutcome};
+
+// The unified work-stealing pool tuners may fan offline work onto (see
+// [`PhysicalTuner::tune_with`]); re-exported so downstream crates name
+// one coherent scheduling vocabulary through `kgdual_core`.
+pub use kgdual_sched::{Scheduler, TaskClass};
 pub use variant::StoreVariant;

@@ -9,6 +9,7 @@
 use crate::dual::DualStore;
 use kgdual_graphstore::{AdjacencyBackend, GraphBackend};
 use kgdual_model::DesignError;
+use kgdual_sched::Scheduler;
 use kgdual_sparql::Query;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +45,31 @@ pub trait PhysicalTuner<B: GraphBackend = AdjacencyBackend> {
     /// Offline phase: observe the most recent batch (the marked complex
     /// queries are inside `batch`) and adjust `T_G`.
     fn tune(&mut self, dual: &mut DualStore<B>, batch: &[Query]) -> TuningOutcome;
+
+    /// Offline phase with access to the unified work-stealing pool
+    /// ([`kgdual_sched::Scheduler`]). The concurrent runner calls this
+    /// inside the epoch barrier (the store's write lock), handing the
+    /// tuner the query workers — idle for exactly that window — so
+    /// independent offline work (DOTIL's per-shape counterfactual
+    /// measurements, index warm-up) can fan out as
+    /// [`kgdual_sched::TaskClass::OfflineTuning`] tasks.
+    ///
+    /// **Determinism contract:** `tune_with(dual, batch, sched)` must
+    /// produce exactly the same design changes, outcome, and learned
+    /// state as `tune(dual, batch)` for every `sched` — parallelism may
+    /// change wall clock only. The default ignores the scheduler and
+    /// delegates to [`tune`](PhysicalTuner::tune), which is trivially
+    /// conforming; tuners that override it (DOTIL) restructure their
+    /// work into order-preserving waves.
+    fn tune_with(
+        &mut self,
+        dual: &mut DualStore<B>,
+        batch: &[Query],
+        sched: Option<&Scheduler>,
+    ) -> TuningOutcome {
+        let _ = sched;
+        self.tune(dual, batch)
+    }
 
     /// Optional warm-up with historical queries (the paper warms DOTIL up
     /// to soften the Q-learning cold start). Default: one tuning pass.

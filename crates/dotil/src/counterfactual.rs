@@ -3,11 +3,19 @@
 //! Once a complex subquery is graph-resident it only ever runs in the
 //! graph store, so its relational cost — the quantity the reward needs —
 //! would never be observed again. DOTIL therefore re-executes the subquery
-//! in the relational store **on a parallel thread**, monitored and stopped
-//! once its cost reaches `λ · c1`, where `c1` is the just-measured graph
-//! cost. Costs here are deterministic work units (operator counts), making
-//! training reproducible; the thread is real, so the wall-clock overlap
-//! and governor contention the paper studies in §6.3.3 are real too.
+//! in the relational store, monitored and stopped once its cost reaches
+//! `λ · c1`, where `c1` is the just-measured graph cost. Costs here are
+//! deterministic work units (operator counts), making training
+//! reproducible.
+//!
+//! [`measure`] itself is a plain read-only function: the paper's parallel
+//! counterfactual thread materializes one level up, where the tuner fans
+//! independent per-shape measurements out as
+//! `kgdual_sched::TaskClass::OfflineTuning` tasks on the unified worker
+//! pool (see `Dotil::tune_with`). The wall-clock overlap and governor
+//! contention the paper studies in §6.3.3 are real there — both runs
+//! charge the dual store's shared governor exactly like the online query
+//! path — while the measured work units stay scheduling-invariant.
 
 use kgdual_core::DualStore;
 use kgdual_graphstore::GraphBackend;
@@ -34,11 +42,13 @@ impl CostPair {
     }
 }
 
-/// Run `qc` in the graph store (cost `c1`), then in the relational store on
-/// a parallel thread with the `λ · c1` cutoff (cost `c2`).
+/// Run `qc` in the graph store (cost `c1`), then in the relational store
+/// with the `λ · c1` cutoff (cost `c2`).
 ///
-/// Both runs share the dual store's governor, so configured IO/CPU limits
-/// throttle them exactly like the online query path.
+/// Read-only and deterministic: safe to run for many shapes concurrently
+/// (the tuner schedules exactly that). Both runs share the dual store's
+/// governor, so configured IO/CPU limits throttle them exactly like the
+/// online query path.
 pub fn measure<B: GraphBackend>(
     dual: &DualStore<B>,
     qc: &EncodedQuery,
@@ -53,28 +63,15 @@ pub fn measure<B: GraphBackend>(
     // still grants the relational side enough budget to do *any* work.
     let limit = ((c1 as f64 * lambda) as u64).max(1_000);
 
-    // c2: relational cost on a parallel thread (lines 2–6).
-    let rel = dual.rel();
-    let governor = dual.governor();
-    let outcome = std::thread::scope(|scope| {
-        scope
-            .spawn(move || {
-                let mut ctx = ExecContext::with_governor(governor);
-                ctx.work_limit = Some(limit);
-                match rel.execute(qc, &mut ctx) {
-                    Ok(_) => (ctx.stats.work_units(), false),
-                    Err(ExecError::Cancelled { .. }) => (limit, true),
-                }
-            })
-            .join()
-            .expect("counterfactual thread must not panic")
-    });
+    // c2: relational cost, monitored against the cutoff (lines 2–6).
+    let mut ctx = ExecContext::with_governor(dual.governor());
+    ctx.work_limit = Some(limit);
+    let (c2, truncated) = match dual.rel().execute(qc, &mut ctx) {
+        Ok(_) => (ctx.stats.work_units(), false),
+        Err(ExecError::Cancelled { .. }) => (limit, true),
+    };
 
-    Ok(CostPair {
-        c1,
-        c2: outcome.0,
-        truncated: outcome.1,
-    })
+    Ok(CostPair { c1, c2, truncated })
 }
 
 #[cfg(test)]

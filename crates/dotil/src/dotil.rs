@@ -1,13 +1,14 @@
 //! DOTIL — Algorithm 1 of the paper.
 
 use crate::config::DotilConfig;
-use crate::counterfactual;
+use crate::counterfactual::{self, CostPair};
 use crate::qmatrix::QMatrix;
 use kgdual_core::{identify, DualStore, PhysicalTuner, TuningOutcome};
 use kgdual_graphstore::GraphBackend;
 use kgdual_model::design::{FieldReader, FieldWriter};
 use kgdual_model::fx::FxHashMap;
 use kgdual_model::{DesignError, PredId};
+use kgdual_sched::{Scheduler, TaskClass};
 use kgdual_sparql::{compile, Compiled, EncodedQuery, Query, Selection, TriplePattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -267,6 +268,21 @@ impl Dotil {
         let Ok(pair) = counterfactual::measure(dual, qc, self.cfg.lambda) else {
             return;
         };
+        self.apply_pair(pair, proportions, groups, outcome);
+    }
+
+    /// The Q-update half of [`learn`](Self::learn): fold one measured cost
+    /// pair into the matrices. Split out so wave-parallel tuning can
+    /// measure many shapes concurrently and still replay the updates in
+    /// strict shape order — the replay, not the measurement, is what the
+    /// learning dynamics observe.
+    fn apply_pair(
+        &mut self,
+        pair: CostPair,
+        proportions: &[(PredId, f64)],
+        groups: &[RoleGroup<'_>],
+        outcome: &mut TuningOutcome,
+    ) {
         outcome.offline_work += pair.c1 + pair.c2;
         let improvement = pair.improvement() as f64 * self.cfg.reward_scale;
         for &(roles, repeats) in groups {
@@ -311,6 +327,29 @@ impl<B: GraphBackend> PhysicalTuner<B> for Dotil {
     }
 
     fn tune(&mut self, dual: &mut DualStore<B>, batch: &[Query]) -> TuningOutcome {
+        self.tune_with(dual, batch, None)
+    }
+
+    /// Algorithm 1 with the counterfactual measurements of *covered* shapes
+    /// fanned out as [`TaskClass::OfflineTuning`] tasks on `sched`.
+    ///
+    /// Covered shapes (lines 5–7) never mutate the design, so a maximal run
+    /// of consecutive covered shapes forms a **wave**: each member's
+    /// classification is independent of the others, its measurement is
+    /// read-only on the store and deterministic in work units, and only the
+    /// Q-update replay is order-sensitive. Waves are measured in parallel
+    /// and their updates replayed in strict shape order; non-covered shapes
+    /// mutate the design (evict/migrate) and consume exploration
+    /// randomness, so they run strictly serially between waves. Learned
+    /// state, decisions, outcome, and exported trails are therefore
+    /// byte-identical to the serial [`tune`](PhysicalTuner::tune) at every
+    /// worker count — only the offline phase's wall clock changes.
+    fn tune_with(
+        &mut self,
+        dual: &mut DualStore<B>,
+        batch: &[Query],
+        sched: Option<&Scheduler>,
+    ) -> TuningOutcome {
         let mut outcome = TuningOutcome::default();
 
         // Group the batch by complex-subquery shape: a template and its
@@ -336,21 +375,73 @@ impl<B: GraphBackend> PhysicalTuner<B> for Dotil {
         let mut active: kgdual_model::fx::FxHashSet<PredId> =
             kgdual_model::fx::FxHashSet::default();
 
-        for (_, query, count) in shapes {
-            let Some(qc) = identify(query) else { continue };
-            let Some((qc_eq, proportions)) = Self::prepare(dual, &qc.patterns) else {
+        let mut i = 0;
+        while i < shapes.len() {
+            // Peel the maximal wave of consecutive covered shapes (lines
+            // 5-7: everything already resident — reward keeping, once per
+            // copy in the batch). The first non-covered shape ends the
+            // wave and comes back prepared for the serial branch below.
+            type CoveredShape = (
+                EncodedQuery,
+                Vec<(PredId, f64)>,
+                Vec<(PredId, usize, usize)>,
+                usize,
+            );
+            let mut wave: Vec<CoveredShape> = Vec::new();
+            let mut pending = None;
+            while i < shapes.len() {
+                let (query, count) = (shapes[i].1, shapes[i].2);
+                i += 1;
+                let Some(qc) = identify(query) else { continue };
+                let Some((qc_eq, proportions)) = Self::prepare(dual, &qc.patterns) else {
+                    continue;
+                };
+                let tc = qc_eq.predicate_set();
+                active.extend(tc.iter().copied());
+                if dual.graph().covers(&tc) {
+                    let roles: Vec<(PredId, usize, usize)> =
+                        tc.iter().map(|&p| (p, 1, 0)).collect();
+                    wave.push((qc_eq, proportions, roles, count));
+                } else {
+                    pending = Some((qc_eq, proportions, count));
+                    break;
+                }
+            }
+
+            // Measure the wave — in parallel as OfflineTuning tasks when a
+            // multi-worker pool is handed in, inline otherwise — then
+            // replay the Q-updates in shape order. measure() is read-only
+            // and deterministic in work units, so both paths fold exactly
+            // the same rewards in exactly the same order.
+            let lambda = self.cfg.lambda;
+            let pairs: Vec<Option<CostPair>> = match sched {
+                Some(s) if s.threads() > 1 && wave.len() > 1 => {
+                    let dual_ref: &DualStore<B> = dual;
+                    s.run_indexed(TaskClass::OfflineTuning, wave.len(), |k| {
+                        counterfactual::measure(dual_ref, &wave[k].0, lambda).ok()
+                    })
+                }
+                _ => wave
+                    .iter()
+                    .map(|w| counterfactual::measure(dual, &w.0, lambda).ok())
+                    .collect(),
+            };
+            for ((_, proportions, roles, count), pair) in wave.iter().zip(pairs) {
+                if let Some(pair) = pair {
+                    self.apply_pair(
+                        pair,
+                        proportions,
+                        &[(roles.as_slice(), *count)],
+                        &mut outcome,
+                    );
+                }
+            }
+
+            // Serial branch: the non-covered shape that ended the wave.
+            let Some((qc_eq, proportions, count)) = pending else {
                 continue;
             };
             let tc = qc_eq.predicate_set();
-            active.extend(tc.iter().copied());
-
-            // Lines 5-7: everything already resident — reward keeping,
-            // once per copy in the batch.
-            if dual.graph().covers(&tc) {
-                let roles: Vec<(PredId, usize, usize)> = tc.iter().map(|&p| (p, 1, 0)).collect();
-                self.learn(dual, &qc_eq, &proportions, &[(&roles, count)], &mut outcome);
-                continue;
-            }
 
             // Lines 9-11: T_set = partitions of T_c missing from T_G.
             let tset: Vec<PredId> = tc
@@ -808,6 +899,50 @@ mod tests {
         ));
         // The pristine payload still imports after all rejections.
         tuner.import_state_bytes(&state).unwrap();
+    }
+
+    #[test]
+    fn scheduled_tuning_is_decision_identical_to_serial() {
+        use kgdual_sched::{Scheduler, TaskClass};
+
+        // Two distinct covered shapes per pass make a measurable wave;
+        // after the first pass everything is resident, so later passes are
+        // pure wave work.
+        let batch: Vec<Query> = vec![
+            complex_query(),
+            parse("SELECT ?x WHERE { ?x y:likes ?y . ?y y:likes ?x }").unwrap(),
+            complex_query(),
+        ];
+        let cfg = DotilConfig {
+            prob: 1.0,
+            ..Default::default()
+        };
+
+        let mut d_serial = dual(1000);
+        let mut serial = Dotil::with_config(cfg);
+        let mut serial_out = Vec::new();
+        for _ in 0..3 {
+            serial_out.push(serial.tune(&mut d_serial, &batch));
+        }
+
+        let sched = Scheduler::new(4);
+        let mut d_sched = dual(1000);
+        let mut scheduled = Dotil::with_config(cfg);
+        let mut sched_out = Vec::new();
+        for _ in 0..3 {
+            sched_out.push(scheduled.tune_with(&mut d_sched, &batch, Some(&sched)));
+        }
+
+        // Identical decisions, rewards, designs, and persisted trails.
+        assert_eq!(serial_out, sched_out);
+        assert_eq!(d_serial.design(), d_sched.design());
+        assert_eq!(serial.q_matrix_sum(), scheduled.q_matrix_sum());
+        assert_eq!(serial.export_state_bytes(), scheduled.export_state_bytes());
+        // And the wave really went through the pool.
+        assert!(
+            sched.stats().executed.get(TaskClass::OfflineTuning) > 0,
+            "covered waves must run as OfflineTuning tasks"
+        );
     }
 
     #[test]

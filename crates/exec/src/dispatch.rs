@@ -1,59 +1,75 @@
-//! Pooled execution of independent per-shard relational scans —
+//! Scheduled execution of independent per-shard relational scans —
 //! intra-query parallelism for the sharded relational store.
 //!
 //! The sharded `RelStore` (see `kgdual_relstore::shard`) splits a
 //! variable-predicate union scan into one independent job per shard and
 //! hands the batch to whatever [`ShardDispatch`] is installed.
-//! [`PooledShardDispatch`] is the concurrent implementation: jobs are
-//! claimed from a self-scheduling index queue by up to `threads` scoped
-//! workers — the same load-balancing shape as [`crate::BatchExecutor`]'s
-//! query pool, one level down. Results are re-indexed by job before
-//! returning, so the caller's canonical-order merge (and with it every
-//! deterministic metric) is unaffected by scheduling: the pool changes
-//! wall clock only.
+//! [`SchedShardDispatch`] is the concurrent implementation: a thin
+//! adapter that submits each shard job as a
+//! [`TaskClass::ShardScan`] task on the unified work-stealing pool
+//! ([`kgdual_sched::Scheduler`]) — the *same* pool the
+//! [`crate::BatchExecutor`]'s query tasks run on. A query that fans out
+//! helps execute its own shard jobs while idle query workers steal the
+//! rest, so total live threads never exceed the pool size (the PR 5
+//! per-dispatch scoped spawns could transiently reach
+//! `executor threads × shard threads`). Shard scans outrank queued
+//! queries in the class-priority policy: finishing in-flight queries
+//! beats starting new ones.
 //!
-//! [`crate::ParallelRunner`] installs a pool sized to its executor's
-//! worker count automatically; [`crate::SharedStore::install_shard_dispatch`]
+//! Results are re-indexed by job before returning, so the caller's
+//! canonical-order merge (and with it every deterministic metric) is
+//! unaffected by scheduling: the pool changes wall clock only.
+//!
+//! [`crate::ParallelRunner`] installs an adapter sharing its executor's
+//! pool automatically; [`crate::SharedStore::install_shard_dispatch`]
 //! is the manual hook.
 
 use kgdual_relstore::{ShardDispatch, ShardScanPart};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use kgdual_sched::{Scheduler, TaskClass};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A [`ShardDispatch`] that fans shard jobs over scoped worker threads.
-/// Counters make the dispatch observable for tests and diagnostics.
-///
-/// Threads are spawned per dispatch rather than kept resident: scoped
-/// spawns keep the borrow story trivial (jobs borrow the store and the
-/// caller's context) and a union scan is long relative to thread
-/// creation. The cost is transient oversubscription when several
-/// `BatchExecutor` workers hit variable-predicate scans at once — up to
-/// `executor threads × min(threads, shards)` short-lived threads.
-/// Sharing the executor's idle workers instead is a known follow-up
-/// (see ROADMAP); the determinism contract is unaffected either way.
+/// A [`ShardDispatch`] adapter submitting shard jobs to the unified
+/// work-stealing scheduler. Counters make the dispatch observable for
+/// tests and diagnostics.
 #[derive(Debug)]
-pub struct PooledShardDispatch {
-    threads: usize,
+pub struct SchedShardDispatch {
+    sched: Arc<Scheduler>,
     dispatches: AtomicU64,
     jobs_run: AtomicU64,
 }
 
-impl PooledShardDispatch {
-    /// A pool running at most `threads` shard jobs concurrently (0 is
-    /// clamped to 1, which degenerates to inline execution).
-    pub fn new(threads: usize) -> Self {
-        PooledShardDispatch {
-            threads: threads.max(1),
+impl SchedShardDispatch {
+    /// An adapter fanning shard jobs onto `sched`'s workers. With a
+    /// single-worker pool (or a single job) jobs run inline on the
+    /// caller — identical results, no scheduling overhead.
+    pub fn new(sched: Arc<Scheduler>) -> Self {
+        SchedShardDispatch {
+            sched,
             dispatches: AtomicU64::new(0),
             jobs_run: AtomicU64::new(0),
         }
     }
 
-    /// Maximum concurrent shard jobs.
-    pub fn threads(&self) -> usize {
-        self.threads
+    /// A convenience constructor owning a private pool of `threads`
+    /// workers — for using a sharded store without a [`crate::BatchExecutor`]
+    /// (whose pool [`crate::ParallelRunner`] would otherwise share).
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(Arc::new(Scheduler::new(threads)))
     }
 
-    /// How many multi-shard scans have been dispatched through this pool.
+    /// The pool this adapter submits to.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Maximum concurrent shard jobs (the pool's worker count).
+    pub fn threads(&self) -> usize {
+        self.sched.threads()
+    }
+
+    /// How many multi-shard scans have been dispatched through this
+    /// adapter.
     pub fn dispatches(&self) -> u64 {
         self.dispatches.load(Ordering::Relaxed)
     }
@@ -64,7 +80,7 @@ impl PooledShardDispatch {
     }
 }
 
-impl ShardDispatch for PooledShardDispatch {
+impl ShardDispatch for SchedShardDispatch {
     fn run_jobs(
         &self,
         jobs: usize,
@@ -72,37 +88,9 @@ impl ShardDispatch for PooledShardDispatch {
     ) -> Vec<ShardScanPart> {
         self.dispatches.fetch_add(1, Ordering::Relaxed);
         self.jobs_run.fetch_add(jobs as u64, Ordering::Relaxed);
-        if jobs <= 1 || self.threads == 1 {
-            return (0..jobs).map(job).collect();
-        }
-
-        let workers = self.threads.min(jobs);
-        let next = AtomicUsize::new(0);
-        let mut collected: Vec<(usize, ShardScanPart)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    scope.spawn(move || {
-                        let mut mine = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= jobs {
-                                break;
-                            }
-                            mine.push((i, job(i)));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("shard scan worker must not panic"))
-                .collect()
-        });
-        // Restore job order: the contract is out[i] == job(i)'s result.
-        collected.sort_by_key(|&(i, _)| i);
-        collected.into_iter().map(|(_, part)| part).collect()
+        // The contract is out[i] == job(i)'s result; run_indexed returns
+        // results in index order by construction.
+        self.sched.run_indexed(TaskClass::ShardScan, jobs, job)
     }
 }
 
@@ -123,7 +111,7 @@ mod tests {
 
     #[test]
     fn results_come_back_in_job_order() {
-        let pool = PooledShardDispatch::new(4);
+        let pool = SchedShardDispatch::with_threads(4);
         for jobs in [1usize, 2, 3, 8, 17] {
             let parts = pool.run_jobs(jobs, &marked);
             let got: Vec<u64> = parts.iter().map(|p| p.stats.rows_scanned).collect();
@@ -136,16 +124,20 @@ mod tests {
 
     #[test]
     fn single_thread_pool_runs_inline() {
-        let pool = PooledShardDispatch::new(0);
+        let pool = SchedShardDispatch::with_threads(0);
         assert_eq!(pool.threads(), 1);
         let parts = pool.run_jobs(3, &marked);
         assert_eq!(parts.len(), 3);
+        // Inline fast path: nothing went through the queues.
+        assert_eq!(
+            pool.scheduler().stats().submitted.get(TaskClass::ShardScan),
+            0
+        );
     }
 
     #[test]
     fn every_job_runs_exactly_once_under_contention() {
-        use std::sync::atomic::AtomicU64;
-        let pool = PooledShardDispatch::new(8);
+        let pool = SchedShardDispatch::with_threads(8);
         let calls = AtomicU64::new(0);
         let parts = pool.run_jobs(64, &|i| {
             calls.fetch_add(1, Ordering::Relaxed);
@@ -153,5 +145,16 @@ mod tests {
         });
         assert_eq!(parts.len(), 64);
         assert_eq!(calls.load(Ordering::Relaxed), 64);
+        let stats = pool.scheduler().stats();
+        assert_eq!(stats.executed.get(TaskClass::ShardScan), 64);
+    }
+
+    #[test]
+    fn adapter_shares_an_executor_pool() {
+        let sched = Arc::new(Scheduler::new(3));
+        let pool = SchedShardDispatch::new(Arc::clone(&sched));
+        assert_eq!(pool.threads(), 3);
+        let _ = pool.run_jobs(8, &marked);
+        assert_eq!(sched.stats().executed.get(TaskClass::ShardScan), 8);
     }
 }

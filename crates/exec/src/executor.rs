@@ -1,27 +1,33 @@
 //! The concurrent batch executor.
 //!
-//! One batch of queries fans out over a pool of scoped worker threads.
-//! All workers execute against a single shared read guard on the
-//! [`SharedStore`] — the store is immutable for the whole batch — and
-//! each worker owns its private [`ExecContext`](kgdual_relstore::ExecContext)s
-//! and [`TempSpace`], so no
-//! online state is shared between threads. Queries are claimed from a
-//! self-scheduling index queue: an idle worker always takes the next
-//! unclaimed query, which gives the same load-balancing behaviour as work
-//! stealing for a finite batch without the deque machinery.
+//! One batch of queries is submitted as [`TaskClass::Query`] tasks on
+//! the unified work-stealing scheduler ([`kgdual_sched::Scheduler`]) —
+//! the executor owns no threads of its own. All tasks execute against a
+//! single shared read guard on the [`SharedStore`] — the store is
+//! immutable for the whole batch — and each task checks a private
+//! [`TempSpace`] out of a per-batch pool, so no online state is shared
+//! mutable between workers. The scheduler's injector hands queries out
+//! in submission order; a worker stuck on a heavy query simply stops
+//! claiming while the others absorb the remainder, and a query that
+//! fans per-shard scans out (see [`crate::SchedShardDispatch`]) borrows
+//! the same idle workers one level down.
 //!
-//! Determinism: each query's execution depends only on the (frozen) store
-//! and the query itself, so per-query results, work units, and simulated
-//! latencies are **identical at every thread count**. Only the wall-clock
-//! reading changes with `threads` — that is the measured parallel TTI.
+//! Determinism: each query's execution depends only on the (frozen)
+//! store and the query itself, so per-query results, work units, and
+//! simulated latencies are **identical at every thread count**. Only
+//! the wall-clock reading changes with `threads` — that is the measured
+//! parallel TTI.
 
 use crate::shared::SharedStore;
 use kgdual_core::batch::{BatchReport, RouteCounts};
 use kgdual_core::{processor, DualStore, QueryOutcome, TuningOutcome};
 use kgdual_graphstore::GraphBackend;
 use kgdual_relstore::{ExecStats, TempSpace};
+use kgdual_sched::{Scheduler, TaskClass};
 use kgdual_sparql::Query;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which processor entry point the executor drives.
@@ -34,38 +40,6 @@ pub enum ExecMode {
     /// `RDB-views` baseline is *not* offered here: its online phase
     /// mutates the view-advisor frequency state, so it stays serial.
     RelationalOnly,
-}
-
-/// Self-scheduling claim queue over a batch's query indexes.
-///
-/// `claim()` hands out indexes `0..len` exactly once each, in order.
-/// Workers loop on it until the batch drains; a worker stuck on a heavy
-/// query simply stops claiming while the others absorb the remainder.
-struct ClaimQueue {
-    next: AtomicUsize,
-    len: usize,
-}
-
-impl ClaimQueue {
-    fn new(len: usize) -> Self {
-        ClaimQueue {
-            next: AtomicUsize::new(0),
-            len,
-        }
-    }
-
-    fn claim(&self) -> Option<usize> {
-        let i = self.next.fetch_add(1, Ordering::Relaxed);
-        (i < self.len).then_some(i)
-    }
-}
-
-/// What one worker accumulated over the queries it claimed.
-#[derive(Default)]
-struct WorkerReport {
-    outcomes: Vec<(usize, QueryOutcome)>,
-    errors: usize,
-    temp_peak_units: usize,
 }
 
 /// Everything measured about one concurrently executed batch.
@@ -98,9 +72,11 @@ pub struct ParallelBatchReport {
     pub routes: RouteCounts,
     /// Queries that failed (stays 0 in healthy runs).
     pub errors: usize,
-    /// Largest per-worker peak of §3.3 temp-space staging, in storage
-    /// units. With one worker this equals the serial peak; with N workers
-    /// the *sum* of per-worker peaks bounds the transient footprint.
+    /// Largest per-temp-space peak of §3.3 staging, in storage units.
+    /// Temp spaces are pooled per batch and reused across queries; the
+    /// peak is a high-water mark, so with one worker this equals the
+    /// serial peak, and with N workers the *sum* of per-space peaks
+    /// bounds the transient footprint.
     pub temp_peak_units: usize,
     /// Outcome of the offline tuning phase attached to this batch by the
     /// runner (zero when the executor is used directly).
@@ -144,27 +120,36 @@ impl ParallelBatchReport {
     }
 }
 
-/// A concurrent batch executor with a configurable worker pool.
-#[derive(Copy, Clone, Debug)]
+/// A concurrent batch executor submitting query tasks to a shared
+/// work-stealing pool. Cloning shares the pool.
+#[derive(Clone, Debug)]
 pub struct BatchExecutor {
     threads: usize,
     mode: ExecMode,
     keep_outcomes: bool,
+    sched: Arc<Scheduler>,
 }
 
 impl BatchExecutor {
-    /// An executor with `threads` workers (0 means "one per available
-    /// core") driving the routed dual-store path.
+    /// An executor backed by a fresh pool of `threads` workers (0 means
+    /// "one per available core") driving the routed dual-store path.
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             threads
         };
+        Self::with_scheduler(Arc::new(Scheduler::new(threads)))
+    }
+
+    /// An executor submitting to an existing pool — the way to share one
+    /// worker pool between several executors (or with other subsystems).
+    pub fn with_scheduler(sched: Arc<Scheduler>) -> Self {
         BatchExecutor {
-            threads,
+            threads: sched.threads(),
             mode: ExecMode::Routed,
             keep_outcomes: false,
+            sched,
         }
     }
 
@@ -193,6 +178,11 @@ impl BatchExecutor {
         self.mode
     }
 
+    /// The work-stealing pool this executor submits to.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
     fn run_one<B: GraphBackend>(
         &self,
         dual: &DualStore<B>,
@@ -207,10 +197,11 @@ impl BatchExecutor {
 
     /// Execute one batch concurrently under a single shared-read epoch.
     ///
-    /// The read guard is acquired once, before the workers spawn, and
-    /// held until the last of them joins: the physical design is frozen
-    /// for the whole batch, and a concurrent [`SharedStore::reconfigure`]
-    /// waits at the write acquire (the epoch barrier).
+    /// The read guard is acquired once, before the tasks are submitted,
+    /// and held until the last of them completes: the physical design is
+    /// frozen for the whole batch, and a concurrent
+    /// [`SharedStore::reconfigure`] waits at the write acquire (the
+    /// epoch barrier).
     pub fn execute_batch<B: GraphBackend>(
         &self,
         store: &SharedStore<B>,
@@ -223,58 +214,58 @@ impl BatchExecutor {
         // the store, and the report attributes the batch to the design it
         // actually ran under.
         let epoch = store.epoch();
-        let queue = ClaimQueue::new(queries.len());
         let workers = self.threads.min(queries.len()).max(1);
 
-        let worker_reports: Vec<WorkerReport> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let (dual, queue) = (&*dual, &queue);
-                    scope.spawn(move || {
-                        let mut report = WorkerReport::default();
-                        let mut temp = TempSpace::new();
-                        while let Some(i) = queue.claim() {
-                            match self.run_one(dual, &mut temp, &queries[i]) {
-                                Ok(out) => report.outcomes.push((i, out)),
-                                Err(_) => report.errors += 1,
-                            }
+        // One slot per query keeps submission order independent of
+        // completion order; pooled temp spaces are reused across the
+        // queries a worker drains (their peaks are high-water marks, so
+        // pooling preserves the exact per-batch peak).
+        let slots: Vec<Mutex<Option<QueryOutcome>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        let errors = AtomicUsize::new(0);
+        let temps: Mutex<Vec<TempSpace>> = Mutex::new(Vec::new());
+        self.sched.scope(|s| {
+            for (query, slot) in queries.iter().zip(&slots) {
+                let (dual, errors, temps) = (&*dual, &errors, &temps);
+                s.spawn(TaskClass::Query, move || {
+                    let mut temp = temps.lock().pop().unwrap_or_else(TempSpace::new);
+                    match self.run_one(dual, &mut temp, query) {
+                        Ok(out) => *slot.lock() = Some(out),
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
                         }
-                        report.temp_peak_units = temp.peak_units();
-                        report
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("query worker must not panic"))
-                .collect()
+                    }
+                    temps.lock().push(temp);
+                });
+            }
         });
         let wall = t0.elapsed();
         drop(dual);
 
-        // Post-batch aggregation: merge per-worker stats into totals that
-        // match the serial path's sums exactly, and restore submission
-        // order for the per-query outcomes.
+        // Post-batch aggregation: merge per-query stats in submission
+        // order into totals that match the serial path's sums exactly.
         let mut report = ParallelBatchReport {
             queries: queries.len(),
             threads: workers,
             epoch,
             wall,
-            outcomes: vec![None; queries.len()],
+            errors: errors.into_inner(),
+            outcomes: slots.into_iter().map(|s| s.into_inner()).collect(),
             ..Default::default()
         };
-        for w in worker_reports {
-            report.errors += w.errors;
-            report.temp_peak_units = report.temp_peak_units.max(w.temp_peak_units);
-            for (i, out) in w.outcomes {
-                report.rel_stats.merge(&out.rel_stats);
-                report.graph_stats.merge(&out.graph_stats);
-                report.result_rows += out.results.len() as u64;
-                report.sim_tti += out.simulated_latency();
-                report.routes.record(out.route);
-                report.outcomes[i] = Some(out);
-            }
+        for out in report.outcomes.iter().flatten() {
+            report.rel_stats.merge(&out.rel_stats);
+            report.graph_stats.merge(&out.graph_stats);
+            report.result_rows += out.results.len() as u64;
+            report.sim_tti += out.simulated_latency();
+            report.routes.record(out.route);
         }
+        report.temp_peak_units = temps
+            .into_inner()
+            .iter()
+            .map(TempSpace::peak_units)
+            .max()
+            .unwrap_or(0);
         report.results_digest = digest(&report.outcomes);
         if !self.keep_outcomes {
             report.outcomes = Vec::new();
@@ -344,16 +335,23 @@ mod tests {
     }
 
     #[test]
-    fn claim_queue_hands_out_each_index_once() {
-        let q = ClaimQueue::new(5);
-        let got: Vec<usize> = std::iter::from_fn(|| q.claim()).collect();
-        assert_eq!(got, vec![0, 1, 2, 3, 4]);
-        assert_eq!(q.claim(), None, "drained queue stays drained");
+    fn zero_threads_means_available_parallelism() {
+        assert!(BatchExecutor::new(0).threads() >= 1);
     }
 
     #[test]
-    fn zero_threads_means_available_parallelism() {
-        assert!(BatchExecutor::new(0).threads() >= 1);
+    fn queries_run_as_query_class_tasks() {
+        let store = shared(1000);
+        let queries = batch();
+        let exec = BatchExecutor::new(2);
+        let report = exec.execute_batch(&store, &queries);
+        assert_eq!(report.errors, 0);
+        let stats = exec.scheduler().stats();
+        assert_eq!(
+            stats.executed.get(TaskClass::Query),
+            queries.len() as u64,
+            "every query must run as a Query-class task on the pool"
+        );
     }
 
     #[test]
@@ -411,6 +409,23 @@ mod tests {
     }
 
     #[test]
+    fn executors_can_share_one_pool() {
+        let sched = Arc::new(Scheduler::new(2));
+        let a = BatchExecutor::with_scheduler(Arc::clone(&sched));
+        let b =
+            BatchExecutor::with_scheduler(Arc::clone(&sched)).with_mode(ExecMode::RelationalOnly);
+        let store = shared(1000);
+        let ra = a.execute_batch(&store, &batch());
+        let rb = b.execute_batch(&store, &batch());
+        assert_eq!(ra.errors + rb.errors, 0);
+        assert_eq!(
+            sched.stats().executed.get(TaskClass::Query),
+            2 * batch().len() as u64,
+            "both executors' queries ran on the shared pool"
+        );
+    }
+
+    #[test]
     fn with_outcomes_retains_per_query_outcomes() {
         let store = shared(100);
         let queries = batch();
@@ -427,9 +442,8 @@ mod tests {
     }
 
     #[test]
-    fn sharded_store_with_pooled_dispatch_matches_monolithic() {
-        use crate::dispatch::PooledShardDispatch;
-        use std::sync::Arc;
+    fn sharded_store_with_sched_dispatch_matches_monolithic() {
+        use crate::dispatch::SchedShardDispatch;
 
         let mut b = DatasetBuilder::new();
         for i in 0..40 {
@@ -442,7 +456,10 @@ mod tests {
         let dataset = b.build();
         let mono = SharedStore::new(DualStore::from_dataset(dataset.clone(), 100));
         let sharded = SharedStore::new(DualStore::from_dataset_sharded(dataset, 100, 4));
-        let pool = Arc::new(PooledShardDispatch::new(4));
+        let exec = BatchExecutor::new(4);
+        // The dispatcher shares the executor's pool: shard scans run on
+        // the same four workers the queries do.
+        let pool = Arc::new(SchedShardDispatch::new(Arc::clone(exec.scheduler())));
         sharded.install_shard_dispatch(pool.clone());
 
         // Variable-predicate queries are the multi-shard union scans the
@@ -452,7 +469,6 @@ mod tests {
             parse("SELECT ?s ?o WHERE { ?s ?p ?o }").unwrap(),
             parse("SELECT ?s ?o WHERE { ?s ?p ?o } LIMIT 7").unwrap(),
         ];
-        let exec = BatchExecutor::new(4);
         let a = exec.execute_batch(&mono, &queries);
         let b = exec.execute_batch(&sharded, &queries);
         assert_eq!(a.errors, 0);
@@ -463,7 +479,7 @@ mod tests {
         assert_eq!(a.result_rows, b.result_rows);
         assert!(
             pool.dispatches() >= queries.len() as u64,
-            "every union scan must have gone through the pooled dispatcher \
+            "every union scan must have gone through the scheduled dispatcher \
              (saw {} dispatches)",
             pool.dispatches()
         );

@@ -9,23 +9,41 @@
 //! confined to offline phases between batches. That phase separation is a
 //! concurrency model in disguise:
 //!
+//! * **One worker pool for everything.** All concurrent work — query
+//!   tasks, per-shard union scans, DOTIL's offline counterfactual
+//!   measurements, checkpoint I/O — runs on a single work-stealing
+//!   [`kgdual_sched::Scheduler`] with typed, priority-ordered task
+//!   classes. [`BatchExecutor`] submits `Query` tasks,
+//!   [`SchedShardDispatch`] submits `ShardScan` tasks onto the *same*
+//!   pool (idle query workers absorb them), and
+//!   [`ParallelRunner`] hands the pool to the tuner inside each epoch
+//!   barrier. Total live threads are bounded by the pool size — the
+//!   pre-scheduler per-dispatch spawns could transiently reach
+//!   `executor threads × shard threads`.
 //! * **Shared-read online phase** — the physical design `D = ⟨T_R, T_G⟩`
 //!   is immutable while a batch runs, so any number of worker threads can
-//!   execute queries against one `&DualStore` simultaneously. Each worker
-//!   owns its execution contexts and its §3.3 temp space
-//!   ([`kgdual_relstore::TempSpace`]); nothing online is shared mutable.
+//!   execute queries against one `&DualStore` simultaneously. Each query
+//!   task owns its execution contexts and checks a §3.3 temp space
+//!   ([`kgdual_relstore::TempSpace`]) out of a per-batch pool; nothing
+//!   online is shared mutable.
 //! * **Exclusive reconfiguration epoch** — between batches the
 //!   [`PhysicalTuner`](kgdual_core::PhysicalTuner) migrates/evicts
 //!   partitions under a write lock ([`SharedStore::reconfigure`]), which
 //!   by construction waits for every in-flight query. Each
-//!   reconfiguration advances the store's **epoch**.
-//! * **Post-batch aggregation** — per-worker [`ExecStats`] merge into
+//!   reconfiguration advances the store's **epoch**. The query workers
+//!   are idle for exactly that window, so the runner passes the
+//!   scheduler into [`PhysicalTuner::tune_with`] and DOTIL fans its
+//!   independent per-shape measurements over them as `OfflineTuning`
+//!   tasks — without changing a single decision (see the determinism
+//!   contract on `tune_with`).
+//! * **Post-batch aggregation** — per-query [`ExecStats`] merge into
 //!   batch totals that are *exactly* the serial sums, so DOTIL's
 //!   Q-matrix updates (and every deterministic metric of the harness)
 //!   are thread-count-invariant. Only wall-clock TTI changes with
 //!   `--threads`: that is the measured parallel speedup.
 //!
 //! [`ExecStats`]: kgdual_relstore::ExecStats
+//! [`PhysicalTuner::tune_with`]: kgdual_core::PhysicalTuner::tune_with
 //!
 //! ```
 //! use kgdual_exec::{BatchExecutor, ParallelRunner, SharedStore};
@@ -54,7 +72,12 @@ pub mod executor;
 pub mod runner;
 pub mod shared;
 
-pub use dispatch::PooledShardDispatch;
+pub use dispatch::SchedShardDispatch;
 pub use executor::{BatchExecutor, ExecMode, ParallelBatchReport};
 pub use runner::ParallelRunner;
 pub use shared::SharedStore;
+
+// The scheduling vocabulary is part of this crate's API surface
+// (executors share pools, dispatchers take them, stats assert on task
+// classes), so re-export it alongside the executors.
+pub use kgdual_sched::{SchedStats, Scheduler, TaskClass};

@@ -9,8 +9,14 @@
 //! nothing a worker does can perturb the design DOTIL trains against),
 //! which is why Q-matrix updates and migration decisions are identical at
 //! every thread count.
+//!
+//! The runner is also where the *one* worker pool gets shared across
+//! subsystems: per-shard union scans dispatch onto the executor's
+//! scheduler (no second pool, no oversubscription), and the tuner is
+//! handed the same scheduler inside the epoch barrier so independent
+//! offline work fans out over the query workers idling there.
 
-use crate::dispatch::PooledShardDispatch;
+use crate::dispatch::SchedShardDispatch;
 use crate::executor::{BatchExecutor, ParallelBatchReport};
 use crate::shared::SharedStore;
 use kgdual_core::batch::TuningSchedule;
@@ -46,33 +52,43 @@ impl ParallelRunner {
         batches: &[Vec<Query>],
     ) -> Vec<ParallelBatchReport> {
         let mut reports = Vec::with_capacity(batches.len());
+        let sched = self.executor.scheduler();
 
         // Multi-thread executors also parallelize *inside* a query: a
-        // sharded relational store fans its per-shard union scans over a
-        // pool sized to the same worker budget. Purely behavioral (no
-        // epoch bump) and metric-invariant — single-shard stores and
-        // 1-thread runs keep the inline path.
+        // sharded relational store fans its per-shard union scans onto
+        // the executor's own pool — shard scans and queries share the
+        // same workers, so total live threads never exceed the pool.
+        // Purely behavioral (no epoch bump) and metric-invariant —
+        // single-shard stores and 1-thread runs keep the inline path.
         if self.executor.threads() > 1 {
-            store.install_shard_dispatch(Arc::new(PooledShardDispatch::new(
-                self.executor.threads(),
-            )));
+            store.install_shard_dispatch(Arc::new(SchedShardDispatch::new(Arc::clone(sched))));
+            // Front-load the per-shard secondary-index builds over the
+            // same pool (one ShardScan job per shard) instead of paying
+            // the sorts lazily inside the first batch's queries. A pure
+            // cache fill: results and work units are warm-invariant.
+            store.read().warm_rel_indexes();
         }
 
+        // Tuning epochs get the same pool: the query workers are idle
+        // for exactly the write-lock window, so the tuner's independent
+        // offline work (DOTIL counterfactual waves) borrows them as
+        // OfflineTuning-class tasks. Deterministically identical to the
+        // serial tune() at every worker count (see PhysicalTuner docs).
         if self.schedule == TuningSchedule::OnceUpfrontWithAll {
             let all: Vec<Query> = batches.iter().flatten().cloned().collect();
-            store.reconfigure(|dual| tuner.tune(dual, &all));
+            store.reconfigure(|dual| tuner.tune_with(dual, &all, Some(sched)));
         }
 
         for (i, batch) in batches.iter().enumerate() {
             if self.schedule == TuningSchedule::BeforeEachBatchWithUpcoming {
-                store.reconfigure(|dual| tuner.tune(dual, batch));
+                store.reconfigure(|dual| tuner.tune_with(dual, batch, Some(sched)));
             }
 
             let mut report = self.executor.execute_batch(store, batch);
             report.batch_index = i;
 
             if self.schedule == TuningSchedule::AfterEachBatch {
-                report.tuning = store.reconfigure(|dual| tuner.tune(dual, batch));
+                report.tuning = store.reconfigure(|dual| tuner.tune_with(dual, batch, Some(sched)));
             }
             reports.push(report);
         }

@@ -73,7 +73,7 @@ impl<B: GraphBackend> SharedStore<B> {
     }
 
     /// Install the executor the sharded relational store fans independent
-    /// per-shard scans out with (see [`crate::PooledShardDispatch`]).
+    /// per-shard scans out with (see [`crate::SchedShardDispatch`]).
     ///
     /// Takes the write lock so the swap cannot interleave with an
     /// in-flight batch, but does **not** advance the epoch: the
@@ -99,6 +99,37 @@ impl<B: GraphBackend> SharedStore<B> {
     pub fn checkpoint(&self, tuner: Option<&dyn PhysicalTuner<B>>) -> Bytes {
         let guard = self.store.write();
         persist::save_checkpoint(&guard, tuner, self.epoch())
+    }
+
+    /// [`checkpoint`](SharedStore::checkpoint), with the serialization
+    /// running as a [`kgdual_sched::TaskClass::CheckpointIo`] task on the
+    /// unified worker pool.
+    ///
+    /// The quiesce is two-layered: the write acquire drains every
+    /// in-flight batch (the PR 4 hook — queries hold read guards for
+    /// their whole batch), and [`kgdual_sched::Scheduler::quiesce`] then
+    /// drains any
+    /// stray pool traffic, so the I/O task serializes a fully settled
+    /// store. Byte-identical to the inline path; the class exists so the
+    /// pool's accounting (and its priority policy — checkpoint I/O
+    /// outranks tuning, yields to online work) covers checkpointing too.
+    pub fn checkpoint_on(
+        &self,
+        sched: &kgdual_sched::Scheduler,
+        tuner: Option<&(dyn PhysicalTuner<B> + Sync)>,
+    ) -> Bytes {
+        let guard = self.store.write();
+        sched.quiesce();
+        let epoch = self.epoch();
+        let mut snapshot = None;
+        sched.scope(|s| {
+            let (guard, slot) = (&*guard, &mut snapshot);
+            s.spawn(kgdual_sched::TaskClass::CheckpointIo, move || {
+                let tuner = tuner.map(|t| t as &dyn PhysicalTuner<B>);
+                *slot = Some(persist::save_checkpoint(guard, tuner, epoch));
+            });
+        });
+        snapshot.expect("the checkpoint task must have run to completion")
     }
 
     /// Restore a checkpoint produced by [`checkpoint`](SharedStore::checkpoint)
@@ -181,6 +212,50 @@ mod tests {
         });
         assert!(entered.load(Ordering::SeqCst));
         assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn scheduled_checkpoint_matches_inline_and_drains_readers() {
+        use kgdual_sched::{Scheduler, TaskClass};
+
+        let s = store();
+        s.reconfigure(|dual| {
+            let p = dual.dict().pred_id("y:bornIn").unwrap();
+            dual.migrate_partition(p).unwrap();
+        });
+        let sched = Scheduler::new(2);
+
+        // Byte-identical to the inline path — the CheckpointIo class
+        // changes where the serialization runs, never what it writes.
+        let inline = s.checkpoint(None);
+        let scheduled = s.checkpoint_on(&sched, None);
+        assert_eq!(inline, scheduled);
+        assert_eq!(
+            sched.stats().executed.get(TaskClass::CheckpointIo),
+            1,
+            "serialization must run as a CheckpointIo-class task"
+        );
+
+        // Quiesce semantics: a live read guard (an in-flight batch)
+        // blocks the checkpoint at the write acquire until it drops.
+        let entered = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let guard = s.read();
+            let (sref, schedref, entered) = (&s, &sched, &entered);
+            let writer = scope.spawn(move || {
+                let snap = sref.checkpoint_on(schedref, None);
+                entered.store(true, Ordering::SeqCst);
+                snap
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !entered.load(Ordering::SeqCst),
+                "checkpoint must wait for the in-flight batch to drain"
+            );
+            drop(guard);
+            let snap = writer.join().unwrap();
+            assert_eq!(snap, inline);
+        });
     }
 
     #[test]

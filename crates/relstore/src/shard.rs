@@ -64,6 +64,18 @@ impl RelShard {
     pub fn tables(&self) -> impl Iterator<Item = (PredId, &PredTable)> + '_ {
         self.tables.iter().map(|(p, t)| (*p, t))
     }
+
+    /// Build the secondary indexes and statistics of every non-empty
+    /// partition in this shard (see [`PredTable::warm`]). Shards are
+    /// disjoint, so per-shard warm jobs are independent — the facade fans
+    /// them out through the installed [`ShardDispatch`]. Returns how many
+    /// tables actually had something to build.
+    pub fn warm_indexes(&self) -> usize {
+        self.tables()
+            .filter(|(_, t)| !t.is_empty())
+            .filter(|(_, t)| t.warm())
+            .count()
+    }
 }
 
 /// The sharded relational substrate: a [`ShardRouter`] plus its shards.

@@ -1,0 +1,46 @@
+//! Property: the set of completed tasks is permutation-identical across
+//! worker counts — scheduling moves *when* a task runs, never *whether*
+//! it runs, and index-ordered collection makes even the output order
+//! worker-count-invariant.
+
+use kgdual_sched::{Scheduler, TaskClass};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Run `n` tasks of the given class mix and return (sorted completion
+/// set, index-ordered results).
+fn run(threads: usize, n: usize, classes: &[TaskClass]) -> (Vec<usize>, Vec<u64>) {
+    let sched = Scheduler::new(threads);
+    let completed = Mutex::new(Vec::new());
+    sched.scope(|s| {
+        for i in 0..n {
+            let completed = &completed;
+            s.spawn(classes[i % classes.len()], move || {
+                completed.lock().unwrap().push(i);
+            });
+        }
+    });
+    let mut set = completed.into_inner().unwrap();
+    set.sort_unstable();
+    let indexed = sched.run_indexed(TaskClass::Query, n, |i| (i as u64).wrapping_mul(2654435761));
+    (set, indexed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn completion_sets_are_permutation_identical_across_worker_counts(
+        n in 0usize..96,
+        mix in prop::collection::vec(0usize..4, 1..4),
+    ) {
+        let classes: Vec<TaskClass> = mix.iter().map(|&i| TaskClass::ALL[i]).collect();
+        let (ref_set, ref_indexed) = run(1, n, &classes);
+        prop_assert_eq!(&ref_set, &(0..n).collect::<Vec<_>>(), "every task completes");
+        for threads in [2usize, 4, 8] {
+            let (set, indexed) = run(threads, n, &classes);
+            prop_assert_eq!(&set, &ref_set, "{} threads: same completion set", threads);
+            prop_assert_eq!(&indexed, &ref_indexed, "{} threads: same ordered results", threads);
+        }
+    }
+}

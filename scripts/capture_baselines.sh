@@ -15,6 +15,11 @@ cd "$(dirname "$0")/.."
 SCALE="${SCALE:-0.002}"
 SEED="${SEED:-42}"
 REPS="${REPS:-2}"
+# The scheduler sweep needs a meatier tuning epoch than the figure
+# captures for its wall clocks to mean anything, so it gets its own
+# scale knob.
+SCHED_SCALE="${SCHED_SCALE:-0.01}"
+SCHED_REPS="${SCHED_REPS:-3}"
 OUT=docs/baselines
 mkdir -p "$OUT"
 
@@ -41,6 +46,16 @@ for bin in "${BINS[@]}"; do
   cargo run --release -q -p kgdual-bench --bin "$bin" -- "${ARGS[@]}" "${extra[@]}" \
     > "$OUT/$bin.txt"
 done
+
+echo "== bench_sched (BENCH_sched.json) =="
+# The unified-scheduler sweep: threads {1,2,4,8} x shards {1,4}, online
+# wall TTI + tuning-epoch wall per cell. The binary asserts the
+# determinism grid (work units / simulated TTI / rows identical in every
+# cell) and — on hosts with >1 CPU — that the tuning epoch is measurably
+# faster multi-threaded than serial.
+cargo run --release -q -p kgdual-bench --bin bench_sched -- \
+  --scale "$SCHED_SCALE" --seed "$SEED" --reps "$SCHED_REPS" --assert-speedup true \
+  > "$OUT/BENCH_sched.json"
 
 echo "== capture_baselines (deterministic TSV) =="
 cargo run --release -q -p kgdual-bench --bin capture_baselines -- "${ARGS[@]}" \

@@ -31,3 +31,36 @@ else
   echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
   exit 1
 fi
+
+# The scheduler sweep: re-run bench_sched at the parameters pinned in the
+# committed capture and compare the deterministic fields (work units,
+# simulated TTI, result rows, OfflineTuning task counts per cell). Wall
+# clocks and host_parallelism are machine-dependent and stripped. The
+# re-run also re-asserts the determinism grid in-binary, and on hosts
+# with >1 CPU the multi-threaded tuning-epoch speedup.
+SCHED=docs/baselines/BENCH_sched.json
+[ -f "$SCHED" ] || { echo "missing $SCHED — run scripts/capture_baselines.sh first"; exit 1; }
+
+sched_scale=$(sed -nE 's/.*"scale": ([0-9.]+).*/\1/p' "$SCHED" | head -1)
+sched_seed=$(sed -nE 's/.*"seed": ([0-9]+).*/\1/p' "$SCHED" | head -1)
+sched_reps=$(sed -nE 's/.*"reps": ([0-9]+).*/\1/p' "$SCHED" | head -1)
+
+fresh_sched=$(mktemp)
+trap 'rm -f "$fresh" "$fresh_sched"' EXIT
+cargo run --release -q -p kgdual-bench --bin bench_sched -- \
+  --scale "$sched_scale" --seed "$sched_seed" --reps "$sched_reps" \
+  --assert-speedup true > "$fresh_sched"
+
+deterministic_cells() {
+  grep '"threads"' "$1" \
+    | sed -E 's/"wall_tti_secs": [0-9.]+, "tuning_wall_secs": [0-9.]+, //'
+}
+
+if diff -u <(deterministic_cells "$SCHED") <(deterministic_cells "$fresh_sched"); then
+  echo "OK: BENCH_sched deterministic cells unchanged"
+else
+  echo
+  echo "SCHED DRIFT: deterministic sweep cells differ from $SCHED (see diff above)."
+  echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
+  exit 1
+fi
