@@ -57,6 +57,11 @@ pub struct BenchArgs {
     /// construction — the flag changes physical layout and intra-query
     /// parallelism only.
     pub shards: usize,
+    /// `--obs-out <path>`: enable kgdual-obs recording for the run and
+    /// write the final metrics snapshot (JSON form) to `path` on exit
+    /// (see [`crate::obs::write_obs_profile`]). `None` leaves recording
+    /// at whatever `KGDUAL_OBS` selected.
+    pub obs_out: Option<String>,
     /// Remaining free-form flags (`--key value`).
     pub extra: Vec<(String, String)>,
 }
@@ -71,6 +76,7 @@ impl Default for BenchArgs {
             threads: 1,
             backend: BackendKind::default(),
             shards: 1,
+            obs_out: None,
             extra: Vec::new(),
         }
     }
@@ -115,6 +121,7 @@ impl BenchArgs {
                     None => eprintln!("unknown --backend `{value}` (want adjacency|csr)"),
                 },
                 "shards" => out.shards = value.parse().unwrap_or(out.shards).max(1),
+                "obs-out" => out.obs_out = Some(value),
                 _ => out.extra.push((key.to_owned(), value)),
             }
         }
@@ -200,6 +207,13 @@ mod tests {
         assert_eq!(a.reps, 5);
         assert_eq!(a.order, "random");
         assert_eq!(a.threads, 8);
+    }
+
+    #[test]
+    fn parses_obs_out() {
+        assert_eq!(parse("").obs_out, None);
+        let a = parse("--obs-out /tmp/profile.json");
+        assert_eq!(a.obs_out.as_deref(), Some("/tmp/profile.json"));
     }
 
     #[test]

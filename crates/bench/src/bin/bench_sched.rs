@@ -47,6 +47,7 @@ fn point_json(p: &SchedSweepPoint) -> String {
 
 fn main() {
     let args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     eprintln!(
         "BENCH_sched: scheduler sweep over threads {THREADS:?} x shards {SHARDS:?}, {}",
         args.describe()
@@ -111,4 +112,5 @@ fn main() {
     }
     println!("  ]");
     println!("}}");
+    kgdual_bench::write_obs_profile(&args);
 }

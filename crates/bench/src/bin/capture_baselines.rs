@@ -28,6 +28,7 @@ pub fn workloads() -> [WorkloadKind; 7] {
 
 fn main() {
     let args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     let variants = [
         VariantKind::RdbOnly,
         VariantKind::RdbViews,
@@ -59,7 +60,7 @@ fn main() {
     // --restart true). The driver itself asserts restart equivalence;
     // the totals pinned here keep the warm-restart advantage from
     // silently eroding.
-    let mut restart_args = args;
+    let mut restart_args = args.clone();
     restart_args.reps = 1;
     restart_args.order = "ordered".to_owned();
     for c in run_restart_comparison(WorkloadKind::Yago, &restart_args) {
@@ -69,4 +70,5 @@ fn main() {
             c.name, c.total_work, sim_ns, c.result_rows
         );
     }
+    kgdual_bench::write_obs_profile(&args);
 }

@@ -13,6 +13,7 @@ use kgdual_bench::{
 
 fn main() {
     let args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     let figure = if args.order == "random" {
         "Figure 4"
     } else {
@@ -92,4 +93,5 @@ fn main() {
         }
         println!();
     }
+    kgdual_bench::write_obs_profile(&args);
 }

@@ -12,6 +12,7 @@ use kgdual_bench::{
 
 fn main() {
     let mut args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     println!(
         "Figure 5: total simulated TTI (s) per workload and store variant, {}\n",
         args.describe()
@@ -95,4 +96,5 @@ fn main() {
         }
         ptable.print();
     }
+    kgdual_bench::write_obs_profile(&args);
 }

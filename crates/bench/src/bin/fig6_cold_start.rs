@@ -22,6 +22,7 @@ use kgdual_bench::{
 
 fn main() {
     let mut args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     // Cold start is about the FIRST run; do not warm up.
     args.reps = 1;
     println!(
@@ -101,4 +102,5 @@ fn main() {
         "\nwarm restart erases {:.1}% of the cold-start TTI",
         (1.0 - warm.sim_tti_secs / cold.sim_tti_secs) * 100.0
     );
+    kgdual_bench::write_obs_profile(&args);
 }

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 fn main() {
     let args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     println!(
         "Figure 7: IO/CPU consumed by the graph store over time (40% spare IO), {}\n",
         args.describe()
@@ -87,4 +88,5 @@ fn run<B: GraphBackend>(args: &BenchArgs) {
             last.at_secs - first.at_secs
         );
     }
+    kgdual_bench::write_obs_profile(args);
 }

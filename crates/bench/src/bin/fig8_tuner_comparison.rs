@@ -10,6 +10,7 @@ use kgdual_bench::{run_variant_comparison, BenchArgs, TablePrinter, VariantKind,
 
 fn main() {
     let mut args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     println!(
         "Figure 8: total simulated TTI (s) per tuner, {}\n",
         args.describe()
@@ -60,4 +61,5 @@ fn main() {
         ]);
     }
     table.print();
+    kgdual_bench::write_obs_profile(&args);
 }

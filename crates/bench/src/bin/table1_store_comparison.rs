@@ -60,6 +60,7 @@ fn mirrored<B: GraphBackend>(dataset: kgdual_model::Dataset, shards: usize) -> D
 
 fn main() {
     let args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     // Paper sweep: 500k..5M; scaled by --scale (default 0.1 here: 50k..500k).
     let scale = if args.scale == 0.01 { 0.1 } else { args.scale };
     let sizes: Vec<usize> = (1..=10)
@@ -163,4 +164,5 @@ fn main() {
         ]);
     }
     table.print();
+    kgdual_bench::write_obs_profile(&args);
 }

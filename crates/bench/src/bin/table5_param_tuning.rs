@@ -22,6 +22,7 @@ struct Sweep {
 
 fn main() {
     let args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     println!(
         "Table 5: DOTIL parameter tuning on half of the random YAGO workload, {}\n",
         args.describe()
@@ -102,4 +103,5 @@ fn main() {
         }
     }
     table.print();
+    kgdual_bench::write_obs_profile(&args);
 }

@@ -69,6 +69,7 @@ fn run<B: GraphBackend>(args: &BenchArgs) {
 
 fn main() {
     let args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
     println!(
         "Table 6: graph-store slowdown with limited spare resources, {}\n",
         args.describe()
@@ -77,4 +78,5 @@ fn main() {
         BackendKind::Adjacency => run::<AdjacencyBackend>(&args),
         BackendKind::Csr => run::<CsrBackend>(&args),
     }
+    kgdual_bench::write_obs_profile(&args);
 }

@@ -518,7 +518,11 @@ pub struct SchedSweepPoint {
     pub sim_tti_ns: u128,
     /// Total result rows (thread- and shard-invariant).
     pub result_rows: u64,
-    /// `OfflineTuning` tasks the pool executed (0 in serial cells).
+    /// `OfflineTuning` tasks the pool executed. Thread-invariant: DOTIL
+    /// routes every covered-wave measurement through
+    /// `Scheduler::run_indexed`, whose inline fast path (serial cells,
+    /// single-element waves) counts in the same per-class stats as the
+    /// pooled path.
     pub tuning_tasks: u64,
 }
 
@@ -607,8 +611,13 @@ pub fn run_sched_sweep_in<B: GraphBackend>(
     let first = &out[0];
     for p in &out[1..] {
         assert_eq!(
-            (p.total_work, p.sim_tti_ns, p.result_rows),
-            (first.total_work, first.sim_tti_ns, first.result_rows),
+            (p.total_work, p.sim_tti_ns, p.result_rows, p.tuning_tasks),
+            (
+                first.total_work,
+                first.sim_tti_ns,
+                first.result_rows,
+                first.tuning_tasks
+            ),
             "{} threads / {} shards must be deterministically identical to \
              {} threads / {} shards",
             p.threads,

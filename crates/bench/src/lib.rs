@@ -28,6 +28,7 @@
 
 pub mod args;
 pub mod experiments;
+pub mod obs;
 pub mod setup;
 pub mod table;
 
@@ -38,5 +39,6 @@ pub use experiments::{
     run_variant_comparison_in, ParallelTti, RestartColumn, SchedSweepPoint, SharedDotil,
     VariantKind, WorkloadKind,
 };
+pub use obs::{init_obs, write_obs_profile};
 pub use setup::{build_batches, build_dataset, build_workload};
 pub use table::TablePrinter;

@@ -156,6 +156,26 @@ fn scheduled_runs_identical_across_threads_shards_adjacency() {
     matrix_identical::<AdjacencyBackend>("adjacency");
 }
 
+/// Observability must be purely observational: the same seeded parallel
+/// run with the recorder off and on yields byte-identical digests,
+/// routes, and DOTIL trails. CI drives the same property through its
+/// release-stress legs with `KGDUAL_OBS=on`.
+#[test]
+fn observability_on_does_not_perturb_determinism() {
+    let obs = kgdual_obs::global();
+    let before = obs.enabled();
+    obs.set_enabled(false);
+    let (off, _) = scheduled_fingerprint::<AdjacencyBackend>(4, 4);
+    obs.set_enabled(true);
+    let (on, _) = scheduled_fingerprint::<AdjacencyBackend>(4, 4);
+    obs.set_enabled(before);
+    assert!(off.work > 0 && off.rows > 0, "healthy run");
+    assert_eq!(
+        off, on,
+        "recording on must be byte-identical to recording off"
+    );
+}
+
 #[test]
 fn scheduled_runs_identical_across_threads_shards_csr() {
     matrix_identical::<CsrBackend>("csr");

@@ -37,6 +37,32 @@ use kgdual_model::design::{FieldReader, FieldWriter, SnapshotReader, SnapshotWri
 use kgdual_model::fx::FxHasher;
 use kgdual_model::{DesignError, PredId};
 use std::hash::Hasher;
+use std::sync::OnceLock;
+
+/// kgdual-obs handles for persistence, registered once per process.
+struct PersistObs {
+    /// Wall time of one checkpoint serialization.
+    checkpoint_wall: kgdual_obs::Histogram,
+    /// Wall time of one successful restore (decode + backend replay).
+    restore_wall: kgdual_obs::Histogram,
+    /// Total bytes of checkpoints produced.
+    checkpoint_bytes: kgdual_obs::Counter,
+    /// Total bytes of checkpoints successfully restored.
+    restore_bytes: kgdual_obs::Counter,
+}
+
+fn persist_obs() -> &'static PersistObs {
+    static OBS: OnceLock<PersistObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = kgdual_obs::global().metrics();
+        PersistObs {
+            checkpoint_wall: m.histogram("persist_checkpoint_wall_ns"),
+            restore_wall: m.histogram("persist_restore_wall_ns"),
+            checkpoint_bytes: m.counter("persist_checkpoint_bytes"),
+            restore_bytes: m.counter("persist_restore_bytes"),
+        }
+    })
+}
 
 /// Section tag: physical design (`T_G` residency, budget, fingerprint).
 pub const SECTION_DESIGN: u8 = 1;
@@ -92,6 +118,8 @@ pub fn save_checkpoint<B: GraphBackend>(
     tuner: Option<&dyn PhysicalTuner<B>>,
     epoch: u64,
 ) -> Bytes {
+    let wall = kgdual_obs::timer();
+    let _span = kgdual_obs::span!("checkpoint", epoch = epoch);
     let mut w = SnapshotWriter::new();
 
     let mut design = FieldWriter::new();
@@ -141,7 +169,12 @@ pub fn save_checkpoint<B: GraphBackend>(
     s.put_u64_list(&shard_rows);
     w.add_section(SECTION_SHARDS, s.into_bytes());
 
-    w.encode()
+    let out = w.encode();
+    persist_obs().checkpoint_bytes.add(out.len() as u64);
+    if let Some(ns) = wall.elapsed_ns() {
+        persist_obs().checkpoint_wall.record(ns);
+    }
+    out
 }
 
 /// The fully decoded and validated plan of one restore. Produced before
@@ -352,6 +385,8 @@ pub fn restore_checkpoint<B: GraphBackend>(
     tuner: Option<&mut dyn PhysicalTuner<B>>,
     bytes: &[u8],
 ) -> Result<RestoreReport, DesignError> {
+    let wall = kgdual_obs::timer();
+    let _span = kgdual_obs::span!("restore", bytes = bytes.len());
     let tuner_name: Option<String> = tuner.as_ref().map(|t| t.name().to_owned());
     let plan = plan_restore(dual, tuner_name.as_deref(), bytes)?;
 
@@ -390,6 +425,10 @@ pub fn restore_checkpoint<B: GraphBackend>(
     // untouched on the backend-failure path above.
     dual.set_case2_guard(plan.case2_guard);
     report.import_work = dual.graph().import_stats().work_units - work_before;
+    persist_obs().restore_bytes.add(bytes.len() as u64);
+    if let Some(ns) = wall.elapsed_ns() {
+        persist_obs().restore_wall.record(ns);
+    }
     Ok(report)
 }
 

@@ -17,6 +17,36 @@ use rand::{Rng, SeedableRng};
 /// snapshot's tuner section).
 const DOTIL_STATE_VERSION: u8 = 1;
 
+/// kgdual-obs handles for the tuner, registered once per process.
+/// Observational only — the deterministic signals stay in
+/// [`TuningOutcome`] and the exported decision trails.
+struct DotilObs {
+    /// Wall time of one whole tuning pass.
+    tune_wall: kgdual_obs::Histogram,
+    /// Wall time of one covered-wave measurement phase.
+    wave_measure_wall: kgdual_obs::Histogram,
+    /// Q-matrix cell updates applied.
+    q_updates: kgdual_obs::Counter,
+    /// Partitions evicted from the graph store.
+    evictions: kgdual_obs::Counter,
+    /// Partitions migrated into the graph store.
+    migrations: kgdual_obs::Counter,
+}
+
+fn dotil_obs() -> &'static DotilObs {
+    static OBS: std::sync::OnceLock<DotilObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = kgdual_obs::global().metrics();
+        DotilObs {
+            tune_wall: m.histogram("dotil_tune_wall_ns"),
+            wave_measure_wall: m.histogram("dotil_wave_measure_wall_ns"),
+            q_updates: m.counter("dotil_q_updates"),
+            evictions: m.counter("dotil_evictions"),
+            migrations: m.counter("dotil_migrations"),
+        }
+    })
+}
+
 /// `(partition, state, action)` triples updated together, with a repeat
 /// count replaying the update for identical batch copies.
 type RoleGroup<'a> = (&'a [(PredId, usize, usize)], usize);
@@ -351,6 +381,9 @@ impl<B: GraphBackend> PhysicalTuner<B> for Dotil {
         sched: Option<&Scheduler>,
     ) -> TuningOutcome {
         let mut outcome = TuningOutcome::default();
+        let tune_wall = kgdual_obs::timer();
+        let _span = kgdual_obs::span!("tune", batch = batch.len());
+        let trainings_before = self.trainings;
 
         // Group the batch by complex-subquery shape: a template and its
         // isomorphic mutations train the same Q-matrices on the same
@@ -414,18 +447,27 @@ impl<B: GraphBackend> PhysicalTuner<B> for Dotil {
             // and deterministic in work units, so both paths fold exactly
             // the same rewards in exactly the same order.
             let lambda = self.cfg.lambda;
+            let measure_wall = kgdual_obs::timer();
+            // Always route through the scheduler when one is handed in
+            // (run_indexed falls back to inline execution for single
+            // workers or single-element waves): the per-class task
+            // accounting in `SchedStats` then attributes every covered
+            // measurement identically at every thread count.
             let pairs: Vec<Option<CostPair>> = match sched {
-                Some(s) if s.threads() > 1 && wave.len() > 1 => {
+                Some(s) => {
                     let dual_ref: &DualStore<B> = dual;
                     s.run_indexed(TaskClass::OfflineTuning, wave.len(), |k| {
                         counterfactual::measure(dual_ref, &wave[k].0, lambda).ok()
                     })
                 }
-                _ => wave
+                None => wave
                     .iter()
                     .map(|w| counterfactual::measure(dual, &w.0, lambda).ok())
                     .collect(),
             };
+            if let Some(ns) = measure_wall.elapsed_ns() {
+                dotil_obs().wave_measure_wall.record(ns);
+            }
             for ((_, proportions, roles, count), pair) in wave.iter().zip(pairs) {
                 if let Some(pair) = pair {
                     self.apply_pair(
@@ -596,6 +638,13 @@ impl<B: GraphBackend> PhysicalTuner<B> for Dotil {
                     *self.stale.entry(p).or_insert(0) += 1;
                 }
             }
+        }
+        let o = dotil_obs();
+        o.q_updates.add(self.trainings - trainings_before);
+        o.evictions.add(outcome.evicted as u64);
+        o.migrations.add(outcome.migrated as u64);
+        if let Some(ns) = tune_wall.elapsed_ns() {
+            o.tune_wall.record(ns);
         }
         outcome
     }

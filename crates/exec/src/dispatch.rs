@@ -30,13 +30,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A [`ShardDispatch`] adapter submitting shard jobs to the unified
-/// work-stealing scheduler. Counters make the dispatch observable for
-/// tests and diagnostics.
+/// work-stealing scheduler. The dispatch count makes fan-out observable
+/// for tests and diagnostics; per-job accounting lives in the
+/// scheduler's own [`kgdual_sched::SchedStats`] — the single source of
+/// task accounting — rather than being double-counted here.
 #[derive(Debug)]
 pub struct SchedShardDispatch {
     sched: Arc<Scheduler>,
     dispatches: AtomicU64,
-    jobs_run: AtomicU64,
 }
 
 impl SchedShardDispatch {
@@ -47,7 +48,6 @@ impl SchedShardDispatch {
         SchedShardDispatch {
             sched,
             dispatches: AtomicU64::new(0),
-            jobs_run: AtomicU64::new(0),
         }
     }
 
@@ -74,9 +74,13 @@ impl SchedShardDispatch {
         self.dispatches.load(Ordering::Relaxed)
     }
 
-    /// Total shard jobs executed across all dispatches.
+    /// Total shard jobs executed on this adapter's pool, read from the
+    /// scheduler's per-class counters ([`TaskClass::ShardScan`] submitted
+    /// == executed once a dispatch returns, inline or pooled). On a
+    /// shared pool this counts every shard scan the pool ran, whichever
+    /// adapter dispatched it.
     pub fn jobs_run(&self) -> u64 {
-        self.jobs_run.load(Ordering::Relaxed)
+        self.sched.stats().executed.get(TaskClass::ShardScan)
     }
 }
 
@@ -87,7 +91,6 @@ impl ShardDispatch for SchedShardDispatch {
         job: &(dyn Fn(usize) -> ShardScanPart + Sync),
     ) -> Vec<ShardScanPart> {
         self.dispatches.fetch_add(1, Ordering::Relaxed);
-        self.jobs_run.fetch_add(jobs as u64, Ordering::Relaxed);
         // The contract is out[i] == job(i)'s result; run_indexed returns
         // results in index order by construction.
         self.sched.run_indexed(TaskClass::ShardScan, jobs, job)
@@ -128,11 +131,13 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         let parts = pool.run_jobs(3, &marked);
         assert_eq!(parts.len(), 3);
-        // Inline fast path: nothing went through the queues.
-        assert_eq!(
-            pool.scheduler().stats().submitted.get(TaskClass::ShardScan),
-            0
-        );
+        // The inline fast path still attributes the work to the
+        // scheduler's per-class counters — task accounting is invariant
+        // across thread counts.
+        let stats = pool.scheduler().stats();
+        assert_eq!(stats.submitted.get(TaskClass::ShardScan), 3);
+        assert_eq!(stats.executed.get(TaskClass::ShardScan), 3);
+        assert_eq!(pool.jobs_run(), 3);
     }
 
     #[test]

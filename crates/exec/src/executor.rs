@@ -208,12 +208,17 @@ impl BatchExecutor {
         queries: &[Query],
     ) -> ParallelBatchReport {
         let t0 = Instant::now();
+        let barrier = kgdual_obs::timer();
         let dual = store.read();
+        if let Some(ns) = barrier.elapsed_ns() {
+            crate::obs::exec_obs().epoch_wait.record(ns);
+        }
         // Read the epoch under the guard: reconfigure() bumps it before
         // releasing the write lock, so it cannot move while readers hold
         // the store, and the report attributes the batch to the design it
         // actually ran under.
         let epoch = store.epoch();
+        let _batch_span = kgdual_obs::span!("batch", queries = queries.len(), epoch = epoch);
         let workers = self.threads.min(queries.len()).max(1);
 
         // One slot per query keeps submission order independent of
@@ -225,9 +230,11 @@ impl BatchExecutor {
         let errors = AtomicUsize::new(0);
         let temps: Mutex<Vec<TempSpace>> = Mutex::new(Vec::new());
         self.sched.scope(|s| {
-            for (query, slot) in queries.iter().zip(&slots) {
+            for (qid, (query, slot)) in queries.iter().zip(&slots).enumerate() {
                 let (dual, errors, temps) = (&*dual, &errors, &temps);
                 s.spawn(TaskClass::Query, move || {
+                    let wall = kgdual_obs::timer();
+                    let _span = kgdual_obs::span!("query", qid = qid);
                     let mut temp = temps.lock().pop().unwrap_or_else(TempSpace::new);
                     match self.run_one(dual, &mut temp, query) {
                         Ok(out) => *slot.lock() = Some(out),
@@ -236,10 +243,16 @@ impl BatchExecutor {
                         }
                     }
                     temps.lock().push(temp);
+                    if let Some(ns) = wall.elapsed_ns() {
+                        crate::obs::exec_obs().query_wall.record(ns);
+                    }
                 });
             }
         });
         let wall = t0.elapsed();
+        crate::obs::exec_obs()
+            .batch_wall
+            .record(wall.as_nanos() as u64);
         drop(dual);
 
         // Post-batch aggregation: merge per-query stats in submission

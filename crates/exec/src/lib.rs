@@ -69,6 +69,7 @@
 
 pub mod dispatch;
 pub mod executor;
+mod obs;
 pub mod runner;
 pub mod shared;
 

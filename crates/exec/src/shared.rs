@@ -60,7 +60,7 @@ impl<B: GraphBackend> SharedStore<B> {
     /// has released its read guard, so design changes land *between*
     /// batches, never mid-flight.
     pub fn reconfigure<R>(&self, f: impl FnOnce(&mut DualStore<B>) -> R) -> R {
-        let mut guard = self.store.write();
+        let mut guard = self.write_timed();
         let out = f(&mut guard);
         // Publish the new design before readers can reacquire.
         self.epoch.fetch_add(1, Ordering::Release);
@@ -70,6 +70,18 @@ impl<B: GraphBackend> SharedStore<B> {
     /// Unwrap the store (end of experiment).
     pub fn into_inner(self) -> DualStore<B> {
         self.store.into_inner()
+    }
+
+    /// Write acquire with the wait recorded in the epoch-barrier
+    /// histogram — the time a design change spent draining in-flight
+    /// batches.
+    fn write_timed(&self) -> parking_lot::RwLockWriteGuard<'_, DualStore<B>> {
+        let wait = kgdual_obs::timer();
+        let guard = self.store.write();
+        if let Some(ns) = wait.elapsed_ns() {
+            crate::obs::exec_obs().epoch_wait.record(ns);
+        }
+        guard
     }
 
     /// Install the executor the sharded relational store fans independent
@@ -97,8 +109,13 @@ impl<B: GraphBackend> SharedStore<B> {
     /// write lock is free); calling it mid-batch simply blocks until the
     /// batch drains.
     pub fn checkpoint(&self, tuner: Option<&dyn PhysicalTuner<B>>) -> Bytes {
-        let guard = self.store.write();
-        persist::save_checkpoint(&guard, tuner, self.epoch())
+        let wall = kgdual_obs::timer();
+        let guard = self.write_timed();
+        let snap = persist::save_checkpoint(&guard, tuner, self.epoch());
+        if let Some(ns) = wall.elapsed_ns() {
+            crate::obs::exec_obs().checkpoint_wall.record(ns);
+        }
+        snap
     }
 
     /// [`checkpoint`](SharedStore::checkpoint), with the serialization
@@ -118,7 +135,8 @@ impl<B: GraphBackend> SharedStore<B> {
         sched: &kgdual_sched::Scheduler,
         tuner: Option<&(dyn PhysicalTuner<B> + Sync)>,
     ) -> Bytes {
-        let guard = self.store.write();
+        let wall = kgdual_obs::timer();
+        let guard = self.write_timed();
         sched.quiesce();
         let epoch = self.epoch();
         let mut snapshot = None;
@@ -129,6 +147,9 @@ impl<B: GraphBackend> SharedStore<B> {
                 *slot = Some(persist::save_checkpoint(guard, tuner, epoch));
             });
         });
+        if let Some(ns) = wall.elapsed_ns() {
+            crate::obs::exec_obs().checkpoint_wall.record(ns);
+        }
         snapshot.expect("the checkpoint task must have run to completion")
     }
 
@@ -146,7 +167,7 @@ impl<B: GraphBackend> SharedStore<B> {
         tuner: Option<&mut dyn PhysicalTuner<B>>,
         snapshot: &[u8],
     ) -> Result<RestoreReport, DesignError> {
-        let mut guard = self.store.write();
+        let mut guard = self.write_timed();
         let report = persist::restore_checkpoint(&mut guard, tuner, snapshot)?;
         self.epoch.store(report.epoch, Ordering::Release);
         Ok(report)

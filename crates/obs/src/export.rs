@@ -1,0 +1,169 @@
+//! Snapshot exposition: stable-ordered Prometheus-style text and JSON.
+//!
+//! Both formats are built by hand (the workspace's serde is an offline
+//! shim, and the snapshot shapes are simple enough that a dependency
+//! would buy nothing). Ordering is stable — metrics sorted by name,
+//! histogram buckets ascending — so two snapshots of identical state are
+//! byte-identical, which is what lets captured profiles live in
+//! `docs/baselines/` and diff meaningfully.
+
+use crate::metrics::{bucket_bound, HistogramSnapshot, BUCKETS};
+
+/// A point-in-time view of every registered metric, sorted by name.
+#[derive(Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Prometheus-style text exposition: counters and gauges as bare
+    /// samples, histograms as cumulative `_bucket{le="…"}` series plus
+    /// `_sum` and `_count`. Empty histogram buckets are elided (the
+    /// cumulative encoding loses nothing); `le` bounds are the inclusive
+    /// log2 bucket bounds, with `+Inf` closing the series.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            for i in 0..BUCKETS {
+                if h.buckets[i] == 0 {
+                    continue;
+                }
+                cum += h.buckets[i];
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                    bucket_bound(i)
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+
+    /// JSON exposition: one object with `counters`, `gauges`, and
+    /// `histograms` maps. Histograms carry count/sum/min/max, the derived
+    /// p50/p99 bucket bounds, and the non-empty buckets as
+    /// `[upper_bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{name}\": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{name}\": {v}"));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!(
+                "{sep}\n    \"{name}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \
+                 \"max\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [",
+                h.count,
+                h.sum,
+                h.min_or_zero(),
+                h.max,
+                h.quantile(0.5),
+                h.quantile(0.99),
+            ));
+            let mut first = true;
+            for b in 0..BUCKETS {
+                if h.buckets[b] == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("[{}, {}]", bucket_bound(b), h.buckets[b]));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn snapshot() -> MetricsSnapshot {
+        crate::global().set_enabled(true);
+        let r = MetricsRegistry::new();
+        r.counter("reqs").add(3);
+        r.gauge("depth").add(-2);
+        let h = r.histogram("lat_ns");
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_is_stable_and_cumulative() {
+        let text = snapshot().to_prometheus();
+        assert!(text.contains("# TYPE reqs counter\nreqs 3\n"));
+        assert!(text.contains("# TYPE depth gauge\ndepth -2\n"));
+        // Bucket 0 (le=0) holds the zero; 5 lands in [4,7] (le=7);
+        // cumulative counts: 1 then 3.
+        assert!(text.contains("lat_ns_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_ns_sum 10\n"));
+        assert!(text.contains("lat_ns_count 3\n"));
+        assert_eq!(text, snapshot().to_prometheus(), "stable ordering");
+    }
+
+    #[test]
+    fn json_carries_quantiles_and_sparse_buckets() {
+        let json = snapshot().to_json();
+        assert!(json.contains("\"reqs\": 3"));
+        assert!(json.contains("\"depth\": -2"));
+        assert!(json.contains("\"count\": 3, \"sum\": 10, \"min\": 0, \"max\": 5"));
+        assert!(json.contains("\"buckets\": [[0, 1], [7, 2]]"));
+        assert_eq!(json, snapshot().to_json(), "stable ordering");
+    }
+
+    #[test]
+    fn snapshot_lookups_find_metrics() {
+        let s = snapshot();
+        assert_eq!(s.counter("reqs"), Some(3));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.histogram("lat_ns").unwrap().count, 3);
+        assert!(s.histogram("missing").is_none());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the histogram merge algebra.
+//!
+//! The registry's striped histograms reconstruct a global view by merging
+//! per-stripe (per-worker) snapshots, so the merge must be a commutative
+//! monoid and must lose nothing relative to a single-threaded recorder
+//! that saw the interleaved stream. These properties are exactly what the
+//! proptests below pin down.
+
+use kgdual_obs::HistogramSnapshot;
+use proptest::prelude::*;
+
+/// Record one worker's value stream into a fresh snapshot.
+fn recorded(stream: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for &v in stream {
+        h.record(v);
+    }
+    h
+}
+
+fn merge_all<'a>(parts: impl Iterator<Item = &'a HistogramSnapshot>) -> HistogramSnapshot {
+    let mut out = HistogramSnapshot::default();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-worker histograms in any order yields the same result,
+    /// and that result equals a single-threaded recording of the
+    /// interleaved stream — the guarantee that lets each worker record
+    /// into its own stripe with no cross-thread coordination.
+    #[test]
+    fn merge_is_order_independent_and_lossless(
+        streams in prop::collection::vec(
+            prop::collection::vec(0u64..=1_000_000_000, 0..64),
+            1..6,
+        ),
+        rot in 0usize..8,
+    ) {
+        let parts: Vec<HistogramSnapshot> = streams.iter().map(|s| recorded(s)).collect();
+
+        // Merge in listed order, then in a rotated order.
+        let forward = merge_all(parts.iter());
+        let k = rot % parts.len();
+        let rotated = merge_all(parts[k..].iter().chain(parts[..k].iter()));
+
+        // Single-threaded reference: one recorder sees the streams
+        // interleaved round-robin (any interleaving gives the same
+        // multiset of values, which is all a histogram can see).
+        let mut serial = HistogramSnapshot::default();
+        let longest = streams.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..longest {
+            for s in &streams {
+                if let Some(&v) = s.get(i) {
+                    serial.record(v);
+                }
+            }
+        }
+
+        prop_assert_eq!(&forward, &rotated);
+        prop_assert_eq!(&forward, &serial);
+        let total: usize = streams.iter().map(Vec::len).sum();
+        prop_assert_eq!(forward.count, total as u64);
+    }
+
+    /// Merging an empty snapshot is the identity, in both directions —
+    /// idle workers must not perturb min/max.
+    #[test]
+    fn empty_is_merge_identity(
+        stream in prop::collection::vec(0u64..=u64::MAX / 2, 0..64),
+    ) {
+        let h = recorded(&stream);
+        let empty = HistogramSnapshot::default();
+
+        let mut left = empty.clone();
+        left.merge(&h);
+        let mut right = h.clone();
+        right.merge(&empty);
+
+        prop_assert_eq!(&left, &h);
+        prop_assert_eq!(&right, &h);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..=1_000_000, 0..32),
+        b in prop::collection::vec(0u64..=1_000_000, 0..32),
+        c in prop::collection::vec(0u64..=1_000_000, 0..32),
+    ) {
+        let (ha, hb, hc) = (recorded(&a), recorded(&b), recorded(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ab_c = ab;
+        ab_c.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+
+        prop_assert_eq!(&ab_c, &a_bc);
+    }
+}

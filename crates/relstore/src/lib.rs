@@ -31,6 +31,7 @@
 //! subqueries, with exact-match rewriting.
 
 pub mod exec;
+mod obs;
 pub mod planner;
 pub mod router;
 pub mod shard;

@@ -1,0 +1,30 @@
+//! kgdual-obs handles for the sharded relational store, registered once
+//! per process. Observational only: the deterministic work accounting
+//! stays in [`crate::ExecStats`].
+
+use std::sync::OnceLock;
+
+pub(crate) struct RelObs {
+    /// Wall latency of one per-shard union-scan job.
+    pub shard_scan_wall: kgdual_obs::Histogram,
+    /// Rows scanned by parallel shard jobs (wall-clock twin of the
+    /// deterministic `ExecStats::rows_scanned` sum).
+    pub rows_scanned: kgdual_obs::Counter,
+    /// Multi-shard union scans handed to the dispatcher.
+    pub dispatches: kgdual_obs::Counter,
+    /// Total shard jobs fanned out across all dispatches.
+    pub fanout: kgdual_obs::Counter,
+}
+
+pub(crate) fn rel_obs() -> &'static RelObs {
+    static OBS: OnceLock<RelObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let m = kgdual_obs::global().metrics();
+        RelObs {
+            shard_scan_wall: m.histogram("rel_shard_scan_wall_ns"),
+            rows_scanned: m.counter("rel_rows_scanned"),
+            dispatches: m.counter("rel_dispatches"),
+            fanout: m.counter("rel_dispatch_fanout"),
+        }
+    })
+}

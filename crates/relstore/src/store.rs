@@ -398,7 +398,12 @@ impl RelStore {
         ctx: &mut ExecContext,
         out: &mut Bindings,
     ) -> Result<(), ExecError> {
+        let shard_count = self.sharded.shard_count();
+        crate::obs::rel_obs().dispatches.inc();
+        crate::obs::rel_obs().fanout.add(shard_count as u64);
         let job = |i: usize| -> ShardScanPart {
+            let wall = kgdual_obs::timer();
+            let _span = kgdual_obs::span!("shard_scan", shard = i);
             let mut local = ExecContext {
                 cancel: ctx.cancel.clone(),
                 governor: Arc::clone(&ctx.governor),
@@ -426,9 +431,15 @@ impl RelStore {
                 }
             }
             part.stats = local.stats;
+            crate::obs::rel_obs()
+                .rows_scanned
+                .add(part.stats.rows_scanned);
+            if let Some(ns) = wall.elapsed_ns() {
+                crate::obs::rel_obs().shard_scan_wall.record(ns);
+            }
             part
         };
-        let parts = dispatch.run_jobs(self.sharded.shard_count(), &job);
+        let parts = dispatch.run_jobs(shard_count, &job);
 
         // Merge: sum per-shard stats (order-independent adds) and splice
         // the row blocks back into canonical predicate order.

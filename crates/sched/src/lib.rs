@@ -46,6 +46,18 @@
 //! simulated TTI, routes, DOTIL trails — is byte-identical at every
 //! worker count by construction.
 //!
+//! ## Observability
+//!
+//! When the process-wide `kgdual-obs` flag is on ([`kgdual_obs::enabled`])
+//! the scheduler records per-class task wall-time histograms
+//! (`sched_task_wall_ns_<class>`), per-class queue-depth gauges, steal
+//! counts, and worker idle/busy nanoseconds, and opens a `task` span
+//! around every task body — tagging the thread with the task class so
+//! spans opened inside the task inherit it. All of it is observational
+//! only: recording never changes scheduling order, and the
+//! scheduler-equivalence suite verifies byte-identical results with
+//! recording on and off.
+//!
 //! ## Implementing a custom task class
 //!
 //! [`TaskClass`] is a closed enum so the priority policy stays total and
@@ -74,8 +86,51 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// kgdual-obs handles, registered once per process. Recording through
+/// them is gated on the global observability flag (one relaxed load when
+/// off), so the hot path pays a field access and an untaken branch.
+struct SchedObs {
+    /// Wall time per executed task, one histogram per [`TaskClass`].
+    task_wall: [kgdual_obs::Histogram; 4],
+    /// Tasks sitting in queues (injector + deques), one gauge per class.
+    /// Only meaningful over windows where the obs flag is constant.
+    queue_depth: [kgdual_obs::Gauge; 4],
+    /// Successful steals (the wall-clock twin of [`SchedStats::stolen`]).
+    steals: kgdual_obs::Counter,
+    /// Nanoseconds resident workers spent parked waiting for work.
+    idle_ns: kgdual_obs::Counter,
+    /// Nanoseconds workers spent executing tasks.
+    busy_ns: kgdual_obs::Counter,
+}
+
+fn obs() -> &'static SchedObs {
+    static OBS: OnceLock<SchedObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        const WALL: [&str; 4] = [
+            "sched_task_wall_ns_shard_scan",
+            "sched_task_wall_ns_query",
+            "sched_task_wall_ns_checkpoint_io",
+            "sched_task_wall_ns_offline_tuning",
+        ];
+        const DEPTH: [&str; 4] = [
+            "sched_queue_depth_shard_scan",
+            "sched_queue_depth_query",
+            "sched_queue_depth_checkpoint_io",
+            "sched_queue_depth_offline_tuning",
+        ];
+        let m = kgdual_obs::global().metrics();
+        SchedObs {
+            task_wall: WALL.map(|n| m.histogram(n)),
+            queue_depth: DEPTH.map(|n| m.gauge(n)),
+            steals: m.counter("sched_steals"),
+            idle_ns: m.counter("sched_idle_ns"),
+            busy_ns: m.counter("sched_busy_ns"),
+        }
+    })
+}
 
 /// The kind of work a task performs, which doubles as its scheduling
 /// priority: lower discriminants drain from the global injector first.
@@ -203,6 +258,7 @@ fn worker_index_of(sched_id: u64) -> Option<usize> {
 impl Inner {
     fn push(&self, task: Task) {
         self.submitted[task.class as usize].fetch_add(1, Ordering::Relaxed);
+        obs().queue_depth[task.class as usize].inc();
         match worker_index_of(self.id) {
             Some(idx) => self.deques[idx].lock().unwrap().push_back(task),
             None => self.injector[task.class as usize]
@@ -243,6 +299,7 @@ impl Inner {
             if let Some(t) = self.deques[j].lock().unwrap().pop_front() {
                 self.queued.fetch_sub(1, Ordering::AcqRel);
                 self.stolen.fetch_add(1, Ordering::Relaxed);
+                obs().steals.inc();
                 return Some(t);
             }
         }
@@ -250,9 +307,24 @@ impl Inner {
     }
 
     fn run_task(&self, task: Task) {
+        let class = task.class;
+        obs().queue_depth[class as usize].dec();
+        // Tag the thread with the task class so spans opened inside the
+        // task body (query, shard scan, tuning…) carry it; restore the
+        // previous tag afterwards because workers nest via helping.
+        let prev_class = kgdual_obs::set_task_class(Some(class.name()));
+        let timer = kgdual_obs::timer();
         self.running.fetch_add(1, Ordering::AcqRel);
-        let result = panic::catch_unwind(AssertUnwindSafe(task.run));
-        self.executed[task.class as usize].fetch_add(1, Ordering::Relaxed);
+        let result = {
+            let _span = kgdual_obs::span!("task", class = class as usize);
+            panic::catch_unwind(AssertUnwindSafe(task.run))
+        };
+        if let Some(ns) = timer.elapsed_ns() {
+            obs().task_wall[class as usize].record(ns);
+            obs().busy_ns.add(ns);
+        }
+        kgdual_obs::set_task_class(prev_class);
+        self.executed[class as usize].fetch_add(1, Ordering::Relaxed);
         let running_now = self.running.fetch_sub(1, Ordering::AcqRel) - 1;
         if let Err(payload) = result {
             let mut slot = task.scope.panic.lock().unwrap();
@@ -312,15 +384,24 @@ impl Inner {
                 self.run_task(task);
                 continue;
             }
-            let mut g = self.idle_lock.lock().unwrap();
-            loop {
-                if self.shutdown.load(Ordering::Acquire) {
-                    return;
+            let idle = kgdual_obs::timer();
+            let stop = {
+                let mut g = self.idle_lock.lock().unwrap();
+                loop {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break true;
+                    }
+                    if self.queued.load(Ordering::Acquire) > 0 {
+                        break false;
+                    }
+                    g = self.idle_cv.wait(g).unwrap();
                 }
-                if self.queued.load(Ordering::Acquire) > 0 {
-                    break;
-                }
-                g = self.idle_cv.wait(g).unwrap();
+            };
+            if let Some(ns) = idle.elapsed_ns() {
+                obs().idle_ns.add(ns);
+            }
+            if stop {
+                return;
             }
         }
     }
@@ -436,14 +517,20 @@ impl Scheduler {
     /// index order** — the deterministic fan-out shape shard scans and
     /// DOTIL measurement waves use. Jobs run inline when the pool has a
     /// single worker or there is only one job (no scheduling overhead,
-    /// identical results).
+    /// identical results). Inline jobs still count in the per-class
+    /// submitted/executed stats, so [`SchedStats`] attributes the same
+    /// work at every thread count — it is the single source of task
+    /// accounting for the whole stack.
     pub fn run_indexed<T, F>(&self, class: TaskClass, n: usize, job: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         if n <= 1 || self.threads() == 1 {
-            return (0..n).map(job).collect();
+            self.inner.submitted[class as usize].fetch_add(n as u64, Ordering::Relaxed);
+            let out = (0..n).map(job).collect();
+            self.inner.executed[class as usize].fetch_add(n as u64, Ordering::Relaxed);
+            return out;
         }
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
         self.scope(|s| {

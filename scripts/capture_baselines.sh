@@ -57,8 +57,24 @@ cargo run --release -q -p kgdual-bench --bin bench_sched -- \
   --scale "$SCHED_SCALE" --seed "$SEED" --reps "$SCHED_REPS" --assert-speedup true \
   > "$OUT/BENCH_sched.json"
 
+echo "== bench_obs (BENCH_obs.json) =="
+# The observability overhead gate: the YAGO workload with recording off
+# vs on, interleaved, min-of-reps. The binary asserts that both modes do
+# byte-identical deterministic work and — on hosts with >1 CPU — that
+# enabled recording costs <3% wall clock.
+cargo run --release -q -p kgdual-bench --bin bench_obs -- \
+  --scale "$SCHED_SCALE" --seed "$SEED" --reps "$SCHED_REPS" \
+  --threads 4 --shards 4 --assert-overhead true \
+  > "$OUT/BENCH_obs.json"
+
 echo "== capture_baselines (deterministic TSV) =="
+# --obs-out turns recording on for the capture and dumps the merged
+# metrics snapshot (counters, gauges, latency histograms) next to the
+# TSV, so the longitudinal trajectory carries a runtime profile of the
+# exact run that produced the committed numbers. The profile holds only
+# wall-clock readings and task counts — the regression check ignores it.
 cargo run --release -q -p kgdual-bench --bin capture_baselines -- "${ARGS[@]}" \
+  --obs-out "$OUT/obs_profile.json" \
   > "$OUT/deterministic.tsv"
 
 echo "== criterion benches =="

@@ -2,13 +2,63 @@
 # Flag regressions against the committed deterministic baseline.
 #
 # Re-runs the capture_baselines binary at the parameters pinned in the
-# committed TSV's header and diffs the output. Work units, simulated TTI,
-# and result rows are exact operator counts, so any diff is a real
+# committed TSV's header and compares the output. Work units, simulated
+# TTI, and result rows are exact operator counts, so any drift is a real
 # behaviour change: either an intended improvement (re-run
 # scripts/capture_baselines.sh and commit the new numbers with the PR
 # that earns them) or a regression to investigate.
+#
+# Drift is reported as a *named* diff — which file, which row, which
+# column, old -> new — so a CI failure reads as "deterministic.tsv: row
+# yago/rdb_gdb_dotil: sim_tti_ns 123 -> 456", not a bare unified diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# compare_rows <label> <base-file> <fresh-file>
+#
+# Both inputs are TSV rows of the shape `key1 key2 <named numeric
+# columns...>` with a `# key1 key2 col3 col4 ...` header naming the
+# columns. Prints one line per differing cell / missing / extra row,
+# prefixed with the label; returns non-zero iff anything differed.
+compare_rows() {
+  awk -F'\t' -v LABEL="$1" '
+    /^#/ {
+      # The column-name header (`# workload variant total_work ...`)
+      # names the columns used in drift messages.
+      if (NF >= 3 && ncols == 0) {
+        sub(/^#[ \t]*/, "")
+        ncols = split($0, cols, /\t/)
+      }
+      next
+    }
+    NF == 0 { next }
+    FNR == NR { k = $1 "/" $2; base[k] = $0; pending[k] = FNR; next }
+    {
+      k = $1 "/" $2
+      if (!(k in base)) {
+        printf "  %s: row %s only in fresh output\n", LABEL, k
+        bad = 1
+        next
+      }
+      split(base[k], b, /\t/)
+      for (i = 3; i <= NF; i++) {
+        if (b[i] != $i) {
+          name = (i <= ncols) ? cols[i] : "col" i
+          printf "  %s: row %s: %s %s -> %s\n", LABEL, k, name, b[i], $i
+          bad = 1
+        }
+      }
+      delete pending[k]
+    }
+    END {
+      for (k in pending) {
+        printf "  %s: row %s missing from fresh output\n", LABEL, k
+        bad = 1
+      }
+      exit bad
+    }
+  ' "$2" "$3"
+}
 
 BASE=docs/baselines/deterministic.tsv
 [ -f "$BASE" ] || { echo "missing $BASE — run scripts/capture_baselines.sh first"; exit 1; }
@@ -23,11 +73,11 @@ trap 'rm -f "$fresh"' EXIT
 cargo run --release -q -p kgdual-bench --bin capture_baselines -- \
   --scale "$scale" --seed "$seed" --reps "$reps" > "$fresh"
 
-if diff -u "$BASE" "$fresh"; then
+if compare_rows "$BASE" "$BASE" "$fresh"; then
   echo "OK: deterministic baselines unchanged"
 else
   echo
-  echo "BASELINE DRIFT: deterministic totals differ from $BASE (see diff above)."
+  echo "BASELINE DRIFT: deterministic totals differ from $BASE (named rows above)."
   echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
   exit 1
 fi
@@ -51,16 +101,27 @@ cargo run --release -q -p kgdual-bench --bin bench_sched -- \
   --scale "$sched_scale" --seed "$sched_seed" --reps "$sched_reps" \
   --assert-speedup true > "$fresh_sched"
 
+# Flatten each sweep cell into a keyed TSV row (threads/shards key,
+# deterministic columns only) so compare_rows can name what moved.
 deterministic_cells() {
-  grep '"threads"' "$1" \
-    | sed -E 's/"wall_tti_secs": [0-9.]+, "tuning_wall_secs": [0-9.]+, //'
+  {
+    printf '# threads\tshards\ttotal_work\tsim_tti_ns\tresult_rows\ttuning_tasks\n'
+    sed -nE 's/.*"threads": ([0-9]+), "shards": ([0-9]+),.*"total_work": ([0-9]+), "sim_tti_ns": ([0-9]+), "result_rows": ([0-9]+), "tuning_tasks": ([0-9]+).*/t\1\ts\2\t\3\t\4\t\5\t\6/p' "$1"
+  }
 }
 
-if diff -u <(deterministic_cells "$SCHED") <(deterministic_cells "$fresh_sched"); then
+cells_base=$(mktemp)
+cells_fresh=$(mktemp)
+trap 'rm -f "$fresh" "$fresh_sched" "$cells_base" "$cells_fresh"' EXIT
+deterministic_cells "$SCHED" > "$cells_base"
+deterministic_cells "$fresh_sched" > "$cells_fresh"
+[ "$(grep -c . "$cells_base")" -gt 1 ] || { echo "could not parse sweep cells from $SCHED"; exit 1; }
+
+if compare_rows "$SCHED" "$cells_base" "$cells_fresh"; then
   echo "OK: BENCH_sched deterministic cells unchanged"
 else
   echo
-  echo "SCHED DRIFT: deterministic sweep cells differ from $SCHED (see diff above)."
+  echo "SCHED DRIFT: deterministic sweep cells differ from $SCHED (named cells above)."
   echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
   exit 1
 fi
