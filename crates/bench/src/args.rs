@@ -57,6 +57,14 @@ pub struct BenchArgs {
     /// construction — the flag changes physical layout and intra-query
     /// parallelism only.
     pub shards: usize,
+    /// Serving port for `serve_store` / `bench_serve`: `--port N` (the
+    /// `KGDUAL_PORT` env var sets the default, same one-path precedence
+    /// as `KGDUAL_THREADS`). 0 (the default) asks the OS for a free
+    /// port, which the server reports on startup.
+    pub port: u16,
+    /// Concurrent load-generator clients: `--clients N` (env default
+    /// `KGDUAL_CLIENTS`, minimum 1).
+    pub clients: usize,
     /// `--obs-out <path>`: enable kgdual-obs recording for the run and
     /// write the final metrics snapshot (JSON form) to `path` on exit
     /// (see [`crate::obs::write_obs_profile`]). `None` leaves recording
@@ -76,6 +84,8 @@ impl Default for BenchArgs {
             threads: 1,
             backend: BackendKind::default(),
             shards: 1,
+            port: 0,
+            clients: 8,
             obs_out: None,
             extra: Vec::new(),
         }
@@ -91,6 +101,8 @@ impl BenchArgs {
         let mut base = Self::default();
         base.shards = env_shards().unwrap_or(base.shards);
         base.threads = env_threads().unwrap_or(base.threads);
+        base.port = env_port().unwrap_or(base.port);
+        base.clients = env_clients().unwrap_or(base.clients);
         Self::parse_into(base, std::env::args().skip(1))
     }
 
@@ -121,6 +133,8 @@ impl BenchArgs {
                     None => eprintln!("unknown --backend `{value}` (want adjacency|csr)"),
                 },
                 "shards" => out.shards = value.parse().unwrap_or(out.shards).max(1),
+                "port" => out.port = value.parse().unwrap_or(out.port),
+                "clients" => out.clients = value.parse().unwrap_or(out.clients).max(1),
                 "obs-out" => out.obs_out = Some(value),
                 _ => out.extra.push((key.to_owned(), value)),
             }
@@ -172,6 +186,19 @@ fn env_shards() -> Option<usize> {
 /// The `KGDUAL_THREADS` env default (None when unset or unparsable).
 fn env_threads() -> Option<usize> {
     env_count("KGDUAL_THREADS")
+}
+
+/// The `KGDUAL_PORT` env default. Unlike the count vars, 0 is a valid
+/// value here (it means "any free port"), so no minimum applies.
+fn env_port() -> Option<u16> {
+    std::env::var("KGDUAL_PORT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
+/// The `KGDUAL_CLIENTS` env default (None when unset or unparsable).
+fn env_clients() -> Option<usize> {
+    env_count("KGDUAL_CLIENTS")
 }
 
 fn env_count(var: &str) -> Option<usize> {
@@ -267,6 +294,35 @@ mod tests {
     #[test]
     fn reps_minimum_one() {
         assert_eq!(parse("--reps 0").reps, 1);
+    }
+
+    #[test]
+    fn port_and_clients_flags_parse_with_sane_bounds() {
+        let a = parse("");
+        assert_eq!((a.port, a.clients), (0, 8));
+        let a = parse("--port 7878 --clients 32");
+        assert_eq!((a.port, a.clients), (7878, 32));
+        // Port 0 is legal (OS-assigned); clients clamps to at least 1.
+        let a = parse("--port 0 --clients 0");
+        assert_eq!((a.port, a.clients), (0, 1));
+    }
+
+    #[test]
+    fn env_seeded_port_and_clients_yield_to_explicit_flags() {
+        // Same one-path precedence as KGDUAL_THREADS: `parse()` seeds
+        // the base from KGDUAL_PORT/KGDUAL_CLIENTS, then flags win.
+        let base = BenchArgs {
+            port: 9100,
+            clients: 16,
+            ..Default::default()
+        };
+        let kept = BenchArgs::parse_into(base.clone(), std::iter::empty());
+        assert_eq!((kept.port, kept.clients), (9100, 16));
+        let overridden = BenchArgs::parse_into(
+            base,
+            ["--port", "7000", "--clients", "2"].map(str::to_owned),
+        );
+        assert_eq!((overridden.port, overridden.clients), (7000, 2));
     }
 
     #[test]

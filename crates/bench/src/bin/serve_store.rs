@@ -1,0 +1,124 @@
+//! **serve_store** — run the online serving front-end over a seeded
+//! YAGO store until asked to stop.
+//!
+//! ```text
+//! serve_store --scale 0.002 --seed 42 --port 0 --threads 4 --clients 8
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (port 0 resolves to an
+//! OS-assigned port — scripts grep this line), then serves until either
+//! SIGTERM/SIGINT arrives or a client POSTs `/shutdown`. Both paths
+//! drain gracefully: new queries get typed 503s, admitted queries
+//! finish and their responses are written, then the process prints the
+//! final serving counters and `drained` and exits 0 — the CI smoke
+//! script asserts exactly this sequence.
+//!
+//! The admission queue capacity defaults to `2 × clients` and can be
+//! pinned with `--queue-cap N` (the overload smoke sets it below the
+//! sender count to force rejections).
+
+use kgdual_bench::serve_load::query_pool;
+use kgdual_bench::{build_dataset, BackendKind, BenchArgs, WorkloadKind};
+use kgdual_core::DualStore;
+use kgdual_exec::{SchedShardDispatch, Scheduler, SharedStore};
+use kgdual_graphstore::{AdjacencyBackend, CsrBackend, GraphBackend};
+use kgdual_serve::{AdmissionConfig, ServeConfig, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// SIGTERM/SIGINT latch. The handler only sets an atomic flag (the one
+/// async-signal-safe thing it may do); the main loop does the draining.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::TERM;
+    use std::sync::atomic::Ordering;
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    // No libc crate in the offline environment; the two libc symbols the
+    // binary needs are declared directly.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+}
+
+fn run<B: GraphBackend + Send + Sync + 'static>(args: &BenchArgs) {
+    let dataset = build_dataset(WorkloadKind::Yago, args);
+    let budget = dataset.len() / 4;
+    eprintln!(
+        "serve_store: yago store, {} triples, {}",
+        dataset.len(),
+        args.describe()
+    );
+    let store = Arc::new(SharedStore::new(DualStore::<B>::from_dataset_sharded_in(
+        dataset,
+        budget,
+        args.shards,
+    )));
+    let sched = Arc::new(Scheduler::new(args.threads));
+    if args.threads > 1 {
+        store.install_shard_dispatch(Arc::new(SchedShardDispatch::new(Arc::clone(&sched))));
+        store.read().warm_rel_indexes();
+    }
+    // Log the query pool size so operators know what the workload-mix
+    // clients will send (the pool is derived, not served).
+    eprintln!(
+        "serve_store: workload pool has {} distinct queries",
+        query_pool(args).len()
+    );
+
+    let queue_cap = args
+        .get("queue-cap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(args.clients * 2);
+    let config = ServeConfig {
+        addr: format!("127.0.0.1:{}", args.port),
+        admission: AdmissionConfig::new(queue_cap, args.clients),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(store, sched, config).expect("bind serve address");
+    println!("listening on {}", handle.local_addr());
+
+    while !TERM.load(Ordering::SeqCst) && !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    eprintln!("serve_store: draining");
+    let stats = handle.shutdown();
+    println!(
+        "served: accepted {} completed {} failed {} rejected_queue_full {} \
+         rejected_fair_share {} rejected_draining {} deadline_expired {} http_errors {}",
+        stats.accepted,
+        stats.completed,
+        stats.failed,
+        stats.rejected_queue_full,
+        stats.rejected_fair_share,
+        stats.rejected_draining,
+        stats.rejected_deadline,
+        stats.http_errors,
+    );
+    println!("drained");
+}
+
+fn main() {
+    #[cfg(unix)]
+    sig::install();
+    let args = BenchArgs::parse();
+    match args.backend {
+        BackendKind::Adjacency => run::<AdjacencyBackend>(&args),
+        BackendKind::Csr => run::<CsrBackend>(&args),
+    }
+}

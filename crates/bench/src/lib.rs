@@ -29,6 +29,7 @@
 pub mod args;
 pub mod experiments;
 pub mod obs;
+pub mod serve_load;
 pub mod setup;
 pub mod table;
 

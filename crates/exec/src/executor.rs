@@ -279,7 +279,7 @@ impl BatchExecutor {
             .map(TempSpace::peak_units)
             .max()
             .unwrap_or(0);
-        report.results_digest = digest(&report.outcomes);
+        report.results_digest = results_digest(&report.outcomes);
         if !self.keep_outcomes {
             report.outcomes = Vec::new();
         }
@@ -289,7 +289,12 @@ impl BatchExecutor {
 
 /// Serialize each query's sorted result rows, in submission order, into
 /// the report's comparison digest (failed queries contribute a sentinel).
-fn digest(outcomes: &[Option<QueryOutcome>]) -> Vec<u8> {
+///
+/// Public because it defines the cross-path determinism fingerprint:
+/// `kgdual-serve`'s `DigestBuilder` reproduces this encoding from wire
+/// replies, and the serve-equivalence suite compares the two outputs
+/// byte for byte.
+pub fn results_digest(outcomes: &[Option<QueryOutcome>]) -> Vec<u8> {
     let mut bytes = Vec::new();
     for outcome in outcomes {
         match outcome {

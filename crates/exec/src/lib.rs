@@ -74,7 +74,7 @@ pub mod runner;
 pub mod shared;
 
 pub use dispatch::SchedShardDispatch;
-pub use executor::{BatchExecutor, ExecMode, ParallelBatchReport};
+pub use executor::{results_digest, BatchExecutor, ExecMode, ParallelBatchReport};
 pub use runner::ParallelRunner;
 pub use shared::SharedStore;
 

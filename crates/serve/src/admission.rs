@@ -1,0 +1,315 @@
+//! Admission control: the bounded front door of the serving path.
+//!
+//! Every `/query` request must buy a ticket here before it is allowed
+//! to touch the scheduler. The controller enforces three invariants:
+//!
+//! 1. **Bounded memory** — at most `queue_cap` requests are pending
+//!    (admitted but not yet completed) at any instant. Request number
+//!    `cap + 1` is rejected with a typed 429 instead of growing a queue.
+//! 2. **Per-client fairness** — once the system is contended (pending
+//!    load at or above `contended_above`), no single client may hold
+//!    more than its fair share `max(1, queue_cap / expected_clients)`
+//!    of the pending slots. A greedy client gets 429s while an idle
+//!    client's requests still admit. Below the contention threshold a
+//!    burst from one client may use spare capacity freely.
+//! 3. **Drain semantics** — after [`AdmissionController::begin_drain`],
+//!    every new request is rejected (503) and
+//!    [`AdmissionController::wait_drained`] blocks until the last
+//!    admitted ticket is released, giving graceful shutdown its barrier.
+//!
+//! The policy is deliberately deterministic: decisions depend only on
+//! the counters at the moment of the call, never on time, so the
+//! admission edge-case tests are seeded and sleep-free.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+
+/// Admission policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Maximum simultaneously pending (admitted, unreleased) requests.
+    /// Zero means every query is rejected — useful for tests and for
+    /// fencing a server that should only answer operational endpoints.
+    pub queue_cap: usize,
+    /// Expected concurrent client count; fair share is
+    /// `max(1, queue_cap / expected_clients)`.
+    pub expected_clients: usize,
+    /// Pending count at or above which fair-share enforcement kicks in.
+    /// Defaults to `queue_cap / 2` via [`AdmissionConfig::new`].
+    pub contended_above: usize,
+}
+
+impl AdmissionConfig {
+    /// Config with the default contention threshold (`queue_cap / 2`).
+    pub fn new(queue_cap: usize, expected_clients: usize) -> Self {
+        AdmissionConfig {
+            queue_cap,
+            expected_clients,
+            contended_above: queue_cap / 2,
+        }
+    }
+
+    /// Pending slots one client may hold while the system is contended.
+    pub fn fair_share(&self) -> usize {
+        (self.queue_cap / self.expected_clients.max(1)).max(1)
+    }
+}
+
+/// Why a request was refused admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The pending queue is at capacity (429).
+    QueueFull,
+    /// This client is over its fair share while the system is contended
+    /// (429); other clients' requests may still admit.
+    FairShare,
+    /// The server is draining for shutdown (503).
+    Draining,
+}
+
+/// Outcome of [`AdmissionController::try_admit`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted; the caller must pair this with exactly one
+    /// [`AdmissionController::release`] for the same client.
+    Admitted,
+    /// Rejected, with the reason to surface on the wire.
+    Rejected(RejectReason),
+}
+
+#[derive(Default)]
+struct State {
+    pending: usize,
+    per_client: HashMap<String, usize>,
+    draining: bool,
+    max_pending: usize,
+}
+
+/// Bounded, per-client-fair admission gate. See the module docs for the
+/// policy; all methods are safe to call from any thread.
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<State>,
+    changed: Condvar,
+}
+
+impl AdmissionController {
+    /// A controller enforcing `config`.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController {
+            config,
+            state: Mutex::new(State::default()),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Try to admit one request from `client`.
+    pub fn try_admit(&self, client: &str) -> Admission {
+        let mut s = self.state.lock().unwrap();
+        if s.draining {
+            return Admission::Rejected(RejectReason::Draining);
+        }
+        if s.pending >= self.config.queue_cap {
+            return Admission::Rejected(RejectReason::QueueFull);
+        }
+        let mine = s.per_client.get(client).copied().unwrap_or(0);
+        if s.pending >= self.config.contended_above && mine >= self.config.fair_share() {
+            return Admission::Rejected(RejectReason::FairShare);
+        }
+        s.pending += 1;
+        s.max_pending = s.max_pending.max(s.pending);
+        *s.per_client.entry(client.to_owned()).or_insert(0) += 1;
+        self.changed.notify_all();
+        Admission::Admitted
+    }
+
+    /// Release the ticket a prior `try_admit(client)` granted. Must be
+    /// called exactly once per admitted request, whatever its outcome.
+    pub fn release(&self, client: &str) {
+        let mut s = self.state.lock().unwrap();
+        debug_assert!(s.pending > 0, "release without a matching admit");
+        s.pending = s.pending.saturating_sub(1);
+        if let Some(count) = s.per_client.get_mut(client) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                s.per_client.remove(client);
+            }
+        }
+        self.changed.notify_all();
+    }
+
+    /// Currently pending (admitted, unreleased) requests.
+    pub fn pending(&self) -> usize {
+        self.state.lock().unwrap().pending
+    }
+
+    /// High-water mark of the pending count since construction. The
+    /// overload acceptance check asserts this never exceeds `queue_cap`.
+    pub fn max_pending(&self) -> usize {
+        self.state.lock().unwrap().max_pending
+    }
+
+    /// Whether [`AdmissionController::begin_drain`] has been called.
+    pub fn draining(&self) -> bool {
+        self.state.lock().unwrap().draining
+    }
+
+    /// Start refusing all new admissions. Idempotent; already-admitted
+    /// requests are unaffected.
+    pub fn begin_drain(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.draining = true;
+        self.changed.notify_all();
+    }
+
+    /// Block until every admitted ticket has been released. Callers
+    /// normally [`AdmissionController::begin_drain`] first, otherwise
+    /// new admissions can extend the wait indefinitely.
+    pub fn wait_drained(&self) {
+        let mut s = self.state.lock().unwrap();
+        while s.pending > 0 {
+            s = self.changed.wait(s).unwrap();
+        }
+    }
+
+    /// Block until at least `n` requests are pending. A test-ordering
+    /// aid (used by shutdown-while-queued) — production code never
+    /// waits for load to build up.
+    pub fn wait_pending(&self, n: usize) {
+        let mut s = self.state.lock().unwrap();
+        while s.pending < n {
+            s = self.changed.wait(s).unwrap();
+        }
+    }
+
+    /// Block until [`AdmissionController::begin_drain`] has been called.
+    /// Another test-ordering aid: lets a test act "after shutdown
+    /// started" without sleeping.
+    pub fn wait_draining(&self) {
+        let mut s = self.state.lock().unwrap();
+        while !s.draining {
+            s = self.changed.wait(s).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let ctl = AdmissionController::new(AdmissionConfig::new(0, 4));
+        for client in ["a", "b", "c"] {
+            assert_eq!(
+                ctl.try_admit(client),
+                Admission::Rejected(RejectReason::QueueFull)
+            );
+        }
+        assert_eq!(ctl.pending(), 0);
+        assert_eq!(ctl.max_pending(), 0);
+    }
+
+    #[test]
+    fn queue_full_at_cap_and_slot_reuse_after_release() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            queue_cap: 2,
+            expected_clients: 1,
+            contended_above: 2,
+        });
+        assert_eq!(ctl.try_admit("a"), Admission::Admitted);
+        assert_eq!(ctl.try_admit("a"), Admission::Admitted);
+        assert_eq!(
+            ctl.try_admit("a"),
+            Admission::Rejected(RejectReason::QueueFull)
+        );
+        ctl.release("a");
+        assert_eq!(ctl.try_admit("a"), Admission::Admitted);
+        assert_eq!(ctl.max_pending(), 2);
+    }
+
+    #[test]
+    fn greedy_client_hits_fair_share_while_idle_client_still_admits() {
+        // cap=8, 4 clients -> fair share 2; contention from pending >= 4.
+        let ctl = AdmissionController::new(AdmissionConfig::new(8, 4));
+        assert_eq!(ctl.config.fair_share(), 2);
+        assert_eq!(ctl.config.contended_above, 4);
+
+        // Uncontended: client a may burst past its share.
+        for _ in 0..4 {
+            assert_eq!(ctl.try_admit("a"), Admission::Admitted);
+        }
+        // Now pending=4 (contended) and a holds 4 >= share 2: rejected.
+        assert_eq!(
+            ctl.try_admit("a"),
+            Admission::Rejected(RejectReason::FairShare)
+        );
+        // The idle client is unaffected.
+        assert_eq!(ctl.try_admit("b"), Admission::Admitted);
+        assert_eq!(ctl.try_admit("b"), Admission::Admitted);
+        // b is now at its share under contention too.
+        assert_eq!(
+            ctl.try_admit("b"),
+            Admission::Rejected(RejectReason::FairShare)
+        );
+        // a draining below the threshold lifts enforcement again.
+        for _ in 0..3 {
+            ctl.release("a");
+        }
+        assert_eq!(ctl.pending(), 3); // below contended_above=4
+        assert_eq!(ctl.try_admit("b"), Admission::Admitted);
+    }
+
+    #[test]
+    fn drain_rejects_new_and_wait_drained_returns_once_released() {
+        let ctl = AdmissionController::new(AdmissionConfig::new(4, 2));
+        assert_eq!(ctl.try_admit("a"), Admission::Admitted);
+        ctl.begin_drain();
+        assert!(ctl.draining());
+        assert_eq!(
+            ctl.try_admit("b"),
+            Admission::Rejected(RejectReason::Draining)
+        );
+        ctl.release("a");
+        // pending is now zero, so this must return immediately.
+        ctl.wait_drained();
+        assert_eq!(ctl.pending(), 0);
+    }
+
+    #[test]
+    fn wait_drained_blocks_until_inflight_releases() {
+        use std::sync::Arc;
+        let ctl = Arc::new(AdmissionController::new(AdmissionConfig::new(4, 2)));
+        assert_eq!(ctl.try_admit("a"), Admission::Admitted);
+        ctl.begin_drain();
+        let releaser = {
+            let ctl = Arc::clone(&ctl);
+            std::thread::spawn(move || ctl.release("a"))
+        };
+        ctl.wait_drained();
+        releaser.join().unwrap();
+        assert_eq!(ctl.pending(), 0);
+    }
+
+    #[test]
+    fn fair_share_never_below_one() {
+        // More clients than slots: share clamps to 1 so progress holds.
+        let cfg = AdmissionConfig::new(2, 16);
+        assert_eq!(cfg.fair_share(), 1);
+        let ctl = AdmissionController::new(AdmissionConfig {
+            contended_above: 0, // always contended
+            ..cfg
+        });
+        assert_eq!(ctl.try_admit("a"), Admission::Admitted);
+        assert_eq!(
+            ctl.try_admit("a"),
+            Admission::Rejected(RejectReason::FairShare)
+        );
+        assert_eq!(ctl.try_admit("b"), Admission::Admitted);
+    }
+}

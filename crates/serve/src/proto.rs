@@ -1,0 +1,498 @@
+//! The minimal HTTP/1.1 shim the front-end speaks.
+//!
+//! The build environment has no crates.io access, so there is no axum or
+//! tokio to lean on — this module implements exactly the slice of
+//! HTTP/1.1 the serving path needs over blocking `std::net` streams:
+//! request line + headers + `Content-Length` bodies in, fixed-length
+//! responses with keep-alive out. The surface is deliberately tiny and
+//! self-contained so the day the registry swap lands (see ROADMAP), the
+//! [`crate::server`] handlers port onto a real HTTP stack unchanged and
+//! this module is deleted.
+//!
+//! Limits: request lines + headers are capped at 8 KiB and bodies at
+//! 1 MiB; anything larger is a 400/413, never an unbounded buffer.
+
+use std::io::{self, Read, Write};
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Maximum request body bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, upper-case (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target (no query string).
+    pub path: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `format=` query parameter (the `/metrics` JSON switch).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Body decoded as UTF-8 (400 material when it is not).
+    pub fn body_str(&self) -> Result<&str, ProtoError> {
+        std::str::from_utf8(&self.body).map_err(|_| ProtoError::Malformed("body is not UTF-8"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The peer closed the connection before a full request arrived.
+    /// Clean close (zero bytes read) is the normal end of keep-alive.
+    Closed,
+    /// Transport failure.
+    Io(io::Error),
+    /// Syntactically invalid request (400).
+    Malformed(&'static str),
+    /// Head or body over the fixed limits (413 in spirit; served as 400).
+    TooLarge(&'static str),
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Io(e) => write!(f, "io error: {e}"),
+            ProtoError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ProtoError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+/// Read one HTTP/1.1 request off a blocking stream.
+///
+/// Reads byte-wise state-free until the `\r\n\r\n` head terminator, then
+/// exactly `Content-Length` body bytes. Returns [`ProtoError::Closed`]
+/// on a clean EOF before any byte (keep-alive end-of-stream).
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ProtoError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    ProtoError::Closed
+                } else {
+                    ProtoError::Malformed("eof inside request head")
+                });
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ProtoError::TooLarge("request head over 8 KiB"));
+        }
+    }
+
+    let head = std::str::from_utf8(&head).map_err(|_| ProtoError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(ProtoError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(ProtoError::Malformed("missing target"))?;
+    let version = parts
+        .next()
+        .ok_or(ProtoError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ProtoError::Malformed("not HTTP/1.x"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ProtoError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ProtoError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ProtoError::TooLarge("body over 1 MiB"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::Malformed("eof inside body")
+        } else {
+            ProtoError::Io(e)
+        }
+    })?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// One parsed HTTP response (the client side of the shim).
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Numeric status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Body decoded as UTF-8.
+    pub fn body_str(&self) -> Result<&str, ProtoError> {
+        std::str::from_utf8(&self.body).map_err(|_| ProtoError::Malformed("body is not UTF-8"))
+    }
+}
+
+/// Read one HTTP/1.1 response off a blocking stream (client side).
+pub fn read_response<R: Read>(stream: &mut R) -> Result<Response, ProtoError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    ProtoError::Closed
+                } else {
+                    ProtoError::Malformed("eof inside response head")
+                });
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ProtoError::TooLarge("response head over 8 KiB"));
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| ProtoError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.split(' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ProtoError::Malformed("not HTTP/1.x"));
+    }
+    let status = parts
+        .next()
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or(ProtoError::Malformed("bad status code"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ProtoError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ProtoError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ProtoError::TooLarge("body over 1 MiB"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::Malformed("eof inside body")
+        } else {
+            ProtoError::Io(e)
+        }
+    })?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// HTTP status codes the front-end emits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// 200 — the request succeeded.
+    Ok,
+    /// 202 — accepted for asynchronous processing (`/shutdown`).
+    Accepted,
+    /// 400 — malformed request or query.
+    BadRequest,
+    /// 404 — no such endpoint.
+    NotFound,
+    /// 405 — endpoint exists, method does not.
+    MethodNotAllowed,
+    /// 429 — admission control rejected the request (overload).
+    TooManyRequests,
+    /// 500 — execution failed server-side.
+    InternalError,
+    /// 503 — draining for shutdown, or connection limit reached.
+    Unavailable,
+    /// 504 — the request's deadline expired before execution.
+    DeadlineExpired,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Accepted => 202,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::TooManyRequests => 429,
+            Status::InternalError => 500,
+            Status::Unavailable => 503,
+            Status::DeadlineExpired => 504,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Accepted => "Accepted",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::TooManyRequests => "Too Many Requests",
+            Status::InternalError => "Internal Server Error",
+            Status::Unavailable => "Service Unavailable",
+            Status::DeadlineExpired => "Gateway Timeout",
+        }
+    }
+}
+
+/// Write one fixed-length response. `close` requests `Connection: close`
+/// (the draining path); otherwise the connection stays keep-alive.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: Status,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    // One buffer, one write: head and body in separate segments would
+    // trip Nagle + delayed-ACK stalls (~40 ms per small segment pair).
+    let mut wire = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status.code(),
+        status.reason(),
+        content_type,
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    )
+    .into_bytes();
+    wire.extend_from_slice(body);
+    stream.write_all(&wire)?;
+    stream.flush()
+}
+
+/// Write a JSON response (the usual case).
+pub fn write_json<W: Write>(
+    stream: &mut W,
+    status: Status,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    write_response(stream, status, "application/json", body.as_bytes(), close)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(raw: &str) -> Result<Request, ProtoError> {
+        read_request(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = req("POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world")
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/query");
+        assert_eq!(r.query, "");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert_eq!(r.body_str().unwrap(), "hello world");
+    }
+
+    #[test]
+    fn parses_get_with_query_string() {
+        let r = req("GET /metrics?format=json&x=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/metrics");
+        assert_eq!(r.query_param("format"), Some("json"));
+        assert_eq!(r.query_param("x"), Some("1"));
+        assert_eq!(r.query_param("missing"), None);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_closed_mid_request_is_malformed() {
+        assert!(matches!(req(""), Err(ProtoError::Closed)));
+        assert!(matches!(
+            req("GET / HTTP/1.1\r\n"),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_head_and_body() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(req(&huge), Err(ProtoError::TooLarge(_))));
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(req(&big_body), Err(ProtoError::TooLarge(_))));
+    }
+
+    #[test]
+    fn rejects_non_http_and_bad_headers() {
+        assert!(matches!(
+            req("GET / SPDY/3\r\n\r\n"),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n"),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_has_content_length_and_connection_mode() {
+        let mut out = Vec::new();
+        write_json(&mut out, Status::Ok, "{\"a\":1}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"a\":1}"));
+
+        let mut out = Vec::new();
+        write_json(&mut out, Status::Unavailable, "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn response_round_trips_through_reader() {
+        let mut wire = Vec::new();
+        write_json(
+            &mut wire,
+            Status::TooManyRequests,
+            "{\"reason\":\"queue_full\"}",
+            false,
+        )
+        .unwrap();
+        let r = read_response(&mut wire.as_slice()).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.body_str().unwrap(), "{\"reason\":\"queue_full\"}");
+        assert_eq!(
+            r.headers
+                .iter()
+                .find(|(n, _)| n == "connection")
+                .map(|(_, v)| v.as_str()),
+            Some("keep-alive")
+        );
+    }
+
+    #[test]
+    fn status_codes_are_stable() {
+        assert_eq!(Status::TooManyRequests.code(), 429);
+        assert_eq!(Status::DeadlineExpired.code(), 504);
+        assert_eq!(Status::Unavailable.code(), 503);
+        for s in [
+            Status::Ok,
+            Status::Accepted,
+            Status::BadRequest,
+            Status::NotFound,
+            Status::MethodNotAllowed,
+            Status::TooManyRequests,
+            Status::InternalError,
+            Status::Unavailable,
+            Status::DeadlineExpired,
+        ] {
+            assert!(!s.reason().is_empty());
+        }
+    }
+}

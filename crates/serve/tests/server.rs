@@ -1,0 +1,273 @@
+//! End-to-end tests for the serving front-end: real sockets, real
+//! scheduler, small seeded YAGO store. Synchronization is entirely
+//! gate/condvar-based — no sleeps.
+
+use kgdual_core::{process_shared, DualStore};
+use kgdual_exec::SharedStore;
+use kgdual_relstore::TempSpace;
+use kgdual_sched::{Scheduler, TaskClass};
+use kgdual_serve::{AdmissionConfig, ServeClient, ServeConfig, Server};
+use kgdual_workloads::YagoGen;
+use std::sync::{Arc, Condvar, Mutex};
+
+const SEED: u64 = 42;
+const TRIPLES: usize = 3_000;
+
+fn small_store() -> Arc<SharedStore> {
+    let gen = YagoGen::with_target_triples(TRIPLES, SEED);
+    let dataset = gen.generate();
+    let budget = dataset.len() / 4;
+    Arc::new(SharedStore::new(DualStore::from_dataset(dataset, budget)))
+}
+
+fn queries() -> Vec<String> {
+    YagoGen::with_target_triples(TRIPLES, SEED)
+        .workload()
+        .ordered()
+        .iter()
+        .map(|q| q.to_string())
+        .collect()
+}
+
+fn start(
+    store: Arc<SharedStore>,
+    threads: usize,
+    admission: AdmissionConfig,
+) -> (kgdual_serve::ServeHandle, Arc<Scheduler>) {
+    let sched = Arc::new(Scheduler::new(threads));
+    let handle = Server::start(
+        store,
+        Arc::clone(&sched),
+        ServeConfig {
+            admission,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    (handle, sched)
+}
+
+#[test]
+fn served_queries_match_direct_execution_and_ops_endpoints_answer() {
+    let store = small_store();
+    let (handle, _sched) = start(Arc::clone(&store), 2, AdmissionConfig::new(64, 8));
+    let mut client = ServeClient::connect(handle.local_addr(), "itest").unwrap();
+
+    let mut temp = TempSpace::new();
+    let mut served = 0usize;
+    for text in queries() {
+        let reply = client.query(&text, None).unwrap();
+        assert!(reply.is_ok(), "query must serve: {text}");
+        let query = kgdual_sparql::parse(&text).unwrap();
+        let direct = process_shared(&*store.read(), &mut temp, &query).unwrap();
+        let direct_rows: Vec<Vec<u32>> = direct
+            .results
+            .rows()
+            .map(|r| r.iter().map(|c| c.0).collect())
+            .collect();
+        // Rows must match in *execution order* — this is what pins LIMIT
+        // semantics through the wire.
+        assert_eq!(reply.rows, direct_rows, "rows diverge for {text}");
+        assert_eq!(reply.work_units, direct.total_work());
+        assert_eq!(
+            reply.sim_latency_ns,
+            direct.simulated_latency().as_nanos() as u64
+        );
+        assert_eq!(reply.route, kgdual_serve::route_name(direct.route));
+        assert_eq!(
+            reply.vars,
+            direct
+                .vars
+                .iter()
+                .map(|v| v.name().to_owned())
+                .collect::<Vec<_>>()
+        );
+        served += 1;
+    }
+    assert!(served >= 5, "yago workload should have several templates");
+
+    let (code, health) = client.health().unwrap();
+    assert_eq!(code, 200);
+    assert!(health.contains("\"status\":\"ok\""), "health: {health}");
+    assert!(health.contains("\"epoch\":0"), "health: {health}");
+
+    let (code, prom) = client.metrics(false).unwrap();
+    assert_eq!(code, 200);
+    assert!(
+        prom.contains("serve_request_wall_ns_p50"),
+        "prometheus exposition must carry serve percentiles: {prom}"
+    );
+    let (code, json) = client.metrics(true).unwrap();
+    assert_eq!(code, 200);
+    assert!(json.trim_start().starts_with('{'), "json metrics: {json}");
+
+    // Live checkpoint through the quiesce hook, service continues after.
+    let (code, ckpt) = client.checkpoint().unwrap();
+    assert_eq!(code, 200, "checkpoint: {ckpt}");
+    assert!(ckpt.contains("\"status\":\"ok\""));
+    let reply = client.query(&queries()[0], None).unwrap();
+    assert!(reply.is_ok(), "service must continue after checkpoint");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.completed, served as u64 + 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected_queue_full, 0);
+}
+
+#[test]
+fn unknown_endpoints_bad_methods_and_bad_bodies_get_typed_errors() {
+    let store = small_store();
+    let (handle, _sched) = start(store, 1, AdmissionConfig::new(8, 2));
+
+    // Unknown endpoint and wrong method keep the connection usable.
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    raw.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+    let r = kgdual_serve::proto::read_response(&mut raw).unwrap();
+    assert_eq!(r.status, 404);
+    raw.write_all(b"GET /query HTTP/1.1\r\n\r\n").unwrap();
+    let r = kgdual_serve::proto::read_response(&mut raw).unwrap();
+    assert_eq!(r.status, 405);
+    // Bad JSON body is a 400.
+    raw.write_all(b"POST /query HTTP/1.1\r\nContent-Length: 8\r\n\r\nnot json")
+        .unwrap();
+    let r = kgdual_serve::proto::read_response(&mut raw).unwrap();
+    assert_eq!(r.status, 400);
+    // Unparseable SPARQL is a 400 too (after admission).
+    let mut client = ServeClient::connect(handle.local_addr(), "bad").unwrap();
+    let reply = client.query("THIS IS NOT SPARQL", None).unwrap();
+    assert_eq!(reply.http_status, 400);
+
+    let stats = handle.shutdown();
+    assert!(stats.http_errors >= 3);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn zero_capacity_queue_rejects_every_query_on_the_wire() {
+    let store = small_store();
+    let (handle, _sched) = start(store, 1, AdmissionConfig::new(0, 2));
+    let mut client = ServeClient::connect(handle.local_addr(), "z").unwrap();
+    for text in queries().iter().take(3) {
+        let reply = client.query(text, None).unwrap();
+        assert_eq!(reply.http_status, 429);
+        assert_eq!(reply.reason.as_deref(), Some("queue_full"));
+    }
+    assert_eq!(
+        handle.max_pending(),
+        0,
+        "nothing may enter a zero-cap queue"
+    );
+    let stats = handle.shutdown();
+    assert_eq!(stats.accepted, 0);
+    assert_eq!(stats.rejected_queue_full, 3);
+}
+
+#[test]
+fn zero_deadline_expires_before_execution() {
+    let store = small_store();
+    let (handle, _sched) = start(store, 1, AdmissionConfig::new(8, 2));
+    let mut client = ServeClient::connect(handle.local_addr(), "d").unwrap();
+    let reply = client.query(&queries()[0], Some(0)).unwrap();
+    assert!(reply.is_deadline_expired(), "got {}", reply.http_status);
+    assert_eq!(reply.reason.as_deref(), Some("deadline_expired"));
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected_deadline, 1);
+    assert_eq!(stats.completed, 0, "expired work must never execute");
+}
+
+#[test]
+fn shutdown_while_queued_drains_inflight_and_refuses_new() {
+    let store = small_store();
+    // One worker, occupied by a gate task, so the client's query is
+    // genuinely queued when shutdown starts.
+    let sched = Arc::new(Scheduler::new(1));
+    let handle = Server::start(
+        Arc::clone(&store),
+        Arc::clone(&sched),
+        ServeConfig {
+            admission: AdmissionConfig::new(8, 2),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let query_text = queries()[0].clone();
+
+    std::thread::scope(|ts| {
+        // Occupy the only worker until the gate opens.
+        let gate_task = Arc::clone(&gate);
+        let sched_ref = Arc::clone(&sched);
+        ts.spawn(move || {
+            sched_ref.scope(|s| {
+                s.spawn(TaskClass::Query, move || {
+                    let (lock, cv) = &*gate_task;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                });
+            });
+        });
+
+        // Client 1: admitted, then queued behind the gate task.
+        let addr = handle.local_addr();
+        let q1 = query_text.clone();
+        let inflight = ts.spawn(move || {
+            let mut c = ServeClient::connect(addr, "inflight").unwrap();
+            c.query(&q1, None).unwrap()
+        });
+        handle.wait_pending(1);
+
+        // Client 2 connects while the server still accepts...
+        let mut late = ServeClient::connect(addr, "late").unwrap();
+
+        // ...then shutdown starts; it blocks draining client 1.
+        let shutter = ts.spawn(|| handle.shutdown());
+        handle.wait_draining();
+
+        // New work after drain began is refused with a typed 503.
+        let refused = late.query(&query_text, None).unwrap();
+        assert_eq!(refused.http_status, 503);
+        assert_eq!(refused.reason.as_deref(), Some("draining"));
+
+        // Open the gate: the queued query executes and the drain
+        // completes with its response written.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let reply = inflight.join().unwrap();
+        assert!(reply.is_ok(), "queued query must complete through drain");
+        let stats = shutter.join().unwrap();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected_draining, 1);
+    });
+}
+
+#[test]
+fn connection_limit_answers_503_immediately() {
+    let store = small_store();
+    let sched = Arc::new(Scheduler::new(1));
+    let handle = Server::start(
+        store,
+        sched,
+        ServeConfig {
+            admission: AdmissionConfig::new(8, 2),
+            max_connections: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut first = ServeClient::connect(handle.local_addr(), "a").unwrap();
+    let (code, _) = first.health().unwrap();
+    assert_eq!(code, 200);
+    // The second connection is turned away before any request is read.
+    let mut second = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    let r = kgdual_serve::proto::read_response(&mut second).unwrap();
+    assert_eq!(r.status, 503);
+    assert!(r.body_str().unwrap().contains("connection_limit"));
+    handle.shutdown();
+}

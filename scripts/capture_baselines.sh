@@ -67,6 +67,19 @@ cargo run --release -q -p kgdual-bench --bin bench_obs -- \
   --threads 4 --shards 4 --assert-overhead true \
   > "$OUT/BENCH_obs.json"
 
+echo "== bench_serve (BENCH_serve.json) =="
+# The serving tail-latency trajectory: closed-loop and open-overload
+# arrival regimes against an in-process server. The binary asserts the
+# serve-equivalence contract (serial wire replay byte-identical to the
+# batch path), that the closed load fits its admission cap, and that the
+# overload regime sheds through typed rejections with the pending queue
+# bounded. Closed-regime totals (requests/completed/work/rows) are
+# deterministic and drift-checked; percentiles are trajectory data.
+cargo run --release -q -p kgdual-bench --bin bench_serve -- \
+  --scale "$SCALE" --seed "$SEED" --clients 8 --threads 4 --shards 4 \
+  --assert-equivalence true \
+  > "$OUT/BENCH_serve.json"
+
 echo "== capture_baselines (deterministic TSV) =="
 # --obs-out turns recording on for the capture and dumps the merged
 # metrics snapshot (counters, gauges, latency histograms) next to the

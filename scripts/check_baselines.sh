@@ -125,3 +125,52 @@ else
   echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
   exit 1
 fi
+
+# The serving benchmark: re-run bench_serve at the parameters pinned in
+# the committed capture and compare the closed regime's deterministic
+# totals (every closed-loop request completes, so requests/completed/
+# work/rows are exact). Open-overload rejection counts and all latency
+# percentiles are timing-dependent and stripped; the re-run re-asserts
+# the serve-equivalence contract and the bounded-queue overload
+# invariants in-binary.
+SERVE=docs/baselines/BENCH_serve.json
+[ -f "$SERVE" ] || { echo "missing $SERVE — run scripts/capture_baselines.sh first"; exit 1; }
+
+serve_scale=$(sed -nE 's/.*"scale": ([0-9.]+).*/\1/p' "$SERVE" | head -1)
+serve_seed=$(sed -nE 's/.*"seed": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+serve_clients=$(sed -nE 's/.*"clients": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+serve_rpc=$(sed -nE 's/.*"requests_per_client": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+serve_threads=$(sed -nE 's/.*"threads": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+serve_shards=$(sed -nE 's/.*"shards": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+
+fresh_serve=$(mktemp)
+trap 'rm -f "$fresh" "$fresh_sched" "$cells_base" "$cells_fresh" "$fresh_serve"' EXIT
+cargo run --release -q -p kgdual-bench --bin bench_serve -- \
+  --scale "$serve_scale" --seed "$serve_seed" --clients "$serve_clients" \
+  --requests "$serve_rpc" --threads "$serve_threads" --shards "$serve_shards" \
+  --assert-equivalence true > "$fresh_serve"
+
+# Flatten the closed regime into one keyed TSV row (regime/workload key,
+# deterministic columns only) so compare_rows can name what moved.
+serve_rows() {
+  {
+    printf '# regime\tworkload\trequests\tcompleted\ttotal_work\ttotal_rows\n'
+    sed -nE 's/.*"regime": "(closed)", "workload": "([a-z]+)", "requests": ([0-9]+), "completed": ([0-9]+),.*"total_work": ([0-9]+), "total_rows": ([0-9]+).*/\1\t\2\t\3\t\4\t\5\t\6/p' "$1"
+  }
+}
+
+serve_base=$(mktemp)
+serve_fresh_rows=$(mktemp)
+trap 'rm -f "$fresh" "$fresh_sched" "$cells_base" "$cells_fresh" "$fresh_serve" "$serve_base" "$serve_fresh_rows"' EXIT
+serve_rows "$SERVE" > "$serve_base"
+serve_rows "$fresh_serve" > "$serve_fresh_rows"
+[ "$(grep -c . "$serve_base")" -gt 1 ] || { echo "could not parse closed regime from $SERVE"; exit 1; }
+
+if compare_rows "$SERVE" "$serve_base" "$serve_fresh_rows"; then
+  echo "OK: BENCH_serve deterministic totals unchanged"
+else
+  echo
+  echo "SERVE DRIFT: closed-regime totals differ from $SERVE (named rows above)."
+  echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
+  exit 1
+fi

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the online serving front-end, as CI runs it.
+#
+# Starts `serve_store` on an OS-assigned port, drives a seeded
+# closed-loop load through `bench_serve --connect` with the
+# serve-equivalence assertion on (serial wire replay byte-identical to
+# the batch path on an identical locally-built store), scrapes /health
+# and /metrics mid-load over raw TCP, then sends SIGTERM and requires a
+# graceful drain: exit 0, the final serving counters, and the literal
+# `drained` line.
+#
+# Honours KGDUAL_OBS: run with KGDUAL_OBS=on for the recording leg (the
+# /metrics scrape then carries live serving percentiles).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-0.002}"
+SEED="${SEED:-42}"
+THREADS="${KGDUAL_THREADS:-4}"
+SHARDS="${KGDUAL_SHARDS:-4}"
+CLIENTS="${KGDUAL_CLIENTS:-8}"
+
+cargo build --release -q -p kgdual-bench --bin serve_store --bin bench_serve
+
+SERVER_LOG=$(mktemp)
+cleanup() {
+  [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -f "$SERVER_LOG"
+}
+trap cleanup EXIT
+
+./target/release/serve_store \
+  --scale "$SCALE" --seed "$SEED" --port 0 \
+  --threads "$THREADS" --shards "$SHARDS" --clients "$CLIENTS" \
+  > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listen line (port 0 resolves to an OS-assigned port).
+ADDR=""
+for _ in $(seq 1 200); do
+  ADDR=$(sed -nE 's/^listening on (.+)$/\1/p' "$SERVER_LOG" | head -1)
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "serve_store died during startup:"; cat "$SERVER_LOG"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve_store never printed its listen address:"; cat "$SERVER_LOG"; exit 1; }
+echo "serve_smoke: server at $ADDR (pid $SERVER_PID, obs=${KGDUAL_OBS:-off})"
+
+HOST=${ADDR%:*}
+PORT=${ADDR##*:}
+
+# scrape <path> — one HTTP/1.1 GET over bash's /dev/tcp, body to stdout.
+scrape() {
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf 'GET %s HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+# Closed-loop load with the equivalence assertion, while we scrape the
+# operational endpoints mid-run from this shell.
+./target/release/bench_serve \
+  --scale "$SCALE" --seed "$SEED" --connect "$ADDR" \
+  --threads "$THREADS" --shards "$SHARDS" --clients "$CLIENTS" \
+  --assert-equivalence true &
+LOAD_PID=$!
+
+HEALTH=$(scrape /health)
+grep -q '"status":"ok"' <<<"$HEALTH" || { echo "bad /health mid-load: $HEALTH"; exit 1; }
+METRICS=$(scrape /metrics)
+grep -q '^serve_accepted ' <<<"$METRICS" || { echo "/metrics missing serve counters"; exit 1; }
+grep -q '^serve_request_wall_ns_p99 ' <<<"$METRICS" \
+  || { echo "/metrics missing serving percentiles"; exit 1; }
+echo "serve_smoke: /health and /metrics answered mid-load"
+
+wait "$LOAD_PID" || { echo "bench_serve load failed"; exit 1; }
+
+if [ "${KGDUAL_OBS:-}" = on ]; then
+  # Recording leg: after the load, the obs counters must have moved and
+  # the latency histogram must carry real samples.
+  POST=$(scrape /metrics)
+  ACCEPTED=$(sed -nE 's/^serve_accepted ([0-9]+)$/\1/p' <<<"$POST")
+  P99=$(sed -nE 's/^serve_request_wall_ns_p99 ([0-9]+)$/\1/p' <<<"$POST")
+  [ "${ACCEPTED:-0}" -gt 0 ] || { echo "obs leg: serve_accepted never moved"; exit 1; }
+  [ "${P99:-0}" -gt 0 ] || { echo "obs leg: serving p99 stayed empty"; exit 1; }
+  echo "serve_smoke: obs leg saw $ACCEPTED accepted queries, p99 ${P99}ns"
+fi
+
+# Graceful termination: SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+SERVER_RC=0
+wait "$SERVER_PID" || SERVER_RC=$?
+[ "$SERVER_RC" -eq 0 ] || { echo "serve_store exited $SERVER_RC:"; cat "$SERVER_LOG"; exit 1; }
+grep -q '^drained$' "$SERVER_LOG" || { echo "serve_store never drained:"; cat "$SERVER_LOG"; exit 1; }
+grep -E '^served: ' "$SERVER_LOG"
+SERVER_PID=""
+echo "serve_smoke: OK (graceful drain on SIGTERM)"
