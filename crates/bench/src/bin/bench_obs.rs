@@ -99,9 +99,11 @@ fn sweep<B: GraphBackend>(args: &BenchArgs) -> (f64, f64) {
 fn main() {
     let args = BenchArgs::parse();
     kgdual_bench::init_obs(&args);
-    // Register the serving-layer instruments up front so the <3%
-    // overhead bound is measured with the full metric surface in place.
+    // Register the serving-layer and vectorized-execution instruments up
+    // front so the <3% overhead bound is measured with the full metric
+    // surface in place.
     let _ = kgdual_serve::serve_obs();
+    let _ = kgdual_vec::vec_obs();
     eprintln!(
         "BENCH_obs: observability overhead, {} rep(s) per mode, {}",
         args.reps,

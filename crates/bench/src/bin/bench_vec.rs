@@ -1,0 +1,193 @@
+//! **BENCH_vec** — the vectorized-execution gate: the full YAGO workload
+//! (parallel execution + DOTIL tuning epochs) run with the batch kernels
+//! off and on, interleaved, on *both* graph-store substrates, emitted as
+//! JSON on stdout (captured to `docs/baselines/BENCH_vec.json`).
+//!
+//! Comparing min-of-reps walls measures what the column gathers, batched
+//! hash-join build/probe, and scan-order cost model buy over the
+//! row-at-a-time operators. Two properties are asserted:
+//!
+//! * **Equivalence, unconditionally**: every run, either mode, either
+//!   backend, produces identical deterministic fingerprints (work units,
+//!   result rows, simulated TTI) — vectorization is an execution detail,
+//!   not a semantics change. The vec-on runs must also actually take the
+//!   batch paths (the kernels' batch counters must move).
+//! * **Speedup, with `--assert-speedup true`** (passed by
+//!   `scripts/capture_baselines.sh`): the vectorized mode must beat the
+//!   row-at-a-time mode on at least one backend. Like `bench_obs`'s
+//!   overhead gate, the wall-clock assertion self-gates on
+//!   `available_parallelism`, since a loaded single-CPU host makes
+//!   wall-clock ratios meaningless.
+
+use kgdual_bench::{build_batches, build_dataset, build_workload, BenchArgs, WorkloadKind};
+use kgdual_core::{DualStore, PhysicalTuner};
+use kgdual_dotil::{Dotil, DotilConfig};
+use kgdual_exec::{BatchExecutor, SchedShardDispatch, SharedStore};
+use kgdual_graphstore::{AdjacencyBackend, CsrBackend, GraphBackend};
+use kgdual_model::Dataset;
+use kgdual_sparql::Query;
+use std::sync::Arc;
+
+/// One full workload pass: every batch executed, a tuning epoch after
+/// each. Returns (wall seconds, deterministic fingerprint).
+fn run_once<B: GraphBackend>(
+    dataset: &Dataset,
+    batches: &[Vec<Query>],
+    threads: usize,
+    shards: usize,
+) -> (f64, (u64, u64, u128)) {
+    let budget = dataset.len() / 4;
+    let store = SharedStore::new(DualStore::<B>::from_dataset_sharded_in(
+        dataset.clone(),
+        budget,
+        shards,
+    ));
+    let mut tuner = Dotil::with_config(DotilConfig::default());
+    let executor = BatchExecutor::new(threads);
+    let sched = Arc::clone(executor.scheduler());
+    if threads > 1 {
+        store.install_shard_dispatch(Arc::new(SchedShardDispatch::new(Arc::clone(&sched))));
+        store.read().warm_rel_indexes();
+    }
+    let t0 = std::time::Instant::now();
+    let (mut work, mut rows, mut sim) = (0u64, 0u64, 0u128);
+    for batch in batches {
+        let report = executor.execute_batch(&store, batch);
+        assert_eq!(report.errors, 0, "healthy vec run");
+        work += report.total_work();
+        rows += report.result_rows;
+        sim += report.sim_tti.as_nanos();
+        store.reconfigure(|dual| tuner.tune_with(dual, batch, Some(&sched)));
+    }
+    (t0.elapsed().as_secs_f64(), (work, rows, sim))
+}
+
+/// One backend's sweep: min-of-reps wall for vec off and vec on, plus the
+/// shared deterministic fingerprint every run must reproduce.
+struct SweepResult {
+    row_min: f64,
+    vec_min: f64,
+    fingerprint: (u64, u64, u128),
+}
+
+fn sweep<B: GraphBackend>(args: &BenchArgs) -> SweepResult {
+    let dataset = build_dataset(WorkloadKind::Yago, args);
+    let workload = build_workload(WorkloadKind::Yago, args);
+    let batches = build_batches(&workload, &args.order, args.seed);
+    let before = kgdual_vec::enabled();
+
+    // One untimed warm-up pass (allocator, caches), then interleaved
+    // off/on reps so drift hits both modes equally; min-of-reps is the
+    // speedup comparison (least-noise floor of each mode).
+    run_once::<B>(&dataset, &batches, args.threads, args.shards);
+    let (mut row_min, mut vec_min) = (f64::INFINITY, f64::INFINITY);
+    let mut fingerprints = Vec::new();
+    for _ in 0..args.reps {
+        kgdual_vec::set_enabled(false);
+        let (w, fp) = run_once::<B>(&dataset, &batches, args.threads, args.shards);
+        row_min = row_min.min(w);
+        fingerprints.push(fp);
+
+        kgdual_vec::set_enabled(true);
+        let batches_before = kgdual_vec::batches_emitted();
+        let (w, fp) = run_once::<B>(&dataset, &batches, args.threads, args.shards);
+        vec_min = vec_min.min(w);
+        fingerprints.push(fp);
+        assert!(
+            kgdual_vec::batches_emitted() > batches_before,
+            "vec-on runs must actually take the batch paths"
+        );
+    }
+    kgdual_vec::set_enabled(before);
+
+    // Vectorization must be an execution detail only: every run, either
+    // mode, does identical deterministic work.
+    for fp in &fingerprints[1..] {
+        assert_eq!(
+            *fp, fingerprints[0],
+            "vec on/off must not change deterministic results"
+        );
+    }
+    SweepResult {
+        row_min,
+        vec_min,
+        fingerprint: fingerprints[0],
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    kgdual_bench::init_obs(&args);
+    kgdual_bench::init_vec(&args);
+    eprintln!(
+        "BENCH_vec: vectorized-execution gate, {} rep(s) per mode, {}",
+        args.reps,
+        args.describe()
+    );
+
+    let backends: [(&str, SweepResult); 2] = [
+        ("adjacency", sweep::<AdjacencyBackend>(&args)),
+        ("csr", sweep::<CsrBackend>(&args)),
+    ];
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut any_speedup = false;
+    for (name, r) in &backends {
+        let speedup = r.row_min / r.vec_min;
+        any_speedup |= r.vec_min < r.row_min;
+        eprintln!(
+            "  {name}: row {:.4}s, vec {:.4}s -> {speedup:.2}x \
+             (work {}, rows {})",
+            r.row_min, r.vec_min, r.fingerprint.0, r.fingerprint.1
+        );
+    }
+    if args.get_bool("assert-speedup") {
+        if host_parallelism >= 2 {
+            assert!(
+                any_speedup,
+                "vectorized execution must beat row-at-a-time on at least one backend \
+                 (adjacency row {:.6}s vec {:.6}s, csr row {:.6}s vec {:.6}s)",
+                backends[0].1.row_min,
+                backends[0].1.vec_min,
+                backends[1].1.row_min,
+                backends[1].1.vec_min
+            );
+        } else {
+            eprintln!(
+                "  single-CPU host (available_parallelism {host_parallelism}): \
+                 speedup assertion skipped, equivalence checks still enforced"
+            );
+        }
+    }
+
+    println!("{{");
+    println!("  \"meta\": {{");
+    println!(
+        "    \"workload\": \"YAGO\", \"scale\": {}, \"seed\": {}, \"reps\": {},",
+        args.scale, args.seed, args.reps
+    );
+    println!(
+        "    \"threads\": {}, \"shards\": {}, \"host_parallelism\": {host_parallelism}",
+        args.threads, args.shards
+    );
+    println!("  }},");
+    println!("  \"rows\": [");
+    for (i, (name, r)) in backends.iter().enumerate() {
+        let comma = if i + 1 < backends.len() { "," } else { "" };
+        println!(
+            "    {{\"backend\": \"{name}\", \"workload\": \"yago\", \
+             \"total_work\": {}, \"result_rows\": {}, \"sim_tti_ns\": {}, \
+             \"row_wall_secs\": {:.6}, \"vec_wall_secs\": {:.6}, \
+             \"speedup\": {:.4}}}{comma}",
+            r.fingerprint.0,
+            r.fingerprint.1,
+            r.fingerprint.2,
+            r.row_min,
+            r.vec_min,
+            r.row_min / r.vec_min
+        );
+    }
+    println!("  ]");
+    println!("}}");
+    kgdual_bench::write_obs_profile(&args);
+}

@@ -1,0 +1,341 @@
+//! Vectorized-execution equivalence suite: the batch kernels must be
+//! invisible in every deterministic metric.
+//!
+//! The vectorized operators (column-gather scans, batched hash-join
+//! build/probe, the tail seed scan) charge work at the same 4096-row
+//! granularity as the row-at-a-time paths and emit rows in the same
+//! order, so seeded workloads must produce identical result digests,
+//! rows, row order under LIMIT, work units, simulated TTI, route counts,
+//! and DOTIL tuning trails (exported learned state included, byte for
+//! byte) with vectorization off and on — across graph substrates
+//! {adjacency, csr} × shard counts {1, 4} × worker counts {1, 8}. Only
+//! wall clock may move with the switch.
+//!
+//! CI runs this suite in the release-stress matrix with
+//! `KGDUAL_VEC={on,off}` composed with `KGDUAL_BACKEND`, `KGDUAL_SHARDS`
+//! and `KGDUAL_THREADS`; the tests below flip the switch explicitly so
+//! every leg checks both modes.
+
+use kgdual_bench::{build_batches, build_dataset, build_workload, BenchArgs, WorkloadKind};
+use kgdual_core::batch::{RouteCounts, TuningSchedule};
+use kgdual_core::DualStore;
+use kgdual_dotil::{Dotil, DotilConfig};
+use kgdual_exec::{BatchExecutor, ParallelRunner, SharedStore};
+use kgdual_graphstore::{AdjacencyBackend, CsrBackend, GraphBackend};
+use kgdual_model::{NodeId, PredId};
+use kgdual_relstore::{Bindings, ExecContext, RelStore};
+use kgdual_sparql::{EncPattern, EncodedQuery, PredSlot, Slot, Var};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The vectorization switch is process-global, so tests that flip it must
+/// not interleave under the harness's default parallel test execution.
+static VEC_LOCK: Mutex<()> = Mutex::new(());
+
+fn vec_lock() -> std::sync::MutexGuard<'static, ()> {
+    VEC_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The committed-baseline parameters plus a shard count.
+fn args_with_shards(shards: usize) -> BenchArgs {
+    BenchArgs {
+        scale: 0.002,
+        shards,
+        ..BenchArgs::default()
+    }
+}
+
+/// The CI matrix's `KGDUAL_THREADS` selection, folded into the swept
+/// worker counts so a matrix leg can widen the sweep.
+fn env_threads() -> Option<usize> {
+    std::env::var("KGDUAL_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Everything deterministic a run produces (same shape as the scheduler
+/// suite's fingerprint): if a kernel emitted one row out of order,
+/// charged one unit differently, or perturbed one DOTIL Q-update, some
+/// field diverges.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    digests: Vec<Vec<u8>>,
+    routes: Vec<RouteCounts>,
+    residency_trail: Vec<Vec<(u32, usize)>>,
+    tuner_state: Vec<u8>,
+    work: u64,
+    sim_nanos: u128,
+    rows: u64,
+}
+
+fn scheduled_fingerprint<B: GraphBackend>(shards: usize, threads: usize) -> Fingerprint {
+    let args = args_with_shards(shards);
+    let dataset = build_dataset(WorkloadKind::Yago, &args);
+    let workload = build_workload(WorkloadKind::Yago, &args);
+    let batches = build_batches(&workload, &args.order, args.seed);
+    let budget = dataset.len() / 4;
+    let store = SharedStore::new(DualStore::<B>::from_dataset_sharded_in(
+        dataset, budget, shards,
+    ));
+    let mut tuner = Dotil::with_config(DotilConfig::default());
+    let runner = ParallelRunner::new(TuningSchedule::AfterEachBatch, BatchExecutor::new(threads));
+
+    let mut out = Fingerprint {
+        digests: Vec::new(),
+        routes: Vec::new(),
+        residency_trail: Vec::new(),
+        tuner_state: Vec::new(),
+        work: 0,
+        sim_nanos: 0,
+        rows: 0,
+    };
+    for batch in &batches {
+        let reports = runner.run(&store, &mut tuner, std::slice::from_ref(batch));
+        for r in &reports {
+            assert_eq!(r.errors, 0, "healthy run");
+            out.digests.push(r.results_digest.clone());
+            out.routes.push(r.routes);
+            out.rows += r.result_rows;
+        }
+        out.work += ParallelRunner::total_work(&reports);
+        out.sim_nanos += ParallelRunner::total_sim_tti(&reports).as_nanos();
+        out.residency_trail.push(
+            store
+                .read()
+                .design()
+                .graph_partitions
+                .iter()
+                .map(|&(p, sz)| (p.0, sz))
+                .collect(),
+        );
+    }
+    out.tuner_state = tuner.export_state_bytes();
+    out
+}
+
+fn matrix_identical<B: GraphBackend>(label: &str) {
+    let _g = vec_lock();
+    let before = kgdual_vec::enabled();
+    kgdual_vec::set_enabled(false);
+    let reference = scheduled_fingerprint::<B>(1, 1);
+    assert!(reference.work > 0 && reference.rows > 0, "healthy run");
+
+    let mut thread_counts = vec![1, 8];
+    if let Some(extra) = env_threads() {
+        if !thread_counts.contains(&extra) {
+            thread_counts.push(extra);
+        }
+    }
+    for vec_on in [false, true] {
+        for shards in [1, 4] {
+            for &threads in &thread_counts {
+                kgdual_vec::set_enabled(vec_on);
+                let batches_before = kgdual_vec::batches_emitted();
+                let got = scheduled_fingerprint::<B>(shards, threads);
+                assert_eq!(
+                    reference, got,
+                    "{label}: vec {vec_on} / {shards} shards / {threads} threads must \
+                     be deterministically identical to vec off / 1 shard / 1 thread"
+                );
+                if vec_on {
+                    assert!(
+                        kgdual_vec::batches_emitted() > batches_before,
+                        "{label}: vec-on runs must actually take the batch paths"
+                    );
+                }
+            }
+        }
+    }
+    kgdual_vec::set_enabled(before);
+}
+
+#[test]
+fn workloads_identical_vec_on_off_adjacency() {
+    matrix_identical::<AdjacencyBackend>("adjacency");
+}
+
+#[test]
+fn workloads_identical_vec_on_off_csr() {
+    matrix_identical::<CsrBackend>("csr");
+}
+
+/// A 2-pattern query whose seed pattern spans several 4096-row chunks,
+/// truncated mid-chunk by LIMIT: the *exact row order* (not just the row
+/// set) and the work totals must match with kernels off and on, on every
+/// executor. This is the sharpest edge of the equivalence contract —
+/// LIMIT exits mid-enumeration, so a kernel emitting in any other order
+/// would return a different (individually correct) prefix.
+#[test]
+fn limit_prefix_identical_vec_on_off() {
+    let _g = vec_lock();
+    let before = kgdual_vec::enabled();
+    let p0 = PredId(0);
+    let edges: Vec<(NodeId, NodeId)> = (0..10_000u32)
+        .map(|i| (NodeId(i % 512), NodeId(20_000 + (i * 7) % 4096)))
+        .collect();
+
+    let mut rel = RelStore::new();
+    rel.load_partition(p0, &edges);
+    let mut adj = AdjacencyBackend::new(edges.len());
+    adj.load_partition(p0, &edges).unwrap();
+    let mut csr = CsrBackend::new(edges.len());
+    csr.load_partition(p0, &edges).unwrap();
+
+    let q = EncodedQuery {
+        vars: vec![Var::new("s"), Var::new("o")],
+        patterns: vec![EncPattern {
+            s: Slot::Var(0),
+            p: PredSlot::Const(p0),
+            o: Slot::Var(1),
+        }],
+        projection: vec![0, 1],
+        distinct: false,
+        limit: Some(5_000),
+    };
+
+    let run = |vec_on: bool| -> Vec<(Bindings, u64)> {
+        kgdual_vec::set_enabled(vec_on);
+        let mut out = Vec::new();
+        let mut ctx = ExecContext::new();
+        out.push((rel.execute(&q, &mut ctx).unwrap(), ctx.stats.work_units()));
+        let mut ctx = ExecContext::new();
+        out.push((
+            GraphBackend::execute(&adj, &q, &mut ctx).unwrap(),
+            ctx.stats.work_units(),
+        ));
+        let mut ctx = ExecContext::new();
+        out.push((
+            GraphBackend::execute(&csr, &q, &mut ctx).unwrap(),
+            ctx.stats.work_units(),
+        ));
+        out
+    };
+
+    let row = run(false);
+    let batches_before = kgdual_vec::batches_emitted();
+    let vec = run(true);
+    assert!(
+        kgdual_vec::batches_emitted() > batches_before,
+        "vec-on runs must take the batch paths"
+    );
+    kgdual_vec::set_enabled(before);
+    for ((b_row, w_row), (b_vec, w_vec)) in row.iter().zip(&vec) {
+        assert_eq!(b_row.len(), 5_000, "LIMIT applies");
+        assert_eq!(b_row, b_vec, "row order under LIMIT must be identical");
+        assert_eq!(w_row, w_vec, "work units must be identical");
+    }
+}
+
+/// Build all three executors over the same random partitions.
+fn stores_from(
+    e0: &[(NodeId, NodeId)],
+    e1: &[(NodeId, NodeId)],
+) -> (RelStore, AdjacencyBackend, CsrBackend) {
+    let total = e0.len() + e1.len();
+    let mut rel = RelStore::new();
+    let mut adj = AdjacencyBackend::new(total);
+    let mut csr = CsrBackend::new(total);
+    rel.load_partition(PredId(0), e0);
+    adj.load_partition(PredId(0), e0).unwrap();
+    csr.load_partition(PredId(0), e0).unwrap();
+    if !e1.is_empty() {
+        rel.load_partition(PredId(1), e1);
+        adj.load_partition(PredId(1), e1).unwrap();
+        csr.load_partition(PredId(1), e1).unwrap();
+    }
+    (rel, adj, csr)
+}
+
+fn pat(s: Slot, p: u32, o: Slot) -> EncPattern {
+    EncPattern {
+        s,
+        p: PredSlot::Const(PredId(p)),
+        o,
+    }
+}
+
+fn query(patterns: Vec<EncPattern>, projection: Vec<u16>, limit: Option<usize>) -> EncodedQuery {
+    EncodedQuery {
+        vars: (0..4).map(|i| Var::new(format!("v{i}"))).collect(),
+        patterns,
+        projection,
+        distinct: false,
+        limit,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random graphs: every query shape the kernels accelerate — full
+    /// scans, self-loop scans, multi-hop joins, LIMIT prefixes — returns
+    /// byte-identical bindings and charges identical work with
+    /// vectorization off and on, on all three executors.
+    #[test]
+    fn random_graphs_are_vec_invariant(
+        raw0 in prop::collection::vec((0u32..48, 0u32..48), 1..300),
+        raw1 in prop::collection::vec((0u32..48, 0u32..48), 0..120),
+        limit_raw in 0usize..40,
+    ) {
+        let _g = vec_lock();
+        let before = kgdual_vec::enabled();
+        let e0: Vec<(NodeId, NodeId)> =
+            raw0.iter().map(|&(s, o)| (NodeId(s), NodeId(o))).collect();
+        let e1: Vec<(NodeId, NodeId)> =
+            raw1.iter().map(|&(s, o)| (NodeId(s), NodeId(o))).collect();
+        let (rel, adj, csr) = stores_from(&e0, &e1);
+        let limit = (limit_raw > 0).then_some(limit_raw);
+
+        let mut queries = vec![
+            // Full seed scan (LIMIT prefix included).
+            query(vec![pat(Slot::Var(0), 0, Slot::Var(1))], vec![0, 1], limit),
+            // Self-loop restriction (`?x p ?x`).
+            query(vec![pat(Slot::Var(0), 0, Slot::Var(0))], vec![0], None),
+            // Constant-object selection.
+            query(
+                vec![pat(Slot::Var(0), 0, Slot::Const(NodeId(7)))],
+                vec![0],
+                None,
+            ),
+        ];
+        if !e1.is_empty() {
+            // Two-hop join: scan + hash/INL probe.
+            queries.push(query(
+                vec![
+                    pat(Slot::Var(0), 0, Slot::Var(1)),
+                    pat(Slot::Var(1), 1, Slot::Var(2)),
+                ],
+                vec![0, 2],
+                None,
+            ));
+        }
+
+        for q in &queries {
+            let run = |vec_on: bool| -> Vec<(Bindings, u64)> {
+                kgdual_vec::set_enabled(vec_on);
+                let mut out = Vec::new();
+                let mut ctx = ExecContext::new();
+                out.push((rel.execute(q, &mut ctx).unwrap(), ctx.stats.work_units()));
+                let mut ctx = ExecContext::new();
+                out.push((
+                    GraphBackend::execute(&adj, q, &mut ctx).unwrap(),
+                    ctx.stats.work_units(),
+                ));
+                let mut ctx = ExecContext::new();
+                out.push((
+                    GraphBackend::execute(&csr, q, &mut ctx).unwrap(),
+                    ctx.stats.work_units(),
+                ));
+                out
+            };
+            let row = run(false);
+            let vec = run(true);
+            kgdual_vec::set_enabled(before);
+            for (i, ((b_row, w_row), (b_vec, w_vec))) in row.iter().zip(&vec).enumerate() {
+                prop_assert_eq!(b_row, b_vec, "executor {} bindings, query {:?}", i, q);
+                prop_assert_eq!(*w_row, *w_vec, "executor {} work, query {:?}", i, q);
+            }
+        }
+    }
+}

@@ -49,3 +49,10 @@ pub use tuner::{NoopTuner, PhysicalTuner, TuningOutcome};
 // one coherent scheduling vocabulary through `kgdual_core`.
 pub use kgdual_sched::{Scheduler, TaskClass};
 pub use variant::StoreVariant;
+
+// The vectorized-execution switch (both executors consult it on every
+// scan/join): re-exported so embedders flip one knob through
+// `kgdual_core::vec` instead of depending on the kernel crate directly.
+// `KGDUAL_VEC={on,off}` sets the initial state; outputs are byte-identical
+// either way — only the wall clock moves.
+pub use kgdual_vec as vec;

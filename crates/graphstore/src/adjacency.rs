@@ -248,6 +248,27 @@ impl Topology for AdjacencyIndex {
     fn seed_edges(&self, pred: PredId) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         AdjacencyIndex::seed_edges(self, pred).iter().copied()
     }
+
+    fn seed_chunk(
+        &self,
+        pred: PredId,
+        start: usize,
+        cap: usize,
+        s_out: &mut Vec<NodeId>,
+        o_out: &mut Vec<NodeId>,
+    ) -> usize {
+        // Seeds are one contiguous sorted pair vector: a chunk is a slice.
+        let seed = AdjacencyIndex::seed_edges(self, pred);
+        let end = seed.len().min(start.saturating_add(cap));
+        if start >= end {
+            return 0;
+        }
+        for &(s, o) in &seed[start..end] {
+            s_out.push(s);
+            o_out.push(o);
+        }
+        end - start
+    }
 }
 
 /// Binary-search the `pred` slice of a `(pred, node)`-sorted list.

@@ -263,6 +263,38 @@ impl Topology for CsrBackend {
             .into_iter()
             .flat_map(|cp| cp.fwd.iter_edges())
     }
+
+    fn seed_chunk(
+        &self,
+        pred: PredId,
+        start: usize,
+        cap: usize,
+        s_out: &mut Vec<NodeId>,
+        o_out: &mut Vec<NodeId>,
+    ) -> usize {
+        // The forward CSR *is* the seed order: `nbrs[i]` is edge `i`'s
+        // object, and its subject is the key of the row whose
+        // `offsets[row]..offsets[row+1]` range contains `i`. Objects copy
+        // as one slice; subjects replicate each key across its row span.
+        let Some(cp) = self.parts.get(&pred) else {
+            return 0;
+        };
+        let fwd = &cp.fwd;
+        let end = fwd.nbrs.len().min(start.saturating_add(cap));
+        if start >= end {
+            return 0;
+        }
+        o_out.extend_from_slice(&fwd.nbrs[start..end]);
+        let mut row = fwd.offsets.partition_point(|&off| off <= start) - 1;
+        let mut idx = start;
+        while idx < end {
+            let row_end = fwd.offsets[row + 1].min(end);
+            s_out.extend(std::iter::repeat(fwd.keys[row]).take(row_end - idx));
+            idx = row_end;
+            row += 1;
+        }
+        end - start
+    }
 }
 
 impl GraphBackend for CsrBackend {

@@ -14,10 +14,14 @@
 //! holding the same edges charge identical work for the same query.
 
 use crate::store::GraphExecError;
-use crate::topology::Topology;
+use crate::topology::{PartitionStats, Topology};
 use kgdual_model::{NodeId, PredId};
 use kgdual_relstore::{Bindings, ExecContext, ExecError};
 use kgdual_sparql::{EncPattern, EncodedQuery, PredSlot, Slot, VarId};
+use kgdual_vec::{
+    cost::{self, Card},
+    gather_columns, EmitSrc, BATCH,
+};
 
 /// Execute a compiled BGP against a graph topology.
 pub fn execute<T: Topology>(
@@ -59,22 +63,9 @@ fn order_patterns<T: Topology>(index: &T, q: &EncodedQuery) -> Vec<usize> {
             matches!(pat.o, Slot::Const(_)) || pat.o.as_var().is_some_and(|v| bound.contains(&v));
         match pat.p {
             PredSlot::Const(p) => {
-                let st = index.partition_stats(p);
-                match (s_bound, o_bound) {
-                    (true, true) => 1.0,
-                    (true, false) => st.out_degree(),
-                    (false, true) => st.in_degree(),
-                    (false, false) => st.edges as f64,
-                }
+                cost::bound_cardinality(card_of(&index.partition_stats(p)), s_bound, o_bound)
             }
-            PredSlot::Var(_) => {
-                let total = index.edge_count() as f64;
-                if s_bound || o_bound {
-                    (total / 100.0).max(1.0)
-                } else {
-                    total
-                }
-            }
+            PredSlot::Var(_) => cost::var_pred_cardinality(index.edge_count(), s_bound || o_bound),
         }
     };
 
@@ -112,6 +103,19 @@ fn order_patterns<T: Topology>(index: &T, q: &EncodedQuery) -> Vec<usize> {
     order
 }
 
+/// The shared cost model's view of a partition's statistics. The matcher's
+/// degree estimates (`out_degree`/`in_degree`/edge count) and the relational
+/// planner's `TableStats` arithmetic are the same formulas; routing both
+/// through [`kgdual_vec::cost`] keeps the two planners value-identical by
+/// construction.
+fn card_of(st: &PartitionStats) -> Card {
+    Card {
+        rows: st.edges,
+        distinct_s: st.distinct_s,
+        distinct_o: st.distinct_o,
+    }
+}
+
 /// Value of a slot under the current assignment, if determined.
 fn slot_value(slot: Slot, assignment: &[Option<NodeId>]) -> Option<NodeId> {
     match slot {
@@ -122,8 +126,101 @@ fn slot_value(slot: Slot, assignment: &[Option<NodeId>]) -> Option<NodeId> {
 
 /// Seed-scan chunk size: cost is charged per chunk, and a satisfied LIMIT
 /// is noticed at chunk boundaries — identical accounting on every
-/// substrate.
-const CHUNK: usize = 4096;
+/// substrate. Shared with the vectorized kernels so the batched and
+/// row-at-a-time paths charge at the same granularity.
+const CHUNK: usize = BATCH;
+
+/// Vectorized tail seed scan: when the *last* pattern in the join order is
+/// an unbound-variable seed scan over one predicate, every surviving edge
+/// emits exactly one output row, so the per-edge bind/recurse/unbind dance
+/// collapses into a column gather. Chunks are staged through
+/// [`Topology::seed_chunk`] (a slice copy on packed substrates) and
+/// projected by an [`EmitSrc`] template built once — subject column,
+/// object column, or the already-bound constant for every other
+/// projection variable. LIMIT pushes into the gather's row cap.
+///
+/// Work parity with the row path is exact: each chunk charges its full
+/// scan length up front (the row path charges whole chunks even when a
+/// LIMIT is satisfied mid-chunk), and one join unit is charged per emitted
+/// row. The path is skipped under a work limit so DOTIL's λ-cutoff
+/// observes the row path's per-charge interleaving unchanged.
+///
+/// Returns `Ok(false)` when the shape is unsupported (predicate variable,
+/// constant endpoint, non-final depth, unbound non-endpoint projection);
+/// the caller then falls back to the row-at-a-time scan.
+#[allow(clippy::too_many_arguments)]
+fn try_vec_seed_tail<T: Topology>(
+    index: &T,
+    q: &EncodedQuery,
+    order: &[usize],
+    depth: usize,
+    assignment: &[Option<NodeId>],
+    out: &mut Bindings,
+    stop_at: usize,
+    ctx: &mut ExecContext,
+    p: PredId,
+) -> Result<bool, GraphExecError> {
+    if !kgdual_vec::enabled() || ctx.work_limit.is_some() || depth + 1 != order.len() {
+        return Ok(false);
+    }
+    let pat = &q.patterns[order[depth]];
+    if !matches!(pat.p, PredSlot::Const(_)) {
+        return Ok(false);
+    }
+    let (Slot::Var(sv), Slot::Var(ov)) = (pat.s, pat.o) else {
+        return Ok(false);
+    };
+    // The caller only reaches a seed scan with both endpoints undetermined,
+    // but the template below relies on it: stay defensive.
+    if assignment[sv as usize].is_some() || assignment[ov as usize].is_some() {
+        return Ok(false);
+    }
+    let mut template = Vec::with_capacity(q.projection.len());
+    for &v in &q.projection {
+        if v == sv {
+            template.push(EmitSrc::S);
+        } else if v == ov {
+            template.push(EmitSrc::O);
+        } else {
+            match assignment[v as usize] {
+                Some(c) => template.push(EmitSrc::Const(c)),
+                None => return Ok(false),
+            }
+        }
+    }
+    let _span = kgdual_obs::span!("vec_scan", pred = p.0);
+    // `?x p ?x`: the row path's duplicate-variable bind check keeps only
+    // self-loop edges — the kernel's `s == o` restriction.
+    let require_s_eq_o = sv == ov;
+    let mut s_col: Vec<NodeId> = Vec::with_capacity(BATCH);
+    let mut o_col: Vec<NodeId> = Vec::with_capacity(BATCH);
+    let mut staging: Vec<NodeId> = Vec::with_capacity(BATCH * template.len());
+    let mut start = 0usize;
+    loop {
+        if out.len() >= stop_at {
+            return Ok(true);
+        }
+        s_col.clear();
+        o_col.clear();
+        let n = index.seed_chunk(p, start, BATCH, &mut s_col, &mut o_col);
+        if n == 0 {
+            return Ok(true);
+        }
+        start += n;
+        charge(ctx.charge_scan(n as u64))?;
+        staging.clear();
+        let emitted = gather_columns(
+            &s_col,
+            &o_col,
+            require_s_eq_o,
+            &template,
+            stop_at - out.len(),
+            &mut staging,
+        );
+        out.extend_cells(&staging);
+        charge(ctx.charge_join(emitted as u64))?;
+    }
+}
 
 /// Enumerate one predicate's seed edges chunk by chunk, charging each
 /// chunk before recursing into it.
@@ -139,6 +236,9 @@ fn scan_seed<T: Topology>(
     ctx: &mut ExecContext,
     p: PredId,
 ) -> Result<(), GraphExecError> {
+    if try_vec_seed_tail(index, q, order, depth, assignment, out, stop_at, ctx, p)? {
+        return Ok(());
+    }
     let mut seed = index.seed_edges(p);
     let mut buf: Vec<(NodeId, NodeId)> = Vec::with_capacity(CHUNK.min(index.seed_len(p)));
     loop {

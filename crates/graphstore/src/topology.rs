@@ -106,6 +106,34 @@ pub trait Topology {
     /// All `(s, o)` edges of one predicate in ascending `(s, o)` order
     /// (duplicates adjacent) — the matcher's seed scan.
     fn seed_edges(&self, pred: PredId) -> impl Iterator<Item = (NodeId, NodeId)> + '_;
+
+    /// Copy up to `cap` seed edges of `pred`, starting at edge index
+    /// `start` of the canonical [`seed_edges`] order, into the two column
+    /// buffers; returns how many edges were copied. The vectorized tail
+    /// scan stages chunks through this instead of driving the pair
+    /// iterator row by row. The default walks [`seed_edges`]; substrates
+    /// holding edges in packed arrays override it with slice copies.
+    /// Overrides must preserve the enumeration-order contract exactly —
+    /// `seed_chunk(p, k, c)` yields the same edges as
+    /// `seed_edges(p).skip(k).take(c)`.
+    ///
+    /// [`seed_edges`]: Topology::seed_edges
+    fn seed_chunk(
+        &self,
+        pred: PredId,
+        start: usize,
+        cap: usize,
+        s_out: &mut Vec<NodeId>,
+        o_out: &mut Vec<NodeId>,
+    ) -> usize {
+        let mut n = 0usize;
+        for (s, o) in self.seed_edges(pred).skip(start).take(cap) {
+            s_out.push(s);
+            o_out.push(o);
+            n += 1;
+        }
+        n
+    }
 }
 
 #[cfg(test)]

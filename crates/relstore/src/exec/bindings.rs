@@ -79,6 +79,27 @@ impl Bindings {
         self.data.extend_from_slice(row);
     }
 
+    /// Bulk-append whole rows from a flat cell buffer (the vectorized
+    /// gather kernels' output format); panics in debug builds if the
+    /// buffer is not a whole number of rows.
+    #[inline]
+    pub fn extend_cells(&mut self, cells: &[NodeId]) {
+        debug_assert!(
+            self.vars.is_empty() || cells.len() % self.vars.len() == 0,
+            "extend_cells: partial row"
+        );
+        self.data.extend_from_slice(cells);
+    }
+
+    /// Append every row of a same-schema table (block concatenation for
+    /// parallel scan/probe merges); panics in debug builds on a schema
+    /// mismatch.
+    #[inline]
+    pub fn append(&mut self, other: &Bindings) {
+        debug_assert_eq!(self.vars, other.vars, "append: schema mismatch");
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[NodeId] {
@@ -236,6 +257,25 @@ mod tests {
         b.sort_rows();
         assert_eq!(b.row(0), &[n(1), n(9)]);
         assert_eq!(b.row(1), &[n(2), n(0)]);
+    }
+
+    #[test]
+    fn extend_cells_appends_whole_rows() {
+        let mut b = Bindings::new(vec![0, 1]);
+        b.extend_cells(&[n(1), n(2), n(3), n(4)]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(1), &[n(3), n(4)]);
+    }
+
+    #[test]
+    fn append_concatenates_same_schema_blocks() {
+        let mut a = Bindings::new(vec![0, 1]);
+        a.push_row(&[n(1), n(2)]);
+        let mut b = Bindings::new(vec![0, 1]);
+        b.push_row(&[n(3), n(4)]);
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.row(1), &[n(3), n(4)]);
     }
 
     #[test]

@@ -15,7 +15,17 @@
 use crate::table::TableStats;
 use kgdual_model::PredId;
 use kgdual_sparql::{EncPattern, EncodedQuery, PredSlot, Slot, VarId};
+use kgdual_vec::cost::{self, Card};
 use serde::{Deserialize, Serialize};
+
+/// The shared cost model's view of a table's statistics.
+fn card_of(st: &TableStats) -> Card {
+    Card {
+        rows: st.rows,
+        distinct_s: st.distinct_s,
+        distinct_o: st.distinct_o,
+    }
+}
 
 /// Tunables for planning and access-path selection.
 #[derive(Copy, Clone, Debug, Serialize, Deserialize)]
@@ -40,38 +50,22 @@ impl Default for PlannerConfig {
     }
 }
 
-/// Per-pattern cardinality estimate given nothing bound.
+/// Per-pattern cardinality estimate given nothing bound (the shared
+/// cost model's [`cost::base_cardinality`] over the table's statistics).
 pub fn base_estimate(
     pat: &EncPattern,
     stats_of: &mut dyn FnMut(PredId) -> Option<TableStats>,
     total_rows: usize,
 ) -> f64 {
+    let s_const = matches!(pat.s, Slot::Const(_));
+    let o_const = matches!(pat.o, Slot::Const(_));
     match pat.p {
         PredSlot::Const(p) => {
             let Some(st) = stats_of(p) else { return 0.0 };
-            let mut est = st.rows as f64;
-            if matches!(pat.s, Slot::Const(_)) {
-                est = st.rows_per_subject();
-            }
-            if matches!(pat.o, Slot::Const(_)) {
-                let per_o = st.rows_per_object();
-                est = if matches!(pat.s, Slot::Const(_)) {
-                    (est * per_o / st.rows.max(1) as f64).max(1.0)
-                } else {
-                    per_o
-                };
-            }
-            est
+            cost::base_cardinality(card_of(&st), s_const, o_const)
         }
-        PredSlot::Var(_) => {
-            // Variable predicate: every partition is a candidate.
-            let mut est = total_rows as f64;
-            if matches!(pat.s, Slot::Const(_)) || matches!(pat.o, Slot::Const(_)) {
-                // Crude constant-bound discount; var-pred queries are rare.
-                est = (est / 100.0).max(1.0);
-            }
-            est
-        }
+        // Variable predicate: every partition is a candidate.
+        PredSlot::Var(_) => cost::var_pred_cardinality(total_rows, s_const || o_const),
     }
 }
 
@@ -90,20 +84,9 @@ pub fn bound_estimate(
     match pat.p {
         PredSlot::Const(p) => {
             let Some(st) = stats_of(p) else { return 0.0 };
-            match (s_bound, o_bound) {
-                (true, true) => 1.0,
-                (true, false) => st.rows_per_subject(),
-                (false, true) => st.rows_per_object(),
-                (false, false) => st.rows as f64,
-            }
+            cost::bound_cardinality(card_of(&st), s_bound, o_bound)
         }
-        PredSlot::Var(_) => {
-            if s_bound || o_bound {
-                (total_rows as f64 / 100.0).max(1.0)
-            } else {
-                total_rows as f64
-            }
-        }
+        PredSlot::Var(_) => cost::var_pred_cardinality(total_rows, s_bound || o_bound),
     }
 }
 

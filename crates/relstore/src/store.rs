@@ -10,6 +10,7 @@ use crate::table::{PredTable, TableStats};
 use kgdual_model::fx::FxHashMap;
 use kgdual_model::{NodeId, PartitionSet, PredId, Triple};
 use kgdual_sparql::{EncPattern, EncodedQuery, PredSlot, Slot, VarId};
+use kgdual_vec::{cost, EmitSrc, BATCH};
 use std::sync::Arc;
 
 /// The relational store: one [`PredTable`] per predicate, spread across
@@ -227,7 +228,7 @@ impl RelStore {
                         self.inl_extend(a, pat, ctx)?
                     } else {
                         let delta = self.materialize_pattern(pat, ctx)?;
-                        hash_join(a, &delta, ctx)?
+                        hash_join_dispatch(a, &delta, ctx, self.join_dispatch(ctx).as_ref())?
                     }
                 }
             };
@@ -288,7 +289,7 @@ impl RelStore {
         if !s_joined && !o_joined {
             return false;
         }
-        (acc.len() as f64) <= self.cfg.inl_probe_ratio * table.len() as f64
+        cost::prefer_index_nested_loop(acc.len(), table.len(), self.cfg.inl_probe_ratio)
     }
 
     /// Produce the binding table of a single pattern from base tables.
@@ -323,10 +324,10 @@ impl RelStore {
                 let threshold = self.cfg.index_selectivity_threshold;
                 let use_s_index = !self.cfg.force_scans
                     && matches!(pat.s, Slot::Const(_))
-                    && st.rows_per_subject() <= threshold * st.rows.max(1) as f64;
+                    && cost::use_secondary_index(st.rows_per_subject(), st.rows, threshold);
                 let use_o_index = !self.cfg.force_scans
                     && matches!(pat.o, Slot::Const(_))
-                    && st.rows_per_object() <= threshold * st.rows.max(1) as f64;
+                    && cost::use_secondary_index(st.rows_per_object(), st.rows, threshold);
 
                 if let (Slot::Const(cs), true) = (pat.s, use_s_index) {
                     let rows = table.lookup_s(cs);
@@ -343,9 +344,7 @@ impl RelStore {
                 } else {
                     // Full scan — the path complex queries take, and the
                     // reason relational latency grows with data size.
-                    scan_chunked(table.scan(), ctx, |&(s, o)| {
-                        emit(s, p, o, &mut out);
-                    })?;
+                    scan_partition(table.scan(), pat, &schema, self_loop, p, ctx, &mut out)?;
                 }
             }
             PredSlot::Var(_) => {
@@ -358,9 +357,7 @@ impl RelStore {
                 } else {
                     for (p, table) in self.sharded.tables_canonical() {
                         ctx.stats.tables_touched += 1;
-                        scan_chunked(table.scan(), ctx, |&(s, o)| {
-                            emit(s, p, o, &mut out);
-                        })?;
+                        scan_partition(table.scan(), pat, &schema, self_loop, p, ctx, &mut out)?;
                     }
                 }
             }
@@ -376,6 +373,19 @@ impl RelStore {
     /// merge reproduces exactly.
     fn union_dispatch(&self, ctx: &ExecContext) -> Option<Arc<dyn ShardDispatch>> {
         if self.sharded.shard_count() > 1 && ctx.work_limit.is_none() {
+            self.dispatch.clone()
+        } else {
+            None
+        }
+    }
+
+    /// The dispatcher for parallel hash-join probes: the vectorized probe
+    /// splits its input into ranges and rides them as `ShardScan`-class
+    /// jobs (the PR 2 intra-query-parallelism follow-up). Same safety
+    /// rule as [`Self::union_dispatch`]: work-limited (DOTIL λ-cutoff)
+    /// contexts keep the sequential path.
+    fn join_dispatch(&self, ctx: &ExecContext) -> Option<Arc<dyn ShardDispatch>> {
+        if ctx.work_limit.is_none() {
             self.dispatch.clone()
         } else {
             None
@@ -417,9 +427,15 @@ impl RelStore {
                 }
                 local.stats.tables_touched += 1;
                 let mut block = Bindings::new(schema.to_vec());
-                let scanned = scan_chunked(table.scan(), &mut local, |&(s, o)| {
-                    emit_match(pat, schema, self_loop, s, p, o, &mut block);
-                });
+                let scanned = scan_partition(
+                    table.scan(),
+                    pat,
+                    schema,
+                    self_loop,
+                    p,
+                    &mut local,
+                    &mut block,
+                );
                 match scanned {
                     Ok(()) => part.per_pred.push((p, block)),
                     Err(ExecError::Cancelled { .. }) => {
@@ -457,9 +473,7 @@ impl RelStore {
         }
         blocks.sort_by_key(|&(p, _)| p);
         for (_, block) in &blocks {
-            for row in block.rows() {
-                out.push_row(row);
-            }
+            out.append(block);
         }
         Ok(())
     }
@@ -519,8 +533,16 @@ impl RelStore {
         let o_index = table.o_index();
         let mut row_buf: Vec<NodeId> = Vec::with_capacity(acc.width() + new_vars);
 
-        for row in acc.rows() {
-            ctx.charge_probe(1)?;
+        // One probe row: append its index matches to `out`, returning
+        // (index rows touched, rows joined). With `charge` the original
+        // row path's exact per-row charge interleaving is kept (probe
+        // per match set, one join charge before each emitted row — the
+        // sequence DOTIL's λ-cutoff partial-work accounting observes);
+        // without it the batched caller sums identical totals per batch.
+        let mut probe_row = |row: &[NodeId],
+                             out: &mut Bindings,
+                             mut charge: Option<&mut ExecContext>|
+         -> Result<(u64, u64), ExecError> {
             let s_val = match s_src {
                 Src::Const(c) => Some(c),
                 Src::AccCol(c) => Some(row[c]),
@@ -536,7 +558,10 @@ impl RelStore {
                 (None, Some(o)) => range_of(&o_index, o),
                 (None, None) => unreachable!("INL requires a bound endpoint"),
             };
-            ctx.charge_probe(matches.len() as u64)?;
+            if let Some(ctx) = charge.as_deref_mut() {
+                ctx.charge_probe(matches.len() as u64)?;
+            }
+            let mut joined = 0u64;
             for &(k, v) in matches {
                 // `s_index` yields (s, o); `o_index` yields (o, s).
                 let (ms, mo) = if s_val.is_some() { (k, v) } else { (v, k) };
@@ -558,8 +583,37 @@ impl RelStore {
                 if matches!((pat.o, o_src), (Slot::Var(_), Src::New)) {
                     row_buf.push(mo);
                 }
-                ctx.charge_join(1)?;
+                if let Some(ctx) = charge.as_deref_mut() {
+                    ctx.charge_join(1)?;
+                }
+                joined += 1;
                 out.push_row(&row_buf);
+            }
+            Ok((matches.len() as u64, joined))
+        };
+
+        if use_vec(ctx) {
+            // Batched charging: sum the per-row probe/join charges over a
+            // 4096-row batch (identical totals, 4096× fewer governor and
+            // cancellation touches).
+            for start in (0..acc.len()).step_by(BATCH) {
+                let end = (start + BATCH).min(acc.len());
+                ctx.charge_probe((end - start) as u64)?;
+                let mut probed = 0u64;
+                let mut joined = 0u64;
+                for i in start..end {
+                    let (p, j) = probe_row(acc.row(i), &mut out, None)?;
+                    probed += p;
+                    joined += j;
+                }
+                ctx.charge_probe(probed)?;
+                ctx.charge_join(joined)?;
+                kgdual_vec::note_join_batch(joined as usize);
+            }
+        } else {
+            for i in 0..acc.len() {
+                ctx.charge_probe(1)?;
+                probe_row(acc.row(i), &mut out, Some(&mut *ctx))?;
             }
         }
         Ok(out)
@@ -621,12 +675,91 @@ fn scan_chunked<T>(
     ctx: &mut ExecContext,
     mut f: impl FnMut(&T),
 ) -> Result<(), ExecError> {
-    const CHUNK: usize = 4096;
-    for chunk in rows.chunks(CHUNK) {
+    for chunk in rows.chunks(BATCH) {
         ctx.charge_scan(chunk.len() as u64)?;
         for item in chunk {
             f(item);
         }
+    }
+    Ok(())
+}
+
+/// Whether this execution takes the vectorized operators: the process
+/// switch is on and the context carries no work limit. Work-limited
+/// contexts (DOTIL's λ cutoff) keep the row-at-a-time path because their
+/// partial-work accounting observes the per-row charge interleaving; for
+/// everything else the batched twin charges identical totals and emits
+/// identical rows, so the choice is invisible in deterministic outputs.
+fn use_vec(ctx: &ExecContext) -> bool {
+    kgdual_vec::enabled() && ctx.work_limit.is_none()
+}
+
+/// The gather template mirroring [`emit_match`]'s per-row projection: one
+/// [`EmitSrc`] per output column in first-occurrence variable order,
+/// duplicate variables (self-loops) collapsed exactly as the row path
+/// collapses them.
+fn scan_template(pat: &EncPattern, pred: PredId) -> Vec<EmitSrc> {
+    let mut seen: Vec<VarId> = Vec::with_capacity(3);
+    let mut template: Vec<EmitSrc> = Vec::with_capacity(3);
+    if let Slot::Var(v) = pat.s {
+        seen.push(v);
+        template.push(EmitSrc::S);
+    }
+    if let PredSlot::Var(v) = pat.p {
+        if !seen.contains(&v) {
+            seen.push(v);
+            template.push(EmitSrc::Const(NodeId(pred.0)));
+        }
+    }
+    if let Slot::Var(v) = pat.o {
+        if !seen.contains(&v) {
+            template.push(EmitSrc::O);
+        }
+    }
+    template
+}
+
+/// Scan one partition's pair run into `out`: the vectorized path gathers
+/// each 4096-row chunk through [`kgdual_vec::gather_pairs`] (one scan
+/// charge and one bulk append per chunk); the row path walks the same
+/// chunks through [`emit_match`]. Identical rows, row order, and charges.
+fn scan_partition(
+    rows: &[(NodeId, NodeId)],
+    pat: &EncPattern,
+    schema: &[VarId],
+    self_loop: bool,
+    pred: PredId,
+    ctx: &mut ExecContext,
+    out: &mut Bindings,
+) -> Result<(), ExecError> {
+    if !use_vec(ctx) {
+        return scan_chunked(rows, ctx, |&(s, o)| {
+            emit_match(pat, schema, self_loop, s, pred, o, out);
+        });
+    }
+    let _span = kgdual_obs::span!("vec_scan");
+    let template = scan_template(pat, pred);
+    let s_filter = match pat.s {
+        Slot::Const(c) => Some(c),
+        Slot::Var(_) => None,
+    };
+    let o_filter = match pat.o {
+        Slot::Const(c) => Some(c),
+        Slot::Var(_) => None,
+    };
+    let mut staging: Vec<NodeId> = Vec::new();
+    for chunk in rows.chunks(BATCH) {
+        ctx.charge_scan(chunk.len() as u64)?;
+        staging.clear();
+        kgdual_vec::gather_pairs(
+            chunk,
+            s_filter,
+            o_filter,
+            self_loop,
+            &template,
+            &mut staging,
+        );
+        out.extend_cells(&staging);
     }
     Ok(())
 }
@@ -638,13 +771,82 @@ fn range_of(sorted: &[(NodeId, NodeId)], key: NodeId) -> &[(NodeId, NodeId)] {
     &sorted[lo..hi]
 }
 
-/// Hash join of two binding tables on their shared variables; cartesian
-/// product when they share none.
-pub(crate) fn hash_join(
+/// FNV-1a over a composite join key. Exact keys are re-checked on probe,
+/// so a 64-bit mixed key is safe.
+fn mix_key(vals: &[NodeId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in vals {
+        h ^= v.0 as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Probe rows `[start, end)` of `probe` against the built hash table,
+/// appending output rows to `out` and returning the number joined.
+/// Shared by the serial probe loop and the dispatcher-parallel probe
+/// jobs; does not charge (callers own the charge discipline).
+#[allow(clippy::too_many_arguments)]
+fn probe_range(
+    build: &Bindings,
+    probe: &Bindings,
+    table: &FxHashMap<u64, Vec<u32>>,
+    build_key_cols: &[usize],
+    probe_key_cols: &[usize],
+    right_new_cols: &[usize],
+    build_left: bool,
+    start: usize,
+    end: usize,
+    out: &mut Bindings,
+) -> u64 {
+    let mut key_buf: Vec<NodeId> = Vec::with_capacity(probe_key_cols.len());
+    let mut row_buf: Vec<NodeId> = Vec::with_capacity(out.width());
+    let mut joined = 0u64;
+    for pi in start..end {
+        let prow = probe.row(pi);
+        key_buf.clear();
+        key_buf.extend(probe_key_cols.iter().map(|&c| prow[c]));
+        let Some(cands) = table.get(&mix_key(&key_buf)) else {
+            continue;
+        };
+        'cand: for &bi in cands {
+            let brow = build.row(bi as usize);
+            // Exact key equality (guards against 64-bit mix collisions).
+            for (bc, pc) in build_key_cols.iter().zip(probe_key_cols) {
+                if brow[*bc] != prow[*pc] {
+                    continue 'cand;
+                }
+            }
+            let (lrow, rrow) = if build_left {
+                (brow, prow)
+            } else {
+                (prow, brow)
+            };
+            joined += 1;
+            row_buf.clear();
+            row_buf.extend_from_slice(lrow);
+            for &c in right_new_cols {
+                row_buf.push(rrow[c]);
+            }
+            out.push_row(&row_buf);
+        }
+    }
+    joined
+}
+
+/// Hash join of two binding tables on their shared variables (cartesian
+/// product when they share none), with an optional dispatcher: the
+/// splits large probe inputs into contiguous ranges and runs them as
+/// `ShardScan`-class jobs on the unified scheduler, merging the output
+/// blocks back in range order — identical rows, row order, and charge
+/// totals to the serial probe, wall clock only changes.
+pub(crate) fn hash_join_dispatch(
     left: &Bindings,
     right: &Bindings,
     ctx: &mut ExecContext,
+    dispatch: Option<&Arc<dyn ShardDispatch>>,
 ) -> Result<Bindings, ExecError> {
+    let _span = kgdual_obs::span!("hash_join");
     let shared: Vec<VarId> = left
         .vars()
         .iter()
@@ -664,7 +866,7 @@ pub(crate) fn hash_join(
             i
         })
         .collect();
-    let mut out = Bindings::new(schema);
+    let mut out = Bindings::new(schema.clone());
 
     if shared.is_empty() {
         // Cartesian product.
@@ -683,8 +885,9 @@ pub(crate) fn hash_join(
         return Ok(out);
     }
 
-    // Build on the smaller side, probe with the larger.
-    let build_left = left.len() <= right.len();
+    // Build on the smaller side, probe with the larger (the cost model's
+    // deterministic tie-to-left choice is exactly the old inline rule).
+    let build_left = cost::hash_build_side(left.len(), right.len()) == cost::BuildSide::Left;
     let (build, probe) = if build_left {
         (left, right)
     } else {
@@ -693,23 +896,121 @@ pub(crate) fn hash_join(
     let build_key_cols: Vec<usize> = shared.iter().map(|&v| build.col_of(v).unwrap()).collect();
     let probe_key_cols: Vec<usize> = shared.iter().map(|&v| probe.col_of(v).unwrap()).collect();
 
+    let vectorized = use_vec(ctx);
     let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
     let mut key_buf: Vec<NodeId> = Vec::with_capacity(build_key_cols.len());
-    // Exact keys are re-checked on probe, so a 64-bit mixed key is safe.
-    let mix = |vals: &[NodeId]| -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for v in vals {
-            h ^= v.0 as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
-    };
 
-    for (i, row) in build.rows().enumerate() {
-        ctx.charge_hash(1)?;
-        key_buf.clear();
-        key_buf.extend(build_key_cols.iter().map(|&c| row[c]));
-        table.entry(mix(&key_buf)).or_default().push(i as u32);
+    if vectorized {
+        // Batched build: one hash charge per 4096-row batch, identical
+        // insertion order (candidate lists match the row path's).
+        for start in (0..build.len()).step_by(BATCH) {
+            let end = (start + BATCH).min(build.len());
+            ctx.charge_hash((end - start) as u64)?;
+            for i in start..end {
+                key_buf.clear();
+                key_buf.extend(build_key_cols.iter().map(|&c| build.row(i)[c]));
+                table.entry(mix_key(&key_buf)).or_default().push(i as u32);
+            }
+        }
+    } else {
+        for (i, row) in build.rows().enumerate() {
+            ctx.charge_hash(1)?;
+            key_buf.clear();
+            key_buf.extend(build_key_cols.iter().map(|&c| row[c]));
+            table.entry(mix_key(&key_buf)).or_default().push(i as u32);
+        }
+    }
+
+    // Probe ranges big enough to be worth a task each; the range split is
+    // a pure function of the probe length, so the fan-out (and the merge
+    // order) is deterministic.
+    const PROBE_JOB_ROWS: usize = 4 * BATCH;
+    let par_jobs = probe.len().div_ceil(PROBE_JOB_ROWS);
+    if vectorized && par_jobs > 1 {
+        if let Some(dispatch) = dispatch {
+            kgdual_vec::vec_obs().probe_dispatches.inc();
+            let job = |j: usize| -> ShardScanPart {
+                let _span = kgdual_obs::span!("hash_join", probe_job = j);
+                let start = j * PROBE_JOB_ROWS;
+                let end = (start + PROBE_JOB_ROWS).min(probe.len());
+                let mut local = ExecContext {
+                    cancel: ctx.cancel.clone(),
+                    governor: Arc::clone(&ctx.governor),
+                    stats: ExecStats::default(),
+                    work_limit: None,
+                };
+                let mut part = ShardScanPart::default();
+                let mut block = Bindings::new(schema.clone());
+                for bstart in (start..end).step_by(BATCH) {
+                    let bend = (bstart + BATCH).min(end);
+                    if local.charge_probe((bend - bstart) as u64).is_err() {
+                        part.cancelled = true;
+                        break;
+                    }
+                    let joined = probe_range(
+                        build,
+                        probe,
+                        &table,
+                        &build_key_cols,
+                        &probe_key_cols,
+                        &right_new_cols,
+                        build_left,
+                        bstart,
+                        bend,
+                        &mut block,
+                    );
+                    kgdual_vec::note_join_batch(joined as usize);
+                    if local.charge_join(joined).is_err() {
+                        part.cancelled = true;
+                        break;
+                    }
+                }
+                // The job index keys the merge order (not a predicate).
+                part.per_pred.push((PredId(j as u32), block));
+                part.stats = local.stats;
+                part
+            };
+            let parts = dispatch.run_jobs(par_jobs, &job);
+            let mut cancelled = false;
+            for part in parts {
+                ctx.stats.merge(&part.stats);
+                cancelled |= part.cancelled;
+                for (_, block) in &part.per_pred {
+                    out.append(block);
+                }
+            }
+            if cancelled {
+                return Err(ExecError::Cancelled {
+                    partial_work: ctx.stats.work_units(),
+                });
+            }
+            return Ok(out);
+        }
+    }
+
+    if vectorized {
+        // Serial batched probe: per batch, one probe charge up front and
+        // one join charge for the batch's outputs — same totals as the
+        // row path's per-row charges.
+        for start in (0..probe.len()).step_by(BATCH) {
+            let end = (start + BATCH).min(probe.len());
+            ctx.charge_probe((end - start) as u64)?;
+            let joined = probe_range(
+                build,
+                probe,
+                &table,
+                &build_key_cols,
+                &probe_key_cols,
+                &right_new_cols,
+                build_left,
+                start,
+                end,
+                &mut out,
+            );
+            kgdual_vec::note_join_batch(joined as usize);
+            ctx.charge_join(joined)?;
+        }
+        return Ok(out);
     }
 
     let mut row_buf = Vec::with_capacity(left.width() + right_new_cols.len());
@@ -717,7 +1018,7 @@ pub(crate) fn hash_join(
         ctx.charge_probe(1)?;
         key_buf.clear();
         key_buf.extend(probe_key_cols.iter().map(|&c| prow[c]));
-        let Some(cands) = table.get(&mix(&key_buf)) else {
+        let Some(cands) = table.get(&mix_key(&key_buf)) else {
             continue;
         };
         'cand: for &bi in cands {
@@ -1185,7 +1486,7 @@ mod tests {
         let mut r = Bindings::new(vec![1]);
         r.push_row(&[NodeId(7)]);
         let mut ctx = ExecContext::new();
-        let j = hash_join(&l, &r, &mut ctx).unwrap();
+        let j = hash_join_dispatch(&l, &r, &mut ctx, None).unwrap();
         assert_eq!(j.len(), 2);
         assert_eq!(j.vars(), &[0, 1]);
         assert_eq!(j.row(0), &[NodeId(1), NodeId(7)]);
@@ -1200,7 +1501,7 @@ mod tests {
         r.push_row(&[NodeId(1), NodeId(2), NodeId(9)]);
         r.push_row(&[NodeId(1), NodeId(9), NodeId(8)]);
         let mut ctx = ExecContext::new();
-        let j = hash_join(&l, &r, &mut ctx).unwrap();
+        let j = hash_join_dispatch(&l, &r, &mut ctx, None).unwrap();
         assert_eq!(j.len(), 1);
         assert_eq!(j.row(0), &[NodeId(1), NodeId(2), NodeId(9)]);
     }

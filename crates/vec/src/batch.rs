@@ -1,0 +1,218 @@
+//! Batch kernels: one-pass gathers from packed `(subject, object)` edge
+//! storage into contiguous binding cells.
+//!
+//! Both substrates keep a predicate's edges as sorted pair runs — the
+//! relational [`PredTable`]'s insertion-ordered pair vector and sorted
+//! permutation indexes, and `CsrBackend`'s packed offset/neighbour
+//! arrays. The row-at-a-time path walks those runs calling a per-row
+//! emit closure (binding checks, per-row pushes); the kernels here do
+//! the same selection + projection over a whole 4096-row chunk in one
+//! tight loop, appending finished rows to a flat cell buffer.
+//!
+//! The projection is described by an [`EmitSrc`] template — one entry
+//! per output column, naming where the cell comes from (the subject
+//! column, the object column, or a constant such as an already-bound
+//! variable or the scanned predicate id). Templates are built once per
+//! scan by mirroring the row path's per-row duplicate-variable skipping,
+//! so a kernel emits byte-identical rows in byte-identical order.
+//!
+//! [`PredTable`]: https://docs.rs/kgdual-relstore
+
+use kgdual_model::NodeId;
+
+/// Rows per batch. Matches the 4096-row chunking the row-at-a-time scan
+/// paths already charge work at, so batched operators charge identical
+/// work-unit totals at identical granularity.
+pub const BATCH: usize = 4096;
+
+/// Source of one output column in a gathered row.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EmitSrc {
+    /// The chunk's subject column.
+    S,
+    /// The chunk's object column.
+    O,
+    /// A per-scan constant: an already-bound variable's value, or the
+    /// predicate id of the table being scanned (var-predicate unions).
+    Const(NodeId),
+}
+
+#[inline]
+fn emit_row(template: &[EmitSrc], s: NodeId, o: NodeId, out: &mut Vec<NodeId>) {
+    for src in template {
+        out.push(match *src {
+            EmitSrc::S => s,
+            EmitSrc::O => o,
+            EmitSrc::Const(c) => c,
+        });
+    }
+}
+
+/// Gather one chunk of `(s, o)` pairs into `out`, applying constant
+/// filters and the self-loop (`s == o`) restriction, projecting each
+/// surviving pair through `template`. Returns the number of rows
+/// emitted. Row order follows `pairs` order exactly.
+pub fn gather_pairs(
+    pairs: &[(NodeId, NodeId)],
+    s_filter: Option<NodeId>,
+    o_filter: Option<NodeId>,
+    require_s_eq_o: bool,
+    template: &[EmitSrc],
+    out: &mut Vec<NodeId>,
+) -> usize {
+    let emitted = if s_filter.is_none() && o_filter.is_none() && !require_s_eq_o {
+        // The hot shape: unfiltered scan of a whole partition. The two
+        // all-var projections compile to straight strided copies.
+        match template {
+            [EmitSrc::S, EmitSrc::O] => {
+                out.reserve(pairs.len() * 2);
+                for &(s, o) in pairs {
+                    out.push(s);
+                    out.push(o);
+                }
+                pairs.len()
+            }
+            [one] => {
+                out.reserve(pairs.len());
+                match *one {
+                    EmitSrc::S => out.extend(pairs.iter().map(|&(s, _)| s)),
+                    EmitSrc::O => out.extend(pairs.iter().map(|&(_, o)| o)),
+                    EmitSrc::Const(c) => out.extend(pairs.iter().map(|_| c)),
+                }
+                pairs.len()
+            }
+            _ => {
+                out.reserve(pairs.len() * template.len());
+                for &(s, o) in pairs {
+                    emit_row(template, s, o, out);
+                }
+                pairs.len()
+            }
+        }
+    } else {
+        let mut n = 0usize;
+        for &(s, o) in pairs {
+            if s_filter.is_some_and(|c| c != s) {
+                continue;
+            }
+            if o_filter.is_some_and(|c| c != o) {
+                continue;
+            }
+            if require_s_eq_o && s != o {
+                continue;
+            }
+            emit_row(template, s, o, out);
+            n += 1;
+        }
+        n
+    };
+    crate::note_scan_batch(emitted);
+    emitted
+}
+
+/// Gather from two parallel columns (the graph matcher's staged seed
+/// chunk), emitting at most `max_rows` rows — the LIMIT pushdown: once
+/// the query's `stop_at` is covered the loop exits mid-chunk. Returns
+/// rows emitted; order follows column order exactly.
+pub fn gather_columns(
+    s_col: &[NodeId],
+    o_col: &[NodeId],
+    require_s_eq_o: bool,
+    template: &[EmitSrc],
+    max_rows: usize,
+    out: &mut Vec<NodeId>,
+) -> usize {
+    debug_assert_eq!(s_col.len(), o_col.len());
+    let emitted = if !require_s_eq_o && max_rows >= s_col.len() {
+        out.reserve(s_col.len() * template.len());
+        for (&s, &o) in s_col.iter().zip(o_col) {
+            emit_row(template, s, o, out);
+        }
+        s_col.len()
+    } else {
+        let mut n = 0usize;
+        for (&s, &o) in s_col.iter().zip(o_col) {
+            if n >= max_rows {
+                break;
+            }
+            if require_s_eq_o && s != o {
+                continue;
+            }
+            emit_row(template, s, o, out);
+            n += 1;
+        }
+        n
+    };
+    crate::note_scan_batch(emitted);
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn unfiltered_pair_gather_is_an_interleave() {
+        let pairs = [(n(1), n(2)), (n(3), n(4))];
+        let mut out = Vec::new();
+        let got = gather_pairs(
+            &pairs,
+            None,
+            None,
+            false,
+            &[EmitSrc::S, EmitSrc::O],
+            &mut out,
+        );
+        assert_eq!(got, 2);
+        assert_eq!(out, vec![n(1), n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn filters_and_constants_apply_per_row() {
+        let pairs = [(n(1), n(2)), (n(1), n(5)), (n(2), n(5))];
+        let mut out = Vec::new();
+        let got = gather_pairs(
+            &pairs,
+            Some(n(1)),
+            None,
+            false,
+            &[EmitSrc::O, EmitSrc::Const(n(9))],
+            &mut out,
+        );
+        assert_eq!(got, 2);
+        assert_eq!(out, vec![n(2), n(9), n(5), n(9)]);
+    }
+
+    #[test]
+    fn self_loop_restriction_keeps_diagonal_rows() {
+        let pairs = [(n(1), n(1)), (n(1), n(2)), (n(3), n(3))];
+        let mut out = Vec::new();
+        let got = gather_pairs(&pairs, None, None, true, &[EmitSrc::S], &mut out);
+        assert_eq!(got, 2);
+        assert_eq!(out, vec![n(1), n(3)]);
+    }
+
+    #[test]
+    fn column_gather_honours_the_row_cap() {
+        let s = [n(1), n(2), n(3)];
+        let o = [n(4), n(5), n(6)];
+        let mut out = Vec::new();
+        let got = gather_columns(&s, &o, false, &[EmitSrc::S, EmitSrc::O], 2, &mut out);
+        assert_eq!(got, 2);
+        assert_eq!(out, vec![n(1), n(4), n(2), n(5)]);
+    }
+
+    #[test]
+    fn column_gather_filters_self_loops_before_capping() {
+        let s = [n(1), n(2), n(2), n(3)];
+        let o = [n(9), n(2), n(8), n(3)];
+        let mut out = Vec::new();
+        let got = gather_columns(&s, &o, true, &[EmitSrc::S], 1, &mut out);
+        assert_eq!(got, 1);
+        assert_eq!(out, vec![n(2)]);
+    }
+}

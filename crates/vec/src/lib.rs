@@ -1,0 +1,130 @@
+//! # kgdual-vec
+//!
+//! Vectorized batch execution for the dual-store stack: the MonetDB/X100
+//! move from row-at-a-time operators to fixed-size column batches, plus
+//! the small Selinger-style cost model both substrates plan with.
+//!
+//! Three things live here, deliberately below every store crate so both
+//! `kgdual-relstore` and `kgdual-graphstore` can share them:
+//!
+//! * [`batch`] — the batch kernels: tight gather loops that turn a chunk
+//!   of `(subject, object)` pairs (the relational shards' sorted-by-pred
+//!   vectors, `CsrBackend`'s packed per-predicate rows) into contiguous
+//!   binding cells in one pass, with selection (constant filters,
+//!   self-loop equality) and LIMIT pushdown applied inside the loop.
+//! * [`cost`] — the cost model: bound-pattern cardinalities, the
+//!   index-vs-scan access-path rule, the index-nested-loop threshold and
+//!   the hash-join build-side choice, fed **only** from the statistics
+//!   [`Topology`]/`TableStats` already report. The store planners
+//!   delegate here, so the relational and graph substrates price
+//!   patterns with one shared formula set.
+//! * the **mode switch** — one process-wide flag, on by default,
+//!   initialized from `KGDUAL_VEC` (`off`/`0`/`false` disable) and
+//!   flippable at runtime with [`set_enabled`] so equivalence suites can
+//!   compare both paths in one process.
+//!
+//! ## The determinism contract
+//!
+//! Vectorization is a *physical* change only. Every batched operator
+//! charges the exact work units its row-at-a-time twin charges (scan
+//! charges per 4096-row chunk, probe/hash/join charges summed per batch
+//! from the same reported sizes), and emits rows in the exact same
+//! order, so digests, row order under LIMIT, work units, simulated TTI,
+//! routes, and DOTIL trails are byte-identical with the switch on or
+//! off. `crates/bench/tests/vec_equivalence.rs` pins this across
+//! backends × shards × threads.
+//!
+//! Batched paths additionally bump an always-on relaxed counter
+//! ([`batches_emitted`]) — one atomic add per 4096-row batch — so tests
+//! can assert the vectorized code actually ran; the distributional view
+//! (per-operator batch-size histograms) is obs-gated in [`obs`].
+//!
+//! [`Topology`]: https://docs.rs/kgdual-graphstore
+
+pub mod batch;
+pub mod cost;
+pub mod obs;
+
+pub use batch::{gather_columns, gather_pairs, EmitSrc, BATCH};
+pub use obs::{vec_obs, VecObs};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The `KGDUAL_VEC` selection: vectorization is **on by default** and
+/// only `off`, `0`, or `false` disable it.
+pub fn env_enabled() -> bool {
+    !matches!(
+        std::env::var("KGDUAL_VEC").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}
+
+fn flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| AtomicBool::new(env_enabled()))
+}
+
+/// Whether batched operators are currently selected. Callers must treat
+/// this as a pure performance hint: both answers produce byte-identical
+/// deterministic outputs.
+pub fn enabled() -> bool {
+    flag().load(Ordering::Relaxed)
+}
+
+/// Flip the process-wide mode at runtime (tests and `bench_vec` compare
+/// both paths in one process).
+pub fn set_enabled(on: bool) {
+    flag().store(on, Ordering::Relaxed)
+}
+
+static SCAN_BATCHES: AtomicU64 = AtomicU64::new(0);
+static JOIN_BATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Total batches emitted by vectorized operators since process start
+/// (scan gathers + join build/probe batches). Always counted — one
+/// relaxed add per ~4096 rows — so equivalence tests can assert the
+/// vectorized path really executed. Monotonic; never reset.
+pub fn batches_emitted() -> u64 {
+    SCAN_BATCHES.load(Ordering::Relaxed) + JOIN_BATCHES.load(Ordering::Relaxed)
+}
+
+/// Record one vectorized scan gather of `rows` emitted rows.
+pub fn note_scan_batch(rows: usize) {
+    SCAN_BATCHES.fetch_add(1, Ordering::Relaxed);
+    vec_obs().scan_batch_rows.record(rows as u64);
+    vec_obs().scan_batches.inc();
+}
+
+/// Record one vectorized hash-join (or index-nested-loop) batch that
+/// produced `rows` output rows.
+pub fn note_join_batch(rows: usize) {
+    JOIN_BATCHES.fetch_add(1, Ordering::Relaxed);
+    vec_obs().join_batch_rows.record(rows as u64);
+    vec_obs().join_batches.inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_on_and_flippable() {
+        // The test process may have KGDUAL_VEC set by a CI leg; only the
+        // runtime flip is asserted unconditionally.
+        let before = enabled();
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(before);
+    }
+
+    #[test]
+    fn batch_counter_is_monotonic() {
+        let before = batches_emitted();
+        note_scan_batch(10);
+        note_join_batch(3);
+        assert!(batches_emitted() >= before + 2);
+    }
+}

@@ -67,6 +67,18 @@ cargo run --release -q -p kgdual-bench --bin bench_obs -- \
   --threads 4 --shards 4 --assert-overhead true \
   > "$OUT/BENCH_obs.json"
 
+echo "== bench_vec (BENCH_vec.json) =="
+# The vectorized-execution gate: the YAGO workload with the batch kernels
+# off vs on, interleaved, min-of-reps, on both graph substrates. The
+# binary asserts that both modes do byte-identical deterministic work
+# (and that vec-on runs actually take the batch paths) and — on hosts
+# with >1 CPU — that vectorization beats row-at-a-time on at least one
+# backend.
+cargo run --release -q -p kgdual-bench --bin bench_vec -- \
+  --scale "$SCHED_SCALE" --seed "$SEED" --reps "$SCHED_REPS" \
+  --threads 4 --shards 4 --assert-speedup true \
+  > "$OUT/BENCH_vec.json"
+
 echo "== bench_serve (BENCH_serve.json) =="
 # The serving tail-latency trajectory: closed-loop and open-overload
 # arrival regimes against an in-process server. The binary asserts the

@@ -11,8 +11,33 @@
 # Drift is reported as a *named* diff — which file, which row, which
 # column, old -> new — so a CI failure reads as "deterministic.tsv: row
 # yago/rdb_gdb_dotil: sim_tti_ns 123 -> 456", not a bare unified diff.
+#
+# CHECK_ONLY selects a comma-separated subset of the sections
+# ({deterministic,sched,serve,vec}); unset runs everything. CI's
+# perf-smoke job runs `CHECK_ONLY=vec scripts/check_baselines.sh` to get
+# the vectorization gate without re-running the whole battery.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CHECK_ONLY="${CHECK_ONLY:-}"
+want() {
+  [ -z "$CHECK_ONLY" ] && return 0
+  case ",$CHECK_ONLY," in
+    *",$1,"*) return 0 ;;
+    *) return 1 ;;
+  esac
+}
+
+# One trap for every temp file any section may create.
+tmpfiles=()
+cleanup() { [ "${#tmpfiles[@]}" -eq 0 ] || rm -f "${tmpfiles[@]}"; }
+trap cleanup EXIT
+mktmp() {
+  local f
+  f=$(mktemp)
+  tmpfiles+=("$f")
+  printf '%s' "$f"
+}
 
 # compare_rows <label> <base-file> <fresh-file>
 #
@@ -60,26 +85,27 @@ compare_rows() {
   ' "$2" "$3"
 }
 
-BASE=docs/baselines/deterministic.tsv
-[ -f "$BASE" ] || { echo "missing $BASE — run scripts/capture_baselines.sh first"; exit 1; }
+if want deterministic; then
+  BASE=docs/baselines/deterministic.tsv
+  [ -f "$BASE" ] || { echo "missing $BASE — run scripts/capture_baselines.sh first"; exit 1; }
 
-header=$(head -1 "$BASE")
-scale=$(sed -E 's/.*scale=([0-9.]+).*/\1/' <<<"$header")
-seed=$(sed -E 's/.*seed=([0-9]+).*/\1/' <<<"$header")
-reps=$(sed -E 's/.*reps=([0-9]+).*/\1/' <<<"$header")
+  header=$(head -1 "$BASE")
+  scale=$(sed -E 's/.*scale=([0-9.]+).*/\1/' <<<"$header")
+  seed=$(sed -E 's/.*seed=([0-9]+).*/\1/' <<<"$header")
+  reps=$(sed -E 's/.*reps=([0-9]+).*/\1/' <<<"$header")
 
-fresh=$(mktemp)
-trap 'rm -f "$fresh"' EXIT
-cargo run --release -q -p kgdual-bench --bin capture_baselines -- \
-  --scale "$scale" --seed "$seed" --reps "$reps" > "$fresh"
+  fresh=$(mktmp)
+  cargo run --release -q -p kgdual-bench --bin capture_baselines -- \
+    --scale "$scale" --seed "$seed" --reps "$reps" > "$fresh"
 
-if compare_rows "$BASE" "$BASE" "$fresh"; then
-  echo "OK: deterministic baselines unchanged"
-else
-  echo
-  echo "BASELINE DRIFT: deterministic totals differ from $BASE (named rows above)."
-  echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
-  exit 1
+  if compare_rows "$BASE" "$BASE" "$fresh"; then
+    echo "OK: deterministic baselines unchanged"
+  else
+    echo
+    echo "BASELINE DRIFT: deterministic totals differ from $BASE (named rows above)."
+    echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
+    exit 1
+  fi
 fi
 
 # The scheduler sweep: re-run bench_sched at the parameters pinned in the
@@ -88,42 +114,42 @@ fi
 # clocks and host_parallelism are machine-dependent and stripped. The
 # re-run also re-asserts the determinism grid in-binary, and on hosts
 # with >1 CPU the multi-threaded tuning-epoch speedup.
-SCHED=docs/baselines/BENCH_sched.json
-[ -f "$SCHED" ] || { echo "missing $SCHED — run scripts/capture_baselines.sh first"; exit 1; }
+if want sched; then
+  SCHED=docs/baselines/BENCH_sched.json
+  [ -f "$SCHED" ] || { echo "missing $SCHED — run scripts/capture_baselines.sh first"; exit 1; }
 
-sched_scale=$(sed -nE 's/.*"scale": ([0-9.]+).*/\1/p' "$SCHED" | head -1)
-sched_seed=$(sed -nE 's/.*"seed": ([0-9]+).*/\1/p' "$SCHED" | head -1)
-sched_reps=$(sed -nE 's/.*"reps": ([0-9]+).*/\1/p' "$SCHED" | head -1)
+  sched_scale=$(sed -nE 's/.*"scale": ([0-9.]+).*/\1/p' "$SCHED" | head -1)
+  sched_seed=$(sed -nE 's/.*"seed": ([0-9]+).*/\1/p' "$SCHED" | head -1)
+  sched_reps=$(sed -nE 's/.*"reps": ([0-9]+).*/\1/p' "$SCHED" | head -1)
 
-fresh_sched=$(mktemp)
-trap 'rm -f "$fresh" "$fresh_sched"' EXIT
-cargo run --release -q -p kgdual-bench --bin bench_sched -- \
-  --scale "$sched_scale" --seed "$sched_seed" --reps "$sched_reps" \
-  --assert-speedup true > "$fresh_sched"
+  fresh_sched=$(mktmp)
+  cargo run --release -q -p kgdual-bench --bin bench_sched -- \
+    --scale "$sched_scale" --seed "$sched_seed" --reps "$sched_reps" \
+    --assert-speedup true > "$fresh_sched"
 
-# Flatten each sweep cell into a keyed TSV row (threads/shards key,
-# deterministic columns only) so compare_rows can name what moved.
-deterministic_cells() {
-  {
-    printf '# threads\tshards\ttotal_work\tsim_tti_ns\tresult_rows\ttuning_tasks\n'
-    sed -nE 's/.*"threads": ([0-9]+), "shards": ([0-9]+),.*"total_work": ([0-9]+), "sim_tti_ns": ([0-9]+), "result_rows": ([0-9]+), "tuning_tasks": ([0-9]+).*/t\1\ts\2\t\3\t\4\t\5\t\6/p' "$1"
+  # Flatten each sweep cell into a keyed TSV row (threads/shards key,
+  # deterministic columns only) so compare_rows can name what moved.
+  deterministic_cells() {
+    {
+      printf '# threads\tshards\ttotal_work\tsim_tti_ns\tresult_rows\ttuning_tasks\n'
+      sed -nE 's/.*"threads": ([0-9]+), "shards": ([0-9]+),.*"total_work": ([0-9]+), "sim_tti_ns": ([0-9]+), "result_rows": ([0-9]+), "tuning_tasks": ([0-9]+).*/t\1\ts\2\t\3\t\4\t\5\t\6/p' "$1"
+    }
   }
-}
 
-cells_base=$(mktemp)
-cells_fresh=$(mktemp)
-trap 'rm -f "$fresh" "$fresh_sched" "$cells_base" "$cells_fresh"' EXIT
-deterministic_cells "$SCHED" > "$cells_base"
-deterministic_cells "$fresh_sched" > "$cells_fresh"
-[ "$(grep -c . "$cells_base")" -gt 1 ] || { echo "could not parse sweep cells from $SCHED"; exit 1; }
+  cells_base=$(mktmp)
+  cells_fresh=$(mktmp)
+  deterministic_cells "$SCHED" > "$cells_base"
+  deterministic_cells "$fresh_sched" > "$cells_fresh"
+  [ "$(grep -c . "$cells_base")" -gt 1 ] || { echo "could not parse sweep cells from $SCHED"; exit 1; }
 
-if compare_rows "$SCHED" "$cells_base" "$cells_fresh"; then
-  echo "OK: BENCH_sched deterministic cells unchanged"
-else
-  echo
-  echo "SCHED DRIFT: deterministic sweep cells differ from $SCHED (named cells above)."
-  echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
-  exit 1
+  if compare_rows "$SCHED" "$cells_base" "$cells_fresh"; then
+    echo "OK: BENCH_sched deterministic cells unchanged"
+  else
+    echo
+    echo "SCHED DRIFT: deterministic sweep cells differ from $SCHED (named cells above)."
+    echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
+    exit 1
+  fi
 fi
 
 # The serving benchmark: re-run bench_serve at the parameters pinned in
@@ -133,44 +159,92 @@ fi
 # percentiles are timing-dependent and stripped; the re-run re-asserts
 # the serve-equivalence contract and the bounded-queue overload
 # invariants in-binary.
-SERVE=docs/baselines/BENCH_serve.json
-[ -f "$SERVE" ] || { echo "missing $SERVE — run scripts/capture_baselines.sh first"; exit 1; }
+if want serve; then
+  SERVE=docs/baselines/BENCH_serve.json
+  [ -f "$SERVE" ] || { echo "missing $SERVE — run scripts/capture_baselines.sh first"; exit 1; }
 
-serve_scale=$(sed -nE 's/.*"scale": ([0-9.]+).*/\1/p' "$SERVE" | head -1)
-serve_seed=$(sed -nE 's/.*"seed": ([0-9]+).*/\1/p' "$SERVE" | head -1)
-serve_clients=$(sed -nE 's/.*"clients": ([0-9]+).*/\1/p' "$SERVE" | head -1)
-serve_rpc=$(sed -nE 's/.*"requests_per_client": ([0-9]+).*/\1/p' "$SERVE" | head -1)
-serve_threads=$(sed -nE 's/.*"threads": ([0-9]+).*/\1/p' "$SERVE" | head -1)
-serve_shards=$(sed -nE 's/.*"shards": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+  serve_scale=$(sed -nE 's/.*"scale": ([0-9.]+).*/\1/p' "$SERVE" | head -1)
+  serve_seed=$(sed -nE 's/.*"seed": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+  serve_clients=$(sed -nE 's/.*"clients": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+  serve_rpc=$(sed -nE 's/.*"requests_per_client": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+  serve_threads=$(sed -nE 's/.*"threads": ([0-9]+).*/\1/p' "$SERVE" | head -1)
+  serve_shards=$(sed -nE 's/.*"shards": ([0-9]+).*/\1/p' "$SERVE" | head -1)
 
-fresh_serve=$(mktemp)
-trap 'rm -f "$fresh" "$fresh_sched" "$cells_base" "$cells_fresh" "$fresh_serve"' EXIT
-cargo run --release -q -p kgdual-bench --bin bench_serve -- \
-  --scale "$serve_scale" --seed "$serve_seed" --clients "$serve_clients" \
-  --requests "$serve_rpc" --threads "$serve_threads" --shards "$serve_shards" \
-  --assert-equivalence true > "$fresh_serve"
+  fresh_serve=$(mktmp)
+  cargo run --release -q -p kgdual-bench --bin bench_serve -- \
+    --scale "$serve_scale" --seed "$serve_seed" --clients "$serve_clients" \
+    --requests "$serve_rpc" --threads "$serve_threads" --shards "$serve_shards" \
+    --assert-equivalence true > "$fresh_serve"
 
-# Flatten the closed regime into one keyed TSV row (regime/workload key,
-# deterministic columns only) so compare_rows can name what moved.
-serve_rows() {
-  {
-    printf '# regime\tworkload\trequests\tcompleted\ttotal_work\ttotal_rows\n'
-    sed -nE 's/.*"regime": "(closed)", "workload": "([a-z]+)", "requests": ([0-9]+), "completed": ([0-9]+),.*"total_work": ([0-9]+), "total_rows": ([0-9]+).*/\1\t\2\t\3\t\4\t\5\t\6/p' "$1"
+  # Flatten the closed regime into one keyed TSV row (regime/workload key,
+  # deterministic columns only) so compare_rows can name what moved.
+  serve_rows() {
+    {
+      printf '# regime\tworkload\trequests\tcompleted\ttotal_work\ttotal_rows\n'
+      sed -nE 's/.*"regime": "(closed)", "workload": "([a-z]+)", "requests": ([0-9]+), "completed": ([0-9]+),.*"total_work": ([0-9]+), "total_rows": ([0-9]+).*/\1\t\2\t\3\t\4\t\5\t\6/p' "$1"
+    }
   }
-}
 
-serve_base=$(mktemp)
-serve_fresh_rows=$(mktemp)
-trap 'rm -f "$fresh" "$fresh_sched" "$cells_base" "$cells_fresh" "$fresh_serve" "$serve_base" "$serve_fresh_rows"' EXIT
-serve_rows "$SERVE" > "$serve_base"
-serve_rows "$fresh_serve" > "$serve_fresh_rows"
-[ "$(grep -c . "$serve_base")" -gt 1 ] || { echo "could not parse closed regime from $SERVE"; exit 1; }
+  serve_base=$(mktmp)
+  serve_fresh_rows=$(mktmp)
+  serve_rows "$SERVE" > "$serve_base"
+  serve_rows "$fresh_serve" > "$serve_fresh_rows"
+  [ "$(grep -c . "$serve_base")" -gt 1 ] || { echo "could not parse closed regime from $SERVE"; exit 1; }
 
-if compare_rows "$SERVE" "$serve_base" "$serve_fresh_rows"; then
-  echo "OK: BENCH_serve deterministic totals unchanged"
-else
-  echo
-  echo "SERVE DRIFT: closed-regime totals differ from $SERVE (named rows above)."
-  echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
-  exit 1
+  if compare_rows "$SERVE" "$serve_base" "$serve_fresh_rows"; then
+    echo "OK: BENCH_serve deterministic totals unchanged"
+  else
+    echo
+    echo "SERVE DRIFT: closed-regime totals differ from $SERVE (named rows above)."
+    echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
+    exit 1
+  fi
+fi
+
+# The vectorization gate: re-run bench_vec at the parameters pinned in
+# the committed capture and compare the deterministic totals per backend
+# (work units, result rows, simulated TTI — identical with the kernels
+# off and on by the equivalence contract, so one set of columns covers
+# both modes). Wall clocks and the speedup ratio are trajectory data and
+# stripped; the re-run re-asserts the off/on equivalence in-binary, and
+# on hosts with >1 CPU the vectorized speedup.
+if want vec; then
+  VEC=docs/baselines/BENCH_vec.json
+  [ -f "$VEC" ] || { echo "missing $VEC — run scripts/capture_baselines.sh first"; exit 1; }
+
+  vec_scale=$(sed -nE 's/.*"scale": ([0-9.]+).*/\1/p' "$VEC" | head -1)
+  vec_seed=$(sed -nE 's/.*"seed": ([0-9]+).*/\1/p' "$VEC" | head -1)
+  vec_reps=$(sed -nE 's/.*"reps": ([0-9]+).*/\1/p' "$VEC" | head -1)
+  vec_threads=$(sed -nE 's/.*"threads": ([0-9]+).*/\1/p' "$VEC" | head -1)
+  vec_shards=$(sed -nE 's/.*"shards": ([0-9]+).*/\1/p' "$VEC" | head -1)
+
+  fresh_vec=$(mktmp)
+  cargo run --release -q -p kgdual-bench --bin bench_vec -- \
+    --scale "$vec_scale" --seed "$vec_seed" --reps "$vec_reps" \
+    --threads "$vec_threads" --shards "$vec_shards" \
+    --assert-speedup true > "$fresh_vec"
+
+  # Flatten each backend into one keyed TSV row (backend/workload key,
+  # deterministic columns only) so compare_rows can name what moved.
+  vec_rows() {
+    {
+      printf '# backend\tworkload\ttotal_work\tresult_rows\tsim_tti_ns\n'
+      sed -nE 's/.*"backend": "([a-z]+)", "workload": "([a-z]+)", "total_work": ([0-9]+), "result_rows": ([0-9]+), "sim_tti_ns": ([0-9]+).*/\1\t\2\t\3\t\4\t\5/p' "$1"
+    }
+  }
+
+  vec_base=$(mktmp)
+  vec_fresh_rows=$(mktmp)
+  vec_rows "$VEC" > "$vec_base"
+  vec_rows "$fresh_vec" > "$vec_fresh_rows"
+  [ "$(grep -c . "$vec_base")" -gt 1 ] || { echo "could not parse backend rows from $VEC"; exit 1; }
+
+  if compare_rows "$VEC" "$vec_base" "$vec_fresh_rows"; then
+    echo "OK: BENCH_vec deterministic totals unchanged"
+  else
+    echo
+    echo "VEC DRIFT: per-backend totals differ from $VEC (named rows above)."
+    echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
+    exit 1
+  fi
 fi
