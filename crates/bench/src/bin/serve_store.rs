@@ -88,6 +88,10 @@ fn run<B: GraphBackend + Send + Sync + 'static>(args: &BenchArgs) {
     let config = ServeConfig {
         addr: format!("127.0.0.1:{}", args.port),
         admission: AdmissionConfig::new(queue_cap, args.clients),
+        // `--trace-out spans.jsonl` flushes the trace ring buffers there
+        // during the graceful drain, so the final requests' span trees
+        // survive process exit.
+        trace_out: args.get("trace-out").map(std::path::PathBuf::from),
         ..ServeConfig::default()
     };
     let handle = Server::start(store, sched, config).expect("bind serve address");

@@ -39,7 +39,9 @@ pub use dual::{DualDesign, DualStore};
 pub use error::CoreError;
 pub use identifier::{identify, ComplexSubquery};
 pub use persist::{restore_checkpoint, save_checkpoint, RestoreReport};
-pub use processor::{process, process_relational, process_shared, process_with_views};
+pub use processor::{
+    process, process_relational, process_shared, process_shared_explain, process_with_views,
+};
 pub use processor::{QueryOutcome, Route};
 pub use results::ResultSet;
 pub use tuner::{NoopTuner, PhysicalTuner, TuningOutcome};

@@ -51,6 +51,20 @@ pub enum Route {
     Empty,
 }
 
+impl Route {
+    /// Stable lowercase name (the wire spelling and the EXPLAIN plan's
+    /// `route` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Relational => "relational",
+            Route::Graph => "graph",
+            Route::Dual => "dual",
+            Route::ViewAssisted => "view_assisted",
+            Route::Empty => "empty",
+        }
+    }
+}
+
 /// Everything measured about one query execution.
 #[derive(Clone, Debug)]
 pub struct QueryOutcome {
@@ -71,6 +85,12 @@ pub struct QueryOutcome {
     pub graph_stats: ExecStats,
     /// Whether a complex subquery was identified.
     pub had_complex_subquery: bool,
+    /// The `EXPLAIN` plan: operator tree with the cost-model estimates
+    /// that chose it. Present when a plan capture was active (explain
+    /// requested or observability recording on).
+    pub plan: Option<kgdual_vec::PlanDesc>,
+    /// The `EXPLAIN ANALYZE` profile, index-parallel to `plan`.
+    pub profile: Option<kgdual_vec::QueryProfile>,
 }
 
 impl QueryOutcome {
@@ -128,6 +148,8 @@ fn assemble(query: &Query, pred_vars: Vec<Var>, t0: Instant, run: RoutedRun) -> 
         rel_stats: run.rel_stats,
         graph_stats: run.graph_stats,
         had_complex_subquery: run.had_complex_subquery,
+        plan: None,
+        profile: None,
     }
 }
 
@@ -215,6 +237,56 @@ fn relational_run<B: GraphBackend>(
 /// at the end of query process" (§3.3) — but its peak-unit accounting
 /// persists so callers can report the footprint of migrated intermediates.
 pub fn process_shared<B: GraphBackend>(
+    dual: &DualStore<B>,
+    temp: &mut TempSpace,
+    query: &Query,
+) -> Result<QueryOutcome, CoreError> {
+    process_shared_explain(dual, temp, query, false)
+}
+
+/// [`process_shared`] with an explicit EXPLAIN request. A plan/profile
+/// capture runs when `explain` is set **or** observability recording is
+/// on (so `/metrics` sees estimate-vs-actual q-errors in steady state);
+/// the resulting [`kgdual_vec::PlanDesc`] and [`kgdual_vec::QueryProfile`]
+/// ride on the outcome. Capture never changes what executes: results,
+/// routes, and work units are byte-identical with it on or off.
+pub fn process_shared_explain<B: GraphBackend>(
+    dual: &DualStore<B>,
+    temp: &mut TempSpace,
+    query: &Query,
+    explain: bool,
+) -> Result<QueryOutcome, CoreError> {
+    let capture = explain || kgdual_obs::enabled();
+    if capture {
+        kgdual_vec::plan::begin_capture();
+    }
+    let result = process_shared_inner(dual, temp, query);
+    let captured = if capture {
+        kgdual_vec::plan::end_capture()
+    } else {
+        None
+    };
+    let mut out = result?;
+    if let Some(cap) = captured {
+        if kgdual_obs::enabled() {
+            kgdual_vec::plan::record_q_errors(&cap.steps, &cap.ops);
+        }
+        out.profile = Some(kgdual_vec::QueryProfile {
+            ops: cap.ops,
+            total_work: out.total_work(),
+            total_wall_ns: out.elapsed.as_nanos() as u64,
+        });
+        out.plan = Some(kgdual_vec::PlanDesc {
+            route: out.route.name(),
+            vec: kgdual_vec::enabled(),
+            shards: dual.rel().shard_count(),
+            steps: cap.steps,
+        });
+    }
+    Ok(out)
+}
+
+fn process_shared_inner<B: GraphBackend>(
     dual: &DualStore<B>,
     temp: &mut TempSpace,
     query: &Query,

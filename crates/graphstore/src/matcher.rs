@@ -20,8 +20,41 @@ use kgdual_relstore::{Bindings, ExecContext, ExecError};
 use kgdual_sparql::{EncPattern, EncodedQuery, PredSlot, Slot, VarId};
 use kgdual_vec::{
     cost::{self, Card},
-    gather_columns, EmitSrc, BATCH,
+    gather_columns, plan, EmitSrc, BATCH,
 };
+use std::cell::Cell;
+
+/// Deepest query an EXPLAIN capture profiles per-operator (queries with
+/// more ordered patterns still capture their plan steps, just without
+/// per-depth actuals). Sized to the fixed counter array below; well
+/// above any workload query.
+const MAX_PROFILE_DEPTH: usize = 16;
+
+thread_local! {
+    /// Plan-step index of the in-flight captured query's *first* ordered
+    /// pattern (`usize::MAX` when no EXPLAIN capture is active). The
+    /// matcher's operators are one step per ordered pattern, created
+    /// contiguously in [`execute`], so depth `d` records to `BASE + d` —
+    /// one thread-local read on the traversal hot path instead of
+    /// re-deriving the step id per binding.
+    static STEP_BASE: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Rows produced per traversal depth during one captured query. Plain
+    /// `Cell` increments on the per-binding hot path (the matcher extends
+    /// one binding at a time, so anything heavier — like the collector's
+    /// `RefCell` — would show up in the obs overhead gate); [`execute`]
+    /// flushes them into the collector once per query.
+    static DEPTH_ROWS: [Cell<u64>; MAX_PROFILE_DEPTH] =
+        const { [const { Cell::new(0) }; MAX_PROFILE_DEPTH] };
+}
+
+/// Count one row produced at `depth` of the captured traversal.
+#[inline]
+fn count_depth_rows(depth: usize, rows: u64) {
+    DEPTH_ROWS.with(|r| {
+        let c = &r[depth];
+        c.set(c.get() + rows);
+    });
+}
 
 /// Execute a compiled BGP against a graph topology.
 pub fn execute<T: Topology>(
@@ -30,13 +63,52 @@ pub fn execute<T: Topology>(
     ctx: &mut ExecContext,
 ) -> Result<Bindings, GraphExecError> {
     let order = order_patterns(index, q);
+
+    // EXPLAIN capture: one plan step per ordered pattern, priced with the
+    // same bound-estimate the ordering used. The traversal is pipelined,
+    // so per-step actuals report *rows produced at that depth*; work is
+    // accounted at the query level only (operators are not separable).
+    if plan::capturing() {
+        let mut bound: Vec<VarId> = Vec::new();
+        for (d, &i) in order.iter().enumerate() {
+            let pat = &q.patterns[i];
+            let (op, kind) = if d == 0 {
+                ("graph_seed", plan::OpKind::Scan)
+            } else {
+                ("graph_extend", plan::OpKind::Join)
+            };
+            let step = plan::note_step(op, kind, i, bound_estimate(index, pat, &bound));
+            if d == 0 && order.len() <= MAX_PROFILE_DEPTH {
+                STEP_BASE.set(step);
+            }
+            for v in pat.vars() {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+        }
+        DEPTH_ROWS.with(|r| r.iter().for_each(|c| c.set(0)));
+    }
+
     let mut assignment: Vec<Option<NodeId>> = vec![None; q.vars.len()];
     let mut out = Bindings::new(q.projection.clone());
     let limit = q.limit.unwrap_or(usize::MAX);
     // With DISTINCT we cannot stop at `limit` raw matches.
     let stop_at = if q.distinct { usize::MAX } else { limit };
 
-    extend(index, q, &order, 0, &mut assignment, &mut out, stop_at, ctx)?;
+    let r = extend(index, q, &order, 0, &mut assignment, &mut out, stop_at, ctx);
+    let base = STEP_BASE.get();
+    if base != usize::MAX {
+        // Flush the per-depth row counters into the collector (one pass
+        // here instead of a collector call per binding).
+        DEPTH_ROWS.with(|rows| {
+            for (d, c) in rows.iter().take(order.len()).enumerate() {
+                plan::note_actual(base + d, c.take(), 0, 0);
+            }
+        });
+    }
+    STEP_BASE.set(usize::MAX);
+    r?;
 
     if q.distinct {
         out.dedup_rows();
@@ -56,18 +128,7 @@ pub fn execute<T: Topology>(
 /// winners) are thereby deferred until both endpoints are pinned and they
 /// degrade to cheap existence probes.
 fn order_patterns<T: Topology>(index: &T, q: &EncodedQuery) -> Vec<usize> {
-    let estimate = |pat: &EncPattern, bound: &[VarId]| -> f64 {
-        let s_bound =
-            matches!(pat.s, Slot::Const(_)) || pat.s.as_var().is_some_and(|v| bound.contains(&v));
-        let o_bound =
-            matches!(pat.o, Slot::Const(_)) || pat.o.as_var().is_some_and(|v| bound.contains(&v));
-        match pat.p {
-            PredSlot::Const(p) => {
-                cost::bound_cardinality(card_of(&index.partition_stats(p)), s_bound, o_bound)
-            }
-            PredSlot::Var(_) => cost::var_pred_cardinality(index.edge_count(), s_bound || o_bound),
-        }
-    };
+    let estimate = |pat: &EncPattern, bound: &[VarId]| bound_estimate(index, pat, bound);
 
     let mut remaining: Vec<usize> = (0..q.patterns.len()).collect();
     let mut order = Vec::with_capacity(remaining.len());
@@ -101,6 +162,22 @@ fn order_patterns<T: Topology>(index: &T, q: &EncodedQuery) -> Vec<usize> {
         }
     }
     order
+}
+
+/// Expected extension fan-out of `pat` given the already-bound variables —
+/// the ordering heuristic's pricing function, shared with EXPLAIN so the
+/// plan's printed estimates are exactly the values the order was chosen by.
+fn bound_estimate<T: Topology>(index: &T, pat: &EncPattern, bound: &[VarId]) -> f64 {
+    let s_bound =
+        matches!(pat.s, Slot::Const(_)) || pat.s.as_var().is_some_and(|v| bound.contains(&v));
+    let o_bound =
+        matches!(pat.o, Slot::Const(_)) || pat.o.as_var().is_some_and(|v| bound.contains(&v));
+    match pat.p {
+        PredSlot::Const(p) => {
+            cost::bound_cardinality(card_of(&index.partition_stats(p)), s_bound, o_bound)
+        }
+        PredSlot::Var(_) => cost::var_pred_cardinality(index.edge_count(), s_bound || o_bound),
+    }
 }
 
 /// The shared cost model's view of a partition's statistics. The matcher's
@@ -219,6 +296,11 @@ fn try_vec_seed_tail<T: Topology>(
         );
         out.extend_cells(&staging);
         charge(ctx.charge_join(emitted as u64))?;
+        let base = STEP_BASE.get();
+        if base != usize::MAX {
+            count_depth_rows(depth, emitted as u64);
+            plan::note_step_batches(base + depth, 1);
+        }
     }
 }
 
@@ -281,6 +363,12 @@ fn extend<T: Topology>(
             .collect();
         charge(ctx.charge_join(1))?;
         out.push_row(&row);
+        // The deepest operator's actual rows are counted at the push site
+        // (not at bind time) so a LIMIT satisfied mid-chunk reports the
+        // same count as the vectorized tail gather.
+        if STEP_BASE.get() != usize::MAX {
+            count_depth_rows(order.len() - 1, 1);
+        }
         return Ok(());
     }
 
@@ -428,6 +516,11 @@ fn bind_and_recurse<T: Topology>(
         }
     }
     if ok {
+        // Intermediate depths count each successful extension; the final
+        // depth is counted where its row is pushed (see `extend`).
+        if STEP_BASE.get() != usize::MAX && depth + 1 < order.len() {
+            count_depth_rows(depth, 1);
+        }
         extend(index, q, order, depth + 1, assignment, out, stop_at, ctx)?;
     }
     for slot in bound_here.iter().flatten() {

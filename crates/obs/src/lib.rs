@@ -71,8 +71,8 @@ pub use metrics::{
     BUCKETS,
 };
 pub use trace::{
-    current_task_class, set_task_class, span, JsonLinesSink, MemorySink, NoopRecorder, SpanGuard,
-    SpanRecord, TraceRecorder, TraceSink,
+    current_span_id, current_task_class, set_current_parent, set_task_class, span, JsonLinesSink,
+    MemorySink, NoopRecorder, SpanGuard, SpanRecord, TraceRecorder, TraceSink,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -257,6 +257,27 @@ pub fn current_task_class() -> Option<&'static str> {
     TASK_CLASS.with(|c| c.get())
 }
 
+/// The innermost live span id on this thread (0 when none, or when
+/// observability is off). Capture this at task-submission time and
+/// replay it with [`set_current_parent`] on the executing worker to
+/// extend parent linkage across threads — the cross-task half of the
+/// causal tree the scheduler builds around every submitted task.
+pub fn current_span_id() -> u64 {
+    if !crate::enabled() {
+        return 0;
+    }
+    CURRENT_SPAN.with(|c| c.get())
+}
+
+/// Install `parent` as this thread's current span context, returning the
+/// previous value so the caller can restore it when the borrowed context
+/// ends. The next span opened on this thread records `parent` as its
+/// parent id, linking work executed here (e.g. a scheduler task body)
+/// under the span that submitted it on another thread.
+pub fn set_current_parent(parent: u64) -> u64 {
+    CURRENT_SPAN.with(|c| c.replace(parent))
+}
+
 struct ActiveSpan {
     rec: SpanRecord,
 }

@@ -10,7 +10,7 @@ use crate::table::{PredTable, TableStats};
 use kgdual_model::fx::FxHashMap;
 use kgdual_model::{NodeId, PartitionSet, PredId, Triple};
 use kgdual_sparql::{EncPattern, EncodedQuery, PredSlot, Slot, VarId};
-use kgdual_vec::{cost, EmitSrc, BATCH};
+use kgdual_vec::{cost, plan, EmitSrc, BATCH};
 use std::sync::Arc;
 
 /// The relational store: one [`PredTable`] per predicate, spread across
@@ -208,14 +208,62 @@ impl RelStore {
         let mut stats_of = |p: PredId| self.stats(p);
         let order = planner::order_patterns(q, &seed_vars, &mut stats_of, self.total_triples());
 
+        // EXPLAIN capture: when a plan collector is active on this thread,
+        // describe each physical operator with the same bound-estimate
+        // arithmetic the greedy order just used, and record its actuals
+        // (output rows, work-unit delta) as it executes. Estimates and
+        // per-operator work are deterministic across backends × shards ×
+        // threads × vec; batch counts and wall time are observational.
+        let capturing = plan::capturing();
+        let mut bound: Vec<VarId> = seed_vars.clone();
+
         let mut acc: Option<Bindings> = seed.cloned();
         for &idx in &order {
             let pat = &q.patterns[idx];
             ctx.stats.tables_touched += 1;
 
+            let step = if capturing {
+                let est = planner::bound_estimate(pat, &bound, &mut stats_of, self.total_triples());
+                let (op, kind) = if pat.vars().next().is_none() {
+                    ("ground_filter", plan::OpKind::Filter)
+                } else if let Some(a) = &acc {
+                    if self.should_inl(a, pat) {
+                        ("inl_join", plan::OpKind::Join)
+                    } else {
+                        ("hash_join", plan::OpKind::Join)
+                    }
+                } else {
+                    (self.access_path_op(pat), plan::OpKind::Scan)
+                };
+                plan::note_step(op, kind, idx, est)
+            } else {
+                plan::NO_STEP
+            };
+            let op_work = if capturing { ctx.stats.work_units() } else { 0 };
+            let op_batches = if capturing {
+                kgdual_vec::batches_emitted()
+            } else {
+                0
+            };
+            let op_t0 = capturing.then(std::time::Instant::now);
+            let mut finish_step = |rows: u64, stats: &ExecStats| {
+                if capturing {
+                    let wall = op_t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+                    plan::note_actual(step, rows, stats.work_units() - op_work, wall);
+                    plan::note_step_batches(step, kgdual_vec::batches_emitted() - op_batches);
+                    for v in pat.vars() {
+                        if !bound.contains(&v) {
+                            bound.push(v);
+                        }
+                    }
+                }
+            };
+
             // Fully-ground pattern: a pure existence filter.
             if pat.vars().next().is_none() {
-                if !self.ground_pattern_holds(pat, ctx)? {
+                let holds = self.ground_pattern_holds(pat, ctx)?;
+                finish_step(u64::from(holds), &ctx.stats);
+                if !holds {
                     return Ok(empty_result(q));
                 }
                 continue;
@@ -232,6 +280,7 @@ impl RelStore {
                     }
                 }
             };
+            finish_step(next.len() as u64, &ctx.stats);
             if next.is_empty() {
                 return Ok(empty_result(q));
             }
@@ -269,6 +318,34 @@ impl RelStore {
         let rows = table.lookup_s(s);
         ctx.charge_probe(rows.len() as u64 + 1)?;
         Ok(rows.iter().any(|&(_, ro)| ro == o))
+    }
+
+    /// The access-path operator label [`Self::materialize_pattern`] will
+    /// choose for `pat` as a leaf — used only to name EXPLAIN plan steps;
+    /// the execution-time decision is re-made (identically) when the
+    /// pattern materializes.
+    fn access_path_op(&self, pat: &EncPattern) -> &'static str {
+        match pat.p {
+            PredSlot::Const(p) => {
+                let Some(table) = self.table(p) else {
+                    return "scan";
+                };
+                let st = table.stats();
+                let threshold = self.cfg.index_selectivity_threshold;
+                let use_s_index = !self.cfg.force_scans
+                    && matches!(pat.s, Slot::Const(_))
+                    && cost::use_secondary_index(st.rows_per_subject(), st.rows, threshold);
+                let use_o_index = !self.cfg.force_scans
+                    && matches!(pat.o, Slot::Const(_))
+                    && cost::use_secondary_index(st.rows_per_object(), st.rows, threshold);
+                if use_s_index || use_o_index {
+                    "index_scan"
+                } else {
+                    "scan"
+                }
+            }
+            PredSlot::Var(_) => "union_scan",
+        }
     }
 
     /// Decide index-nested-loop vs hash join for extending `acc` by `pat`.

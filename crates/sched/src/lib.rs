@@ -205,6 +205,12 @@ type BoxedRun = Box<dyn FnOnce() + Send + 'static>;
 struct Task {
     class: TaskClass,
     scope: Arc<ScopeState>,
+    /// Span id live on the submitting thread at spawn time (0 when none
+    /// or when observability is off). The executing worker installs it as
+    /// its span context so the task's `task` span — and everything opened
+    /// inside it — parents into the submitter's span tree even across
+    /// threads.
+    parent_span: u64,
     run: BoxedRun,
 }
 
@@ -313,12 +319,19 @@ impl Inner {
         // task body (query, shard scan, tuning…) carry it; restore the
         // previous tag afterwards because workers nest via helping.
         let prev_class = kgdual_obs::set_task_class(Some(class.name()));
+        // Borrow the submitter's span context: the `task` span below
+        // parents onto the span that was live at spawn time, rooting
+        // cross-thread fan-out (e.g. a served request's Query task and
+        // its ShardScan children) in one tree. Restored afterwards
+        // because workers nest via helping.
+        let prev_parent = kgdual_obs::set_current_parent(task.parent_span);
         let timer = kgdual_obs::timer();
         self.running.fetch_add(1, Ordering::AcqRel);
         let result = {
             let _span = kgdual_obs::span!("task", class = class as usize);
             panic::catch_unwind(AssertUnwindSafe(task.run))
         };
+        kgdual_obs::set_current_parent(prev_parent);
         if let Some(ns) = timer.elapsed_ns() {
             obs().task_wall[class as usize].record(ns);
             obs().busy_ns.add(ns);
@@ -606,6 +619,7 @@ impl<'sched, 'env> Scope<'sched, 'env> {
         self.sched.inner.push(Task {
             class,
             scope: Arc::clone(&self.state),
+            parent_span: kgdual_obs::current_span_id(),
             run,
         });
     }

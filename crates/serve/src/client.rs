@@ -33,6 +33,10 @@ pub struct QueryReply {
     pub route: String,
     /// Store reconfiguration epoch the query observed.
     pub epoch: u64,
+    /// The `EXPLAIN` plan object, when the request asked for one.
+    pub plan: Option<Json>,
+    /// The `EXPLAIN ANALYZE` profile object (`"explain": "analyze"`).
+    pub profile: Option<Json>,
 }
 
 impl QueryReply {
@@ -131,6 +135,18 @@ impl ServeClient {
         query: &str,
         deadline_ms: Option<u64>,
     ) -> Result<QueryReply, ClientError> {
+        self.query_explain(query, deadline_ms, None)
+    }
+
+    /// Submit one query with an `"explain"` mode (`"plan"` or
+    /// `"analyze"`); the reply then carries [`QueryReply::plan`] (and,
+    /// for analyze, [`QueryReply::profile`]) alongside the usual rows.
+    pub fn query_explain(
+        &mut self,
+        query: &str,
+        deadline_ms: Option<u64>,
+        explain: Option<&str>,
+    ) -> Result<QueryReply, ClientError> {
         let mut body = format!(
             "{{\"client\":{},\"query\":{}",
             json::escape(&self.client_id),
@@ -138,6 +154,9 @@ impl ServeClient {
         );
         if let Some(d) = deadline_ms {
             body.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        if let Some(mode) = explain {
+            body.push_str(&format!(",\"explain\":{}", json::escape(mode)));
         }
         body.push('}');
         let response = self.roundtrip("POST", "/query", Some(&body))?;
@@ -217,6 +236,8 @@ fn parse_query_reply(response: &proto::Response) -> Result<QueryReply, ClientErr
         sim_latency_ns: field_u64("sim_latency_ns"),
         route: field_str("route").unwrap_or_default(),
         epoch: field_u64("epoch"),
+        plan: body.get("plan").cloned(),
+        profile: body.get("profile").cloned(),
     })
 }
 

@@ -34,6 +34,9 @@ pub struct ServeObs {
     pub queue_depth: Gauge,
     /// End-to-end request wall time (arrival to response write), ns.
     pub request_wall_ns: Histogram,
+    /// Admission-to-execution queue wait, ns: from buying the admission
+    /// ticket to the Query task starting on a scheduler worker.
+    pub queue_wait_ns: Histogram,
 }
 
 /// The serve instrument handles, registering them on first call.
@@ -53,6 +56,7 @@ pub fn serve_obs() -> &'static ServeObs {
             http_errors: m.counter("serve_http_errors"),
             queue_depth: m.gauge("serve_queue_depth"),
             request_wall_ns: m.histogram("serve_request_wall_ns"),
+            queue_wait_ns: m.histogram("serve_queue_wait_ns"),
         }
     })
 }

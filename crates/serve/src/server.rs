@@ -23,7 +23,7 @@
 //!
 //! Determinism: request handling introduces no new nondeterminism —
 //! rows, row order, work units, simulated latency, and route come
-//! straight from [`process_shared`], so a serial replay through a
+//! straight from [`process_shared_explain`], so a serial replay through a
 //! socket is byte-identical to the batch path (pinned by the
 //! `serve_equivalence` suite in `kgdual-bench`).
 
@@ -31,7 +31,7 @@ use crate::admission::{Admission, AdmissionConfig, AdmissionController, RejectRe
 use crate::json::{self, Json};
 use crate::obs::serve_obs;
 use crate::proto::{self, ProtoError, Request, Status};
-use kgdual_core::processor::{process_shared, QueryOutcome, Route};
+use kgdual_core::processor::{process_shared_explain, QueryOutcome, Route};
 use kgdual_exec::SharedStore;
 use kgdual_graphstore::GraphBackend;
 use kgdual_relstore::TempSpace;
@@ -58,6 +58,10 @@ pub struct ServeConfig {
     /// Deadline applied when a request carries none. `None` means
     /// unbounded.
     pub default_deadline_ms: Option<u64>,
+    /// Where graceful shutdown flushes the trace ring buffers (JSON
+    /// lines). `None` skips the flush; with observability off there are
+    /// no spans and the file is created empty.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +71,7 @@ impl Default for ServeConfig {
             admission: AdmissionConfig::new(64, 8),
             max_connections: 256,
             default_deadline_ms: None,
+            trace_out: None,
         }
     }
 }
@@ -143,6 +148,9 @@ struct Inner {
     /// Pooled temp spaces, reused across requests like the batch
     /// executor's worker pool.
     temps: parking_lot::Mutex<Vec<TempSpace>>,
+    /// Trace-flush destination for graceful shutdown (from
+    /// [`ServeConfig::trace_out`]).
+    trace_out: Option<std::path::PathBuf>,
 }
 
 /// A running server. Dropping the handle stops accepting and closes
@@ -183,6 +191,7 @@ impl Server {
             stopping: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
             temps: parking_lot::Mutex::new(Vec::new()),
+            trace_out: config.trace_out.clone(),
         });
 
         let accept_inner = Arc::clone(&inner);
@@ -267,6 +276,24 @@ impl ServeHandle {
         }
         if let Some(t) = self.accept_thread.lock().unwrap().take() {
             let _ = t.join();
+        }
+        // All responses are written and every handler is gone: flush the
+        // trace ring buffers so the spans of the final requests survive
+        // process exit.
+        if let Some(path) = &inner.trace_out {
+            match kgdual_obs::JsonLinesSink::create(path) {
+                Ok(mut sink) => {
+                    let n = kgdual_obs::global().trace().drain_to(&mut sink);
+                    if let Err(e) = sink.flush() {
+                        eprintln!("serve: trace flush to {} failed: {e}", path.display());
+                    } else {
+                        eprintln!("serve: flushed {n} spans to {}", path.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("serve: cannot open trace sink {}: {e}", path.display());
+                }
+            }
         }
         inner.stats.snapshot()
     }
@@ -451,6 +478,7 @@ where
             // and a scrape that races the first query must still see the
             // serve_* families (at zero) in the snapshot.
             let wall = serve_obs().request_wall_ns.snapshot();
+            let queue_wait = serve_obs().queue_wait_ns.snapshot();
             let snap = kgdual_obs::global().metrics().snapshot();
             let ok = if request.query_param("format") == Some("json") {
                 proto::write_json(stream, Status::Ok, &snap.to_json(), draining)
@@ -462,6 +490,14 @@ where
                     text.push_str(&format!(
                         "serve_request_wall_ns_{label} {}\n",
                         wall.quantile(q)
+                    ));
+                }
+                // Same for admission-queue wait, the scheduling-pressure
+                // signal the admission controller's cap is tuned against.
+                for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                    text.push_str(&format!(
+                        "serve_queue_wait_ns_{label} {}\n",
+                        queue_wait.quantile(q)
                     ));
                 }
                 proto::write_response(
@@ -531,6 +567,15 @@ where
     }
 }
 
+/// The `"explain"` request field: return the plan, or the plan plus the
+/// execution profile. Either way the query still executes fully — rows,
+/// digests, and stats are unchanged; EXPLAIN only adds response fields.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Explain {
+    Plan,
+    Analyze,
+}
+
 /// Releases an admission ticket when the response has been written
 /// (or the handler unwound), keeping the obs gauge in lockstep.
 struct Ticket<'a> {
@@ -577,6 +622,12 @@ where
     B: GraphBackend + Send + Sync + 'static,
 {
     let wall = kgdual_obs::timer();
+    // The request's root span: everything this request causes — the
+    // admission decision, the Query-class task (linked across the spawn
+    // via the scheduler's parent capture), and that task's ShardScan
+    // fan-out — hangs off this span id, so a drained trace reconstructs
+    // one rooted tree per request.
+    let _req_span = kgdual_obs::span!("request");
     let parsed = request
         .body_str()
         .map_err(|e| e.to_string())
@@ -611,6 +662,24 @@ where
         .get("deadline_ms")
         .and_then(Json::as_u64)
         .or(config.default_deadline_ms);
+    let explain = match body.get("explain") {
+        None => None,
+        Some(v) => match v.as_str() {
+            Some("plan") => Some(Explain::Plan),
+            Some("analyze") => Some(Explain::Analyze),
+            _ => {
+                inner.stats.http_errors.fetch_add(1, Ordering::Relaxed);
+                serve_obs().http_errors.inc();
+                let _ = proto::write_json(
+                    stream,
+                    Status::BadRequest,
+                    "{\"status\":\"error\",\"reason\":\"invalid `explain` (use \\\"plan\\\" or \\\"analyze\\\")\"}",
+                    draining,
+                );
+                return true;
+            }
+        },
+    };
 
     let expired = |at: Instant| {
         deadline_ms.is_some_and(|d| at.duration_since(arrival).as_millis() as u64 >= d)
@@ -633,7 +702,11 @@ where
         return true;
     }
 
-    match inner.admission.try_admit(&client) {
+    let admitted = {
+        let _span = kgdual_obs::span!("admission");
+        inner.admission.try_admit(&client)
+    };
+    match admitted {
         Admission::Admitted => {}
         Admission::Rejected(reason) => {
             match reason {
@@ -693,12 +766,16 @@ where
         Done(Box<Result<QueryOutcome, kgdual_core::CoreError>>),
         Expired,
     }
+    let queue_wait = kgdual_obs::timer();
     let outcome = {
         let guard = store.read();
         let dual = &*guard;
         let slot: Mutex<Option<Exec>> = Mutex::new(None);
         sched.scope(|s| {
             s.spawn(TaskClass::Query, || {
+                if let Some(ns) = queue_wait.elapsed_ns() {
+                    serve_obs().queue_wait_ns.record(ns);
+                }
                 // Deadline gate #2: queue time counts against the
                 // deadline; expired work is dropped before execution.
                 if expired(Instant::now()) {
@@ -706,7 +783,7 @@ where
                     return;
                 }
                 let mut temp = inner.temps.lock().pop().unwrap_or_default();
-                let result = process_shared(dual, &mut temp, &query);
+                let result = process_shared_explain(dual, &mut temp, &query, explain.is_some());
                 inner.temps.lock().push(temp);
                 *slot.lock().unwrap() = Some(Exec::Done(Box::new(result)));
             });
@@ -752,7 +829,7 @@ where
             }
             Ok(out) => {
                 inner.stats.completed.fetch_add(1, Ordering::Relaxed);
-                let body = outcome_json(&out, store.epoch());
+                let body = outcome_json(&out, store.epoch(), explain);
                 proto::write_json(stream, Status::Ok, &body, draining).is_ok()
             }
         },
@@ -767,19 +844,13 @@ where
 /// Route names on the wire (stable; the equivalence suite compares
 /// them against the batch path's `Route` values).
 pub fn route_name(route: Route) -> &'static str {
-    match route {
-        Route::Relational => "relational",
-        Route::Graph => "graph",
-        Route::Dual => "dual",
-        Route::ViewAssisted => "view_assisted",
-        Route::Empty => "empty",
-    }
+    route.name()
 }
 
 /// Serialize a successful outcome for the wire. Row values are the raw
 /// `NodeId` u32s in execution order — order is part of the determinism
 /// contract (it pins `LIMIT` semantics), so no sorting happens here.
-fn outcome_json(out: &QueryOutcome, epoch: u64) -> String {
+fn outcome_json(out: &QueryOutcome, epoch: u64, explain: Option<Explain>) -> String {
     let mut body = String::with_capacity(128 + out.results.len() * out.vars.len() * 8);
     body.push_str("{\"status\":\"ok\",\"vars\":[");
     for (i, v) in out.vars.iter().enumerate() {
@@ -811,12 +882,23 @@ fn outcome_json(out: &QueryOutcome, epoch: u64) -> String {
     }
     let _ = write!(
         body,
-        "],\"row_count\":{},\"work_units\":{},\"sim_latency_ns\":{},\"route\":\"{}\",\"epoch\":{}}}",
+        "],\"row_count\":{},\"work_units\":{},\"sim_latency_ns\":{},\"route\":\"{}\",\"epoch\":{}",
         out.results.len(),
         out.total_work(),
         out.simulated_latency().as_nanos(),
         route_name(out.route),
         epoch,
     );
+    if explain.is_some() {
+        if let Some(plan) = &out.plan {
+            let _ = write!(body, ",\"plan\":{}", plan.to_json());
+        }
+        if explain == Some(Explain::Analyze) {
+            if let Some(profile) = &out.profile {
+                let _ = write!(body, ",\"profile\":{}", profile.to_json());
+            }
+        }
+    }
+    body.push('}');
     body
 }

@@ -44,9 +44,11 @@
 pub mod batch;
 pub mod cost;
 pub mod obs;
+pub mod plan;
 
 pub use batch::{gather_columns, gather_pairs, EmitSrc, BATCH};
 pub use obs::{vec_obs, VecObs};
+pub use plan::{OpKind, OpProfile, PlanDesc, PlanStep, QueryProfile};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;

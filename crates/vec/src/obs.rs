@@ -19,6 +19,12 @@ pub struct VecObs {
     /// intra-query-parallelism follow-up: probe ranges ride ShardScan
     /// tasks on the unified scheduler).
     pub probe_dispatches: kgdual_obs::Counter,
+    /// Estimate-vs-actual q-error of scan-family operators (rounded to
+    /// the nearest integer ratio; fed per profiled query by
+    /// [`crate::plan::record_q_errors`]).
+    pub plan_qerror_scan: kgdual_obs::Histogram,
+    /// Estimate-vs-actual q-error of join-family operators.
+    pub plan_qerror_join: kgdual_obs::Histogram,
 }
 
 /// The process-wide vec instruments (lazily registered).
@@ -32,6 +38,8 @@ pub fn vec_obs() -> &'static VecObs {
             scan_batches: m.counter("vec_scan_batches"),
             join_batches: m.counter("vec_join_batches"),
             probe_dispatches: m.counter("vec_probe_dispatches"),
+            plan_qerror_scan: m.histogram("plan_qerror_scan"),
+            plan_qerror_join: m.histogram("plan_qerror_join"),
         }
     })
 }

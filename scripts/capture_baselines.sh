@@ -92,6 +92,17 @@ cargo run --release -q -p kgdual-bench --bin bench_serve -- \
   --assert-equivalence true \
   > "$OUT/BENCH_serve.json"
 
+echo "== kgdual-explain (explain_profile.json) =="
+# EXPLAIN ANALYZE profiles for the whole workload pool against a
+# DOTIL-tuned store: per query the operator tree with cost-model
+# estimates, actual rows, and work units, plus a plan_digest over the
+# deterministic fields only. Wall clocks and batch counts in the
+# profiles are machine-/config-dependent and informational; the
+# regression check compares the deterministic plan fields and digest.
+cargo run --release -q -p kgdual-bench --bin kgdual-explain -- \
+  --scale "$SCALE" --seed "$SEED" --threads 4 --shards 4 \
+  > "$OUT/explain_profile.json" 2>/dev/null
+
 echo "== capture_baselines (deterministic TSV) =="
 # --obs-out turns recording on for the capture and dumps the merged
 # metrics snapshot (counters, gauges, latency histograms) next to the

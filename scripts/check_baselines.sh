@@ -13,7 +13,7 @@
 # yago/rdb_gdb_dotil: sim_tti_ns 123 -> 456", not a bare unified diff.
 #
 # CHECK_ONLY selects a comma-separated subset of the sections
-# ({deterministic,sched,serve,vec}); unset runs everything. CI's
+# ({deterministic,sched,serve,explain,vec}); unset runs everything. CI's
 # perf-smoke job runs `CHECK_ONLY=vec scripts/check_baselines.sh` to get
 # the vectorization gate without re-running the whole battery.
 set -euo pipefail
@@ -196,6 +196,58 @@ if want serve; then
   else
     echo
     echo "SERVE DRIFT: closed-regime totals differ from $SERVE (named rows above)."
+    echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
+    exit 1
+  fi
+fi
+
+# The EXPLAIN profiles: re-run kgdual-explain at the parameters pinned
+# in the committed capture and compare only the deterministic plan
+# fields — per query the route and the plan object (operator sequence,
+# pattern indices, cost-model estimates), named row by row, plus the
+# plan_digest, which additionally covers the profile's deterministic
+# actual-rows/work-unit fields. Wall clocks and batch counts in the
+# committed profiles are machine-dependent and never compared.
+if want explain; then
+  EXPLAIN=docs/baselines/explain_profile.json
+  [ -f "$EXPLAIN" ] || { echo "missing $EXPLAIN — run scripts/capture_baselines.sh first"; exit 1; }
+
+  ex_scale=$(sed -nE 's/.*"scale": ([0-9.]+).*/\1/p' "$EXPLAIN" | head -1)
+  ex_seed=$(sed -nE 's/.*"seed": ([0-9]+).*/\1/p' "$EXPLAIN" | head -1)
+  ex_threads=$(sed -nE 's/.*"threads": ([0-9]+).*/\1/p' "$EXPLAIN" | head -1)
+  ex_shards=$(sed -nE 's/.*"shards": ([0-9]+).*/\1/p' "$EXPLAIN" | head -1)
+
+  fresh_explain=$(mktmp)
+  cargo run --release -q -p kgdual-bench --bin kgdual-explain -- \
+    --scale "$ex_scale" --seed "$ex_seed" --threads "$ex_threads" \
+    --shards "$ex_shards" > "$fresh_explain" 2>/dev/null
+
+  # One keyed TSV row per query: route + the full plan object (every
+  # field of which is deterministic at pinned capture parameters).
+  explain_rows() {
+    {
+      printf '# query\troute\tplan\n'
+      sed -nE 's/.*"idx": ([0-9]+), "query": .*"route": "([a-z_]+)", "plan": (\{.*\}), "profile".*/q\1\t\2\t\3/p' "$1"
+    }
+  }
+
+  explain_base=$(mktmp)
+  explain_fresh=$(mktmp)
+  explain_rows "$EXPLAIN" > "$explain_base"
+  explain_rows "$fresh_explain" > "$explain_fresh"
+  [ "$(grep -c . "$explain_base")" -gt 1 ] || { echo "could not parse query plans from $EXPLAIN"; exit 1; }
+
+  base_digest=$(sed -nE 's/.*"plan_digest": "([0-9a-f]+)".*/\1/p' "$EXPLAIN")
+  fresh_digest=$(sed -nE 's/.*"plan_digest": "([0-9a-f]+)".*/\1/p' "$fresh_explain")
+
+  if compare_rows "$EXPLAIN" "$explain_base" "$explain_fresh" \
+      && [ "$base_digest" = "$fresh_digest" ]; then
+    echo "OK: explain plans and plan_digest unchanged"
+  else
+    [ "$base_digest" = "$fresh_digest" ] || \
+      echo "  $EXPLAIN: plan_digest $base_digest -> $fresh_digest (deterministic plan/profile fields drifted)"
+    echo
+    echo "EXPLAIN DRIFT: deterministic plan fields differ from $EXPLAIN (named rows above)."
     echo "If intended, regenerate with scripts/capture_baselines.sh and commit."
     exit 1
   fi
